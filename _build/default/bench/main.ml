@@ -1,0 +1,282 @@
+(* The benchmark harness.
+
+   Two parts:
+
+   1. Bechamel micro-benchmarks — one Test.make per table/figure of the
+      paper's evaluation, plus ablation benches for the design choices
+      DESIGN.md calls out (merge on/off, GC on/off, packed steps vs the
+      basic engine). These measure the per-run cost of each experiment's
+      core computation.
+
+   2. Full regeneration of every table and study, printed in the paper's
+      row format (Table 1, Table 2, the adversarial-coverage study S2 and
+      the defect-injection study S3).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+open Velodrome_trace
+open Velodrome_analysis
+open Velodrome_workloads
+
+(* --- workload fixtures ---------------------------------------------------- *)
+
+let fixture name =
+  let w = Option.get (Workload.find name) in
+  let program = w.Workload.build Workload.Medium in
+  (w, program)
+
+(* A recorded trace for offline replay benches (engine ablations). *)
+let recorded =
+  lazy
+    (let _, program = fixture "multiset" in
+     let res =
+       Velodrome_harness.Common.run_once ~seed:42 ~record_trace:true program
+         (fun _ -> [])
+     in
+     ( program.Velodrome_sim.Ast.names,
+       Trace.to_list (Option.get res.Velodrome_sim.Run.trace) ))
+
+let replay ~merge ~names ops =
+  let eng =
+    Velodrome_core.Engine.create
+      ~config:{ Velodrome_core.Engine.merge; record_graphs = false }
+      names
+  in
+  List.iteri
+    (fun index op -> Velodrome_core.Engine.on_event eng (Event.make ~index op))
+    ops;
+  Velodrome_core.Engine.finish eng;
+  eng
+
+let replay_basic ~gc ~names ops =
+  let eng =
+    Velodrome_core.Basic.create ~config:{ Velodrome_core.Basic.gc } names
+  in
+  List.iteri
+    (fun index op -> Velodrome_core.Basic.on_event eng (Event.make ~index op))
+    ops;
+  Velodrome_core.Basic.finish eng;
+  eng
+
+let run_with name backend_of_names =
+  let _, program = fixture name in
+  ignore
+    (Velodrome_harness.Common.run_once ~seed:42 program backend_of_names)
+
+(* --- Bechamel tests: one per table / figure ------------------------------- *)
+
+(* Table 1 (left half): analysis slowdowns. One representative workload
+   run per analysis; the full 15-row table is printed below. *)
+let test_table1_slowdowns =
+  Test.make_grouped ~name:"table1/slowdowns"
+    [
+      Test.make ~name:"base" (Staged.stage (fun () -> run_with "multiset" (fun _ -> [])));
+      Test.make ~name:"empty"
+        (Staged.stage (fun () ->
+             run_with "multiset" (fun n -> [ Backend.make (module Empty) n ])));
+      Test.make ~name:"eraser"
+        (Staged.stage (fun () ->
+             run_with "multiset" (fun n ->
+                 [ Backend.make (Velodrome_eraser.Eraser.backend ()) n ])));
+      Test.make ~name:"atomizer"
+        (Staged.stage (fun () ->
+             run_with "multiset" (fun n ->
+                 [ Backend.make (Velodrome_atomizer.Atomizer.backend ()) n ])));
+      Test.make ~name:"velodrome"
+        (Staged.stage (fun () ->
+             run_with "multiset" (fun n ->
+                 [ Backend.make (Velodrome_core.Engine.backend ()) n ])));
+      Test.make ~name:"hb"
+        (Staged.stage (fun () ->
+             run_with "multiset" (fun n ->
+                 [ Backend.make (Velodrome_hbrace.Hbrace.backend ()) n ])));
+    ]
+
+(* Table 1 (right half): node allocation — the merge ablation. *)
+let test_table1_nodes =
+  Test.make_grouped ~name:"table1/nodes"
+    [
+      Test.make ~name:"replay-without-merge"
+        (Staged.stage (fun () ->
+             let names, ops = Lazy.force recorded in
+             ignore (replay ~merge:false ~names ops)));
+      Test.make ~name:"replay-with-merge"
+        (Staged.stage (fun () ->
+             let names, ops = Lazy.force recorded in
+             ignore (replay ~merge:true ~names ops)));
+    ]
+
+(* Ablations: the basic Figure 2 engine with and without reference
+   counting, against the optimized engine on the same trace. *)
+let test_ablation_engines =
+  Test.make_grouped ~name:"ablation/engines"
+    [
+      Test.make ~name:"basic-gc"
+        (Staged.stage (fun () ->
+             let names, ops = Lazy.force recorded in
+             ignore (replay_basic ~gc:true ~names ops)));
+      Test.make ~name:"basic-nogc"
+        (Staged.stage (fun () ->
+             let names, ops = Lazy.force recorded in
+             ignore (replay_basic ~gc:false ~names ops)));
+      Test.make ~name:"optimized"
+        (Staged.stage (fun () ->
+             let names, ops = Lazy.force recorded in
+             ignore (replay ~merge:true ~names ops)));
+    ]
+
+(* Table 2: the warning-classification pipeline on one workload/seed. *)
+let test_table2 =
+  Test.make ~name:"table2/warnings"
+    (Staged.stage (fun () ->
+         run_with "multiset" (fun n ->
+             [
+               Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+               Backend.make (Velodrome_core.Engine.backend ()) n;
+             ])))
+
+(* Ablation: RoadRunner's thread-local filtering ("dramatically improves
+   the performance of the analyses, although ... slightly unsound"). *)
+let test_ablation_threadlocal =
+  Test.make_grouped ~name:"ablation/thread-local-filter"
+    [
+      Test.make ~name:"velodrome-unfiltered"
+        (Staged.stage (fun () ->
+             run_with "jbb" (fun n ->
+                 [ Backend.make (Velodrome_core.Engine.backend ()) n ])));
+      Test.make ~name:"velodrome-filtered"
+        (Staged.stage (fun () ->
+             run_with "jbb" (fun n ->
+                 [
+                   Filters.thread_local
+                     (Backend.make (Velodrome_core.Engine.backend ()) n);
+                 ])));
+    ]
+
+(* Ablation: the §5 pause-policy alternatives on one adversarial run. *)
+let adversarial_multiset pause_on =
+  let _, program = fixture "multiset" in
+  let config =
+    {
+      Velodrome_sim.Run.default_config with
+      policy = Velodrome_sim.Run.Random 42;
+      adversarial = true;
+      pause_slots = 500;
+      pause_on;
+    }
+  in
+  ignore
+    (Velodrome_sim.Run.run ~config program
+       [
+         Backend.make
+           (Velodrome_atomizer.Atomizer.backend ())
+           program.Velodrome_sim.Ast.names;
+         Backend.make
+           (Velodrome_core.Engine.backend ())
+           program.Velodrome_sim.Ast.names;
+       ])
+
+let test_ablation_pause_policy =
+  Test.make_grouped ~name:"ablation/pause-policy"
+    [
+      Test.make ~name:"pause-all"
+        (Staged.stage (fun () ->
+             adversarial_multiset Velodrome_sim.Run.Pause_all));
+      Test.make ~name:"pause-writes-only"
+        (Staged.stage (fun () ->
+             adversarial_multiset Velodrome_sim.Run.Pause_writes_only));
+    ]
+
+(* Study S3: one injected-defect detection run. *)
+let test_study_injection =
+  Test.make ~name:"study/injection"
+    (Staged.stage (fun () ->
+         let w = Option.get (Workload.find "elevator") in
+         match Velodrome_inject.Inject.mutants w Workload.Medium with
+         | m :: _ ->
+           ignore
+             (Velodrome_harness.Common.run_once ~seed:1 ~adversarial:true
+                m.Velodrome_inject.Inject.program
+                (fun n ->
+                  [
+                    Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+                    Backend.make (Velodrome_core.Engine.backend ()) n;
+                  ]))
+         | [] -> ()))
+
+(* --- Bechamel driver ------------------------------------------------------- *)
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"velodrome"
+      [
+        test_table1_slowdowns;
+        test_table1_nodes;
+        test_ablation_engines;
+        test_ablation_threadlocal;
+        test_ablation_pause_policy;
+        test_table2;
+        test_study_injection;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  Printf.printf "%-45s %15s\n" "benchmark" "time/run";
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s " (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-45s %15s\n" name pretty)
+    (List.sort compare rows)
+
+(* --- Full table regeneration ------------------------------------------------ *)
+
+let () =
+  print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
+  benchmark ();
+  print_newline ();
+  print_endline "=== Table 1: slowdowns and node statistics ===";
+  Velodrome_harness.Table1.print Format.std_formatter
+    (Velodrome_harness.Table1.run ());
+  print_newline ();
+  print_endline "=== Table 2: warnings (all methods assumed atomic) ===";
+  Velodrome_harness.Table2.print Format.std_formatter
+    (Velodrome_harness.Table2.run ());
+  print_newline ();
+  print_endline "=== Study S2: adversarial scheduling coverage ===";
+  Velodrome_harness.Study.print_coverage Format.std_formatter
+    (Velodrome_harness.Study.coverage ());
+  print_newline ();
+  print_endline "=== Study S3: injected synchronization defects ===";
+  Velodrome_harness.Study.print_injection Format.std_formatter
+    (Velodrome_harness.Study.injection ());
+  print_newline ();
+  print_endline "=== Study S4: single-core scheduling sensitivity ===";
+  Velodrome_harness.Study.print_single_core Format.std_formatter
+    (Velodrome_harness.Study.single_core ())

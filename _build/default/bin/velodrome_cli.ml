@@ -1,0 +1,527 @@
+(* The velodrome command-line tool.
+
+   Subcommands:
+   - list            benchmark workloads and their ground truth
+   - run             run a workload under selected analyses
+   - check           parse, statically check and analyze a .vel file
+   - table1          regenerate Table 1 (slowdowns, node statistics)
+   - table2          regenerate Table 2 (warning classification)
+   - study           adversarial-scheduling studies (coverage, injection)
+*)
+
+open Cmdliner
+open Velodrome_analysis
+open Velodrome_workloads
+
+let size_conv =
+  let parse = function
+    | "small" -> Ok Workload.Small
+    | "medium" -> Ok Workload.Medium
+    | "large" -> Ok Workload.Large
+    | s -> Error (`Msg (Printf.sprintf "unknown size %S" s))
+  in
+  let print ppf s =
+    Format.fprintf ppf "%s"
+      (match s with
+      | Workload.Small -> "small"
+      | Workload.Medium -> "medium"
+      | Workload.Large -> "large")
+  in
+  Arg.conv (parse, print)
+
+let size_arg =
+  Arg.(
+    value
+    & opt size_conv Workload.Medium
+    & info [ "size" ] ~docv:"SIZE" ~doc:"Workload size: small, medium, large.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Scheduler seed.")
+
+let adversarial_arg =
+  Arg.(
+    value & flag
+    & info [ "adversarial" ]
+        ~doc:"Enable Atomizer-guided adversarial scheduling (Section 5).")
+
+let mk_backend names = function
+  | "velodrome" -> Some (Backend.make (Velodrome_core.Engine.backend ()) names)
+  | "velodrome-basic" ->
+    Some (Backend.make (Velodrome_core.Basic.backend ()) names)
+  | "atomizer" ->
+    Some (Backend.make (Velodrome_atomizer.Atomizer.backend ()) names)
+  | "eraser" -> Some (Backend.make (Velodrome_eraser.Eraser.backend ()) names)
+  | "hb" -> Some (Backend.make (Velodrome_hbrace.Hbrace.backend ()) names)
+  | "fasttrack" ->
+    Some (Backend.make (Velodrome_hbrace.Fasttrack.backend ()) names)
+  | "2pl" -> Some (Backend.make (Velodrome_twopl.Twopl.backend ()) names)
+  | "2pl-strict" ->
+    Some
+      (Backend.make
+         (Velodrome_twopl.Twopl.backend ~config:{ Velodrome_twopl.Twopl.strict = true } ())
+         names)
+  | "empty" -> Some (Backend.make (module Empty) names)
+  | _ -> None
+
+let analyses_arg =
+  Arg.(
+    value
+    & opt (list string) [ "velodrome"; "atomizer" ]
+    & info [ "analysis"; "a" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated back-ends: velodrome, velodrome-basic, atomizer, \
+           eraser, hb, fasttrack, empty.")
+
+let spec_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "spec" ] ~docv:"FILE"
+        ~doc:
+          "Atomicity specification: which methods to check (see \
+           Velodrome_harness.Spec).")
+
+let load_spec = function
+  | None -> Velodrome_harness.Spec.default
+  | Some path -> (
+    match Velodrome_harness.Spec.of_file path with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1)
+
+let apply_spec spec names backends =
+  List.map
+    (Velodrome_harness.Exclude.methods
+       ~excluded:(Velodrome_harness.Spec.excluded spec names))
+    backends
+
+let report_warnings names warnings =
+  if warnings = [] then print_endline "No warnings."
+  else begin
+    Printf.printf "%d warning(s):\n" (List.length warnings);
+    List.iter
+      (fun w ->
+        Format.printf "  %a@." (Warning.pp names) w)
+      warnings
+  end
+
+let dump_dots dir names warnings =
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  List.iteri
+    (fun k (w : Warning.t) ->
+      match w.Warning.dot with
+      | Some dot ->
+        let label =
+          match w.Warning.label with
+          | Some l -> Velodrome_trace.Names.label_name names l
+          | None -> Printf.sprintf "warning%d" k
+        in
+        let path =
+          Filename.concat dir
+            (Printf.sprintf "%s.dot"
+               (String.map (function '.' | '/' -> '_' | c -> c) label))
+        in
+        let oc = open_out path in
+        output_string oc dot;
+        close_out oc;
+        Printf.printf "  error graph written to %s\n" path
+      | None -> ())
+    warnings
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun w ->
+        Printf.printf "%-11s %s\n" w.Workload.name w.Workload.description;
+        let non_atomic = Workload.non_atomic_count w in
+        let total = List.length w.Workload.methods in
+        Printf.printf "            methods: %d (%d with real violations)\n"
+          total non_atomic)
+      Workload.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark workloads.")
+    Term.(const run $ const ())
+
+(* --- run ----------------------------------------------------------------- *)
+
+let run_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see 'velodrome list').")
+  in
+  let dot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"DIR" ~doc:"Write error graphs as dot files.")
+  in
+  let run name size seed adversarial analyses dot_dir spec =
+    match Workload.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 1
+    | Some w ->
+      let program = w.Workload.build size in
+      let names = program.Velodrome_sim.Ast.names in
+      let backends =
+        List.filter_map
+          (fun a ->
+            match mk_backend names a with
+            | Some b -> Some b
+            | None ->
+              Printf.eprintf "unknown analysis %S (ignored)\n" a;
+              None)
+          analyses
+        |> apply_spec (load_spec spec) names
+      in
+      let config =
+        {
+          Velodrome_sim.Run.default_config with
+          policy = Velodrome_sim.Run.Random seed;
+          adversarial;
+        }
+      in
+      let res = Velodrome_sim.Run.run ~config program backends in
+      Printf.printf "%s: %d events, %d pauses%s\n" name
+        res.Velodrome_sim.Run.events res.Velodrome_sim.Run.pauses
+        (if res.Velodrome_sim.Run.deadlocked then " (DEADLOCK)" else "");
+      let warnings = Warning.dedup_by_label res.Velodrome_sim.Run.warnings in
+      report_warnings names warnings;
+      Option.iter (fun dir -> dump_dots dir names warnings) dot_dir
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one workload under selected analyses.")
+    Term.(
+      const run $ workload $ size_arg $ seed_arg $ adversarial_arg
+      $ analyses_arg $ dot_dir $ spec_arg)
+
+(* --- check --------------------------------------------------------------- *)
+
+let check_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .vel program file.")
+  in
+  let run file seed adversarial analyses spec =
+    match Velodrome_lang.Parser.parse_file file with
+    | exception Velodrome_lang.Parser.Parse_error (m, l, c) ->
+      Format.eprintf "%s: %a@." file Velodrome_lang.Parser.pp_error (m, l, c);
+      exit 1
+    | exception Velodrome_lang.Lexer.Lex_error (m, l, c) ->
+      Printf.eprintf "%s: lex error at %d:%d: %s\n" file l c m;
+      exit 1
+    | program -> (
+      match Velodrome_lang.Check.check_program program with
+      | Error errs ->
+        List.iter
+          (fun e ->
+            Format.eprintf "%s: %a@." file Velodrome_lang.Check.pp_error e)
+          errs;
+        exit 1
+      | Ok () ->
+        let names = program.Velodrome_sim.Ast.names in
+        let backends =
+          List.filter_map (mk_backend names) analyses
+          |> apply_spec (load_spec spec) names
+        in
+        let config =
+          {
+            Velodrome_sim.Run.default_config with
+            policy = Velodrome_sim.Run.Random seed;
+            adversarial;
+          }
+        in
+        let res = Velodrome_sim.Run.run ~config program backends in
+        Printf.printf "%s: %d events%s\n" file res.Velodrome_sim.Run.events
+          (if res.Velodrome_sim.Run.deadlocked then " (DEADLOCK)" else "");
+        report_warnings names
+          (Warning.dedup_by_label res.Velodrome_sim.Run.warnings))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Check a .vel program file for atomicity.")
+    Term.(
+      const run $ file $ seed_arg $ adversarial_arg $ analyses_arg $ spec_arg)
+
+(* --- trace files ------------------------------------------------------------ *)
+
+let record_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to record.")
+  in
+  let out =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let run name out size seed =
+    match Workload.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 1
+    | Some w ->
+      let program = w.Workload.build size in
+      let config =
+        {
+          Velodrome_sim.Run.default_config with
+          policy = Velodrome_sim.Run.Random seed;
+          record_trace = true;
+        }
+      in
+      let res = Velodrome_sim.Run.run ~config program [] in
+      let trace = Option.get res.Velodrome_sim.Run.trace in
+      Velodrome_trace.Trace_io.write_file program.Velodrome_sim.Ast.names
+        trace out;
+      Printf.printf "recorded %d operations to %s\n"
+        (Velodrome_trace.Trace.length trace)
+        out
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload's event trace to a file.")
+    Term.(const run $ workload $ out $ size_arg $ seed_arg)
+
+let load_trace file =
+  match Velodrome_trace.Trace_io.read_file file with
+  | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
+    Printf.eprintf "%s:%d: %s\n" file line msg;
+    exit 1
+  | names, trace -> (
+    match Velodrome_trace.Trace.check trace with
+    | Error v ->
+      Format.eprintf "%s: ill-formed trace: %a@." file
+        Velodrome_trace.Trace.pp_violation v;
+      exit 1
+    | Ok () -> (names, trace))
+
+let check_trace_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A recorded trace file.")
+  in
+  let run file analyses =
+    let names, trace = load_trace file in
+    let backends = List.filter_map (mk_backend names) analyses in
+    let warnings =
+      Warning.dedup_by_label (Backend.run_trace backends trace)
+    in
+    Printf.printf "%s: %d operations\n" file
+      (Velodrome_trace.Trace.length trace);
+    report_warnings names warnings
+  in
+  Cmd.v
+    (Cmd.info "check-trace"
+       ~doc:"Replay a recorded trace through the analyses.")
+    Term.(const run $ file $ analyses_arg)
+
+let minimize_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A recorded trace file.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o" ] ~docv:"FILE" ~doc:"Write the minimized trace here.")
+  in
+  let run file out =
+    let names, trace = load_trace file in
+    if Velodrome_oracle.Oracle.serializable trace then begin
+      Printf.printf "%s is serializable; nothing to minimize.\n" file;
+      exit 0
+    end;
+    let small = Velodrome_oracle.Minimize.ddmin trace in
+    Printf.printf "minimized %d operations to %d:\n"
+      (Velodrome_trace.Trace.length trace)
+      (Velodrome_trace.Trace.length small);
+    print_string (Velodrome_trace.Trace_io.to_string names small);
+    Option.iter
+      (fun path -> Velodrome_trace.Trace_io.write_file names small path)
+      out
+  in
+  Cmd.v
+    (Cmd.info "minimize"
+       ~doc:
+        "Shrink a non-serializable trace to a 1-minimal witness (delta \
+         debugging).")
+    Term.(const run $ file $ out)
+
+(* --- print ------------------------------------------------------------------ *)
+
+let print_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc:"Workload to print as .vel source.")
+  in
+  let run name size =
+    match Workload.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 1
+    | Some w ->
+      print_string
+        (Velodrome_lang.Printer.to_string (w.Workload.build size))
+  in
+  Cmd.v
+    (Cmd.info "print"
+       ~doc:"Print a workload program in the .vel core form.")
+    Term.(const run $ workload $ size_arg)
+
+(* --- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value & opt int 2000
+      & info [ "count"; "n" ] ~docv:"N" ~doc:"Random traces to check.")
+  in
+  let dense =
+    Arg.(
+      value & flag
+      & info [ "dense" ] ~doc:"High-contention trace shape (2 vars, 1 lock).")
+  in
+  let run count seed dense =
+    let open Velodrome_trace in
+    let cfg =
+      if dense then
+        {
+          Gen.default with
+          threads = 4;
+          vars = 2;
+          locks = 1;
+          steps = 60;
+          max_depth = 3;
+        }
+      else Gen.default
+    in
+    let rng = Velodrome_util.Rng.create seed in
+    let mismatches = ref 0 in
+    for k = 1 to count do
+      let tr = Gen.run rng cfg in
+      let names = Names.create () in
+      let eng = Velodrome_core.Engine.create names in
+      let basic = Velodrome_core.Basic.create names in
+      Trace.iteri
+        (fun index op ->
+          let ev = Event.make ~index op in
+          Velodrome_core.Engine.on_event eng ev;
+          Velodrome_core.Basic.on_event basic ev)
+        tr;
+      let oracle = not (Velodrome_oracle.Oracle.serializable tr) in
+      let engine = Velodrome_core.Engine.has_error eng in
+      let fig2 = Velodrome_core.Basic.has_error basic in
+      if engine <> oracle || fig2 <> oracle then begin
+        incr mismatches;
+        Printf.printf
+          "MISMATCH on trace %d: oracle=%b engine=%b basic=%b\n%s\n" k oracle
+          engine fig2
+          (Trace_io.to_string names tr)
+      end
+    done;
+    if !mismatches = 0 then
+      Printf.printf
+        "fuzz: %d random traces, engine = basic = oracle on all of them\n"
+        count
+    else begin
+      Printf.printf "fuzz: %d mismatches out of %d traces\n" !mismatches count;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+        "Differential fuzzing: random well-formed traces through both \
+         engines and the offline oracle.")
+    Term.(const run $ count $ seed_arg $ dense)
+
+(* --- tables and studies --------------------------------------------------- *)
+
+let repeats_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "repeats" ] ~docv:"N" ~doc:"Timing repetitions (median).")
+
+let table1_cmd =
+  let run size seed repeats =
+    let rows = Velodrome_harness.Table1.run ~size ~seed ~repeats () in
+    Format.printf "Table 1: slowdowns and happens-before node statistics@.";
+    Velodrome_harness.Table1.print Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table 1.")
+    Term.(const run $ size_arg $ seed_arg $ repeats_arg)
+
+let seeds_arg =
+  Arg.(
+    value
+    & opt (list int) [ 1; 2; 3; 4; 5 ]
+    & info [ "seeds" ] ~docv:"LIST" ~doc:"Scheduler seeds (one run each).")
+
+let table2_cmd =
+  let run size seeds adversarial =
+    let rows = Velodrome_harness.Table2.run ~size ~seeds ~adversarial () in
+    Format.printf
+      "Table 2: warnings with all methods assumed atomic (%d runs each)@."
+      (List.length seeds);
+    Velodrome_harness.Table2.print Format.std_formatter rows
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate Table 2.")
+    Term.(const run $ size_arg $ seeds_arg $ adversarial_arg)
+
+let study_cmd =
+  let part =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "part" ] ~docv:"PART"
+          ~doc:"coverage, injection, singlecore, or all.")
+  in
+  let run size seeds part =
+    if part = "coverage" || part = "all" then begin
+      Format.printf "Study S2: adversarial scheduling coverage@.";
+      Velodrome_harness.Study.print_coverage Format.std_formatter
+        (Velodrome_harness.Study.coverage ~size ~seeds ())
+    end;
+    if part = "injection" || part = "all" then begin
+      Format.printf "Study S3: injected synchronization defects@.";
+      Velodrome_harness.Study.print_injection Format.std_formatter
+        (Velodrome_harness.Study.injection ~size ~seeds ())
+    end;
+    if part = "singlecore" || part = "all" then begin
+      Format.printf "Study S4: single-core scheduling sensitivity@.";
+      Velodrome_harness.Study.print_single_core Format.std_formatter
+        (Velodrome_harness.Study.single_core ~size ~seeds ())
+    end
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Adversarial scheduling studies.")
+    Term.(const run $ size_arg $ seeds_arg $ part)
+
+let () =
+  let doc = "sound and complete dynamic atomicity checking (PLDI 2008)" in
+  let info = Cmd.info "velodrome" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; check_cmd; print_cmd; record_cmd;
+            check_trace_cmd; minimize_cmd; fuzz_cmd; table1_cmd; table2_cmd;
+            study_cmd;
+          ]))

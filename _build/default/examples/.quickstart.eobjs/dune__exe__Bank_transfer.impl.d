@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Ast Backend Builder Format Interp List Printf Run Velodrome_analysis Velodrome_core Velodrome_sim Velodrome_trace Warning

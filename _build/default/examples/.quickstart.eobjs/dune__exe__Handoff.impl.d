@@ -1,0 +1,1 @@
+examples/handoff.ml: Ast Backend Builder Format Interp List Option Printf Run Velodrome_analysis Velodrome_atomizer Velodrome_core Velodrome_oracle Velodrome_sim Warning

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Backend Builder Format List Option Printf Run Velodrome_analysis Velodrome_core Velodrome_oracle Velodrome_sim Warning

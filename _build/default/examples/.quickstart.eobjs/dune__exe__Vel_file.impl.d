@@ -1,0 +1,1 @@
+examples/vel_file.ml: Array Backend Filename Format List Printf Sys Velodrome_analysis Velodrome_atomizer Velodrome_core Velodrome_lang Velodrome_sim Warning

@@ -1,0 +1,1 @@
+examples/vel_file.mli:

@@ -1,0 +1,68 @@
+(* Adversarial scheduling in action (Section 5).
+
+   The colt workload contains seven lazily-cached matrix operations whose
+   unsynchronized check/update windows are two adjacent operations that
+   different threads reach at different times — across ordinary runs they
+   almost never produce a non-serializable trace, so Velodrome (which
+   never generalizes beyond the observed trace) almost never sees them.
+
+   Running the Atomizer alongside and letting it pause threads that are
+   about to complete a suspicious pattern parks the offender inside its
+   own window until a conflicting write arrives; Velodrome then witnesses
+   a real cycle. This example hunts the lazy-cache bugs both ways.
+
+   Run with: dune exec examples/bug_hunt.exe *)
+
+open Velodrome_analysis
+open Velodrome_workloads
+
+let hunt ~adversarial ~seeds =
+  let w = Option.get (Workload.find "colt") in
+  let found = ref [] in
+  List.iter
+    (fun seed ->
+      let program = w.Workload.build Workload.Medium in
+      let names = program.Velodrome_sim.Ast.names in
+      let config =
+        {
+          Velodrome_sim.Run.default_config with
+          policy = Velodrome_sim.Run.Random seed;
+          adversarial;
+          pause_slots = 2000;
+        }
+      in
+      let result =
+        Velodrome_sim.Run.run ~config program
+          [
+            Backend.make (Velodrome_atomizer.Atomizer.backend ()) names;
+            Backend.make (Velodrome_core.Engine.backend ()) names;
+          ]
+      in
+      List.iter
+        (fun warning ->
+          if
+            warning.Warning.analysis = "velodrome"
+            && warning.Warning.blamed
+          then
+            match warning.Warning.label with
+            | Some l ->
+              let name = Velodrome_trace.Names.label_name names l in
+              if not (List.mem name !found) then found := name :: !found
+            | None -> ())
+        result.Velodrome_sim.Run.warnings)
+    seeds;
+  List.sort compare !found
+
+let () =
+  let seeds = [ 1; 2; 3; 4; 5 ] in
+  let plain = hunt ~adversarial:false ~seeds in
+  let adv = hunt ~adversarial:true ~seeds in
+  Printf.printf "Methods Velodrome confirmed over %d plain runs:\n"
+    (List.length seeds);
+  List.iter (Printf.printf "  %s\n") plain;
+  Printf.printf "\nWith Atomizer-guided adversarial scheduling:\n";
+  List.iter (Printf.printf "  %s\n") adv;
+  let gained = List.filter (fun m -> not (List.mem m plain)) adv in
+  Printf.printf "\nBugs only the adversarial scheduler exposed: %s\n"
+    (if gained = [] then "(none this time — try more seeds)"
+     else String.concat ", " gained)

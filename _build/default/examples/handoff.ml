@@ -1,0 +1,65 @@
+(* Section 2's precision example: the volatile baton.
+
+   Two threads take turns incrementing x, handing exclusive access back
+   and forth through a volatile variable b. Every trace of this program
+   is serializable — but the Atomizer's lockset abstraction cannot see
+   the hand-off protocol and reports a (false) warning, while Velodrome,
+   reasoning about the exact happens-before order, stays silent. This is
+   the paper's motivating case for sound *and complete* checking.
+
+   Run with: dune exec examples/handoff.exe *)
+
+open Velodrome_sim
+open Velodrome_analysis
+open Builder
+
+let () =
+  let b = create () in
+  let baton = volatile b ~init:1 "b" in
+  let x = var b "x" in
+  let rounds = 12 in
+  threads b 2 (fun idx ->
+      let me = idx + 1 in
+      let other = if me = 1 then 2 else 1 in
+      let tmp = fresh_reg b in
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i rounds)
+          (Builder.spin_until b baton (i me)
+          @ [
+              atomic (label b (Printf.sprintf "Worker%d.increment" me))
+                [ read tmp x; write x (r tmp +: i 1); write baton (i other) ];
+              local k (r k +: i 1);
+            ]);
+      ]);
+  let program = program b in
+  let names = program.Ast.names in
+  let velodrome = Backend.make (Velodrome_core.Engine.backend ()) names in
+  let atomizer =
+    Backend.make (Velodrome_atomizer.Atomizer.backend ()) names
+  in
+  let config =
+    { Run.default_config with policy = Run.Random 3; record_trace = true }
+  in
+  let result = Run.run ~config program [ velodrome; atomizer ] in
+  Printf.printf "Executed %d operations; final x = %d (expected %d)\n\n"
+    result.Run.events
+    (Interp.read_var result.Run.final x)
+    (2 * rounds);
+  let by name =
+    List.filter
+      (fun w -> w.Warning.analysis = name)
+      (Warning.dedup_by_label result.Run.warnings)
+  in
+  Printf.printf "Velodrome warnings: %d (complete: no false alarms)\n"
+    (List.length (by "velodrome"));
+  let atomizer_warnings = by "atomizer" in
+  Printf.printf "Atomizer warnings:  %d (false alarms from the baton)\n"
+    (List.length atomizer_warnings);
+  List.iter
+    (fun w -> Format.printf "  %a@." (Warning.pp names) w)
+    atomizer_warnings;
+  let trace = Option.get result.Run.trace in
+  Printf.printf "\nOracle: the observed trace is serializable: %b\n"
+    (Velodrome_oracle.Oracle.serializable trace)

@@ -1,0 +1,1 @@
+lib/analysis/backend.ml: Event List Names Trace Velodrome_trace Warning

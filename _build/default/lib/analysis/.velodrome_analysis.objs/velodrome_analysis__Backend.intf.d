@@ -1,0 +1,1 @@
+lib/analysis/backend.mli: Event Names Trace Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/analysis/empty.ml: Event Names Velodrome_trace

@@ -1,0 +1,1 @@
+lib/analysis/filters.ml: Backend Event Hashtbl Lock Op Option Tid Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/analysis/warning.ml: Format Hashtbl Label List Names Option Printf Tid Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/analysis/warning.mli: Format Label Names Tid Var Velodrome_trace

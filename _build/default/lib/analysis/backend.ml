@@ -1,0 +1,53 @@
+open Velodrome_trace
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Names.t -> t
+  val on_event : t -> Event.t -> unit
+  val pause_hint : t -> Event.t -> bool
+  val finish : t -> unit
+  val warnings : t -> Warning.t list
+end
+
+type packed =
+  | Packed : { impl : (module S with type t = 'a); state : 'a } -> packed
+
+let make (module B : S) names =
+  Packed { impl = (module B); state = B.create names }
+
+let name (Packed { impl = (module B); _ }) = B.name
+let on_event (Packed { impl = (module B); state }) e = B.on_event state e
+let pause_hint (Packed { impl = (module B); state }) e = B.pause_hint state e
+let finish (Packed { impl = (module B); state }) = B.finish state
+let warnings (Packed { impl = (module B); state }) = B.warnings state
+
+type filter = {
+  would_forward : Event.t -> bool;
+  observe : Event.t -> bool;
+}
+
+let filter ~suffix mk inner =
+  let inner_name = name inner in
+  let module M = struct
+    type t = { f : filter; inner : packed }
+
+    let name = inner_name ^ suffix
+    let create (_ : Names.t) = { f = mk (); inner }
+    let on_event t e = if t.f.observe e then on_event t.inner e
+    let pause_hint t e = t.f.would_forward e && pause_hint t.inner e
+    let finish t = finish t.inner
+    let warnings t = warnings t.inner
+  end in
+  (* The wrapped state captures [inner]; the [Names.t] argument is not
+     needed to build it, so any value works here. *)
+  Packed { impl = (module M); state = M.create (Names.create ()) }
+
+let run_events backends events =
+  List.iter (fun e -> List.iter (fun b -> on_event b e) backends) events;
+  List.iter finish backends;
+  List.concat_map warnings backends
+
+let run_trace backends trace =
+  run_events backends (Event.of_ops (Trace.to_list trace))

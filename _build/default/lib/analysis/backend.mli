@@ -1,0 +1,59 @@
+(** Back-end interface — the RoadRunner analysis contract.
+
+    A back-end is an online analysis: it is created against a name
+    environment, consumes one {!Velodrome_trace.Event.t} at a time, and
+    accumulates warnings. [pause_hint] is the adversarial-scheduling hook
+    (Section 5): the scheduler shows the back-end the event a thread is
+    {e about} to perform; a [true] answer asks the scheduler to suspend
+    that thread for a while in the hope that a conflicting operation from
+    another thread lands first. Only the Atomizer answers non-trivially. *)
+
+open Velodrome_trace
+
+module type S = sig
+  type t
+
+  val name : string
+  val create : Names.t -> t
+
+  val on_event : t -> Event.t -> unit
+  (** Called after the operation has executed. *)
+
+  val pause_hint : t -> Event.t -> bool
+  (** Called before the operation executes; must not update state. *)
+
+  val finish : t -> unit
+  (** End of the trace; flush any pending reports. *)
+
+  val warnings : t -> Warning.t list
+  (** In reporting order. Stable across calls. *)
+end
+
+type packed
+(** A back-end bundled with its state. *)
+
+val make : (module S) -> Names.t -> packed
+val name : packed -> string
+val on_event : packed -> Event.t -> unit
+val pause_hint : packed -> Event.t -> bool
+val finish : packed -> unit
+val warnings : packed -> Warning.t list
+
+type filter = {
+  would_forward : Event.t -> bool;
+      (** pure preview, used for [pause_hint] routing *)
+  observe : Event.t -> bool;
+      (** update filter state; [true] means forward to the inner back-end *)
+}
+
+val filter : suffix:string -> (unit -> filter) -> packed -> packed
+(** [filter ~suffix mk inner] wraps [inner] with a fresh stateful event
+    filter; the wrapped back-end is named [name inner ^ suffix]. Used for
+    RoadRunner's re-entrant-lock and thread-local filtering. *)
+
+val run_events : packed list -> Event.t list -> Warning.t list
+(** Feed the events to every back-end, then [finish] each and concatenate
+    their warnings in back-end order. *)
+
+val run_trace : packed list -> Trace.t -> Warning.t list
+(** {!run_events} on the numbered events of a bare trace. *)

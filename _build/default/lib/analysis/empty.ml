@@ -1,0 +1,11 @@
+open Velodrome_trace
+
+type t = { mutable count : int }
+
+let name = "empty"
+let create (_ : Names.t) = { count = 0 }
+let on_event t (_ : Event.t) = t.count <- t.count + 1
+let pause_hint _ _ = false
+let finish _ = ()
+let warnings _ = []
+let events_seen t = t.count

@@ -1,0 +1,9 @@
+(** The Empty back-end of Table 1.
+
+    Does no analysis work; it only counts events. Attaching it to the
+    simulator measures pure instrumentation/dispatch overhead, which is the
+    baseline the paper's "Empty" slowdown column isolates. *)
+
+include Backend.S
+
+val events_seen : t -> int

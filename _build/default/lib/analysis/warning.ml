@@ -1,0 +1,61 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type kind = Atomicity_violation | Reduction_failure | Race | Deadlock
+
+type t = {
+  analysis : string;
+  kind : kind;
+  tid : Tid.t option;
+  label : Label.t option;
+  var : Var.t option;
+  message : string;
+  dot : string option;
+  index : int;
+  blamed : bool;
+}
+
+let make ~analysis ~kind ?tid ?label ?var ?dot ?(blamed = false) ~index message
+    =
+  { analysis; kind; tid; label; var; message; dot; index; blamed }
+
+let kind_to_string = function
+  | Atomicity_violation -> "atomicity-violation"
+  | Reduction_failure -> "reduction-failure"
+  | Race -> "race"
+  | Deadlock -> "deadlock"
+
+let pp names ppf w =
+  let label =
+    match w.label with
+    | Some l -> Printf.sprintf " [%s]" (Names.label_name names l)
+    | None -> ""
+  in
+  let var =
+    match w.var with
+    | Some x -> Printf.sprintf " on %s" (Names.var_name names x)
+    | None -> ""
+  in
+  Format.fprintf ppf "%s: %s%s%s at #%d: %s" w.analysis
+    (kind_to_string w.kind) label var w.index w.message
+
+let dedup_by_label ws =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun w ->
+      let key =
+        match w.label with
+        | Some l -> (w.analysis, w.kind, `Label (Label.to_int l))
+        | None ->
+          ( w.analysis,
+            w.kind,
+            `Anon
+              ( Option.map Var.to_int w.var,
+                Option.map Tid.to_int w.tid ) )
+      in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    ws

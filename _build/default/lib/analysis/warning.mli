@@ -1,0 +1,55 @@
+(** Structured analysis warnings.
+
+    Every back-end reports through this type so the evaluation harness can
+    count, classify (real vs false alarm, via workload ground truth) and
+    deduplicate warnings uniformly, the way the paper counts "distinct
+    warnings" per method. *)
+
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type kind =
+  | Atomicity_violation
+      (** a non-serializable trace was observed (Velodrome) *)
+  | Reduction_failure
+      (** the block does not match the right-movers/left-movers pattern
+          (Atomizer); may be a false alarm *)
+  | Race  (** unsynchronized conflicting accesses (Eraser, HB detector) *)
+  | Deadlock  (** all runnable threads blocked (simulator) *)
+
+type t = {
+  analysis : string;  (** back-end name *)
+  kind : kind;
+  tid : Tid.t option;  (** thread the warning concerns *)
+  label : Label.t option;
+      (** blamed atomic block / method; [None] when blame could not be
+          assigned to a particular block *)
+  var : Var.t option;  (** variable involved, for race reports *)
+  message : string;
+  dot : string option;  (** rendered error graph, when available *)
+  index : int;  (** event index at which the warning fired *)
+  blamed : bool;
+      (** true when blame analysis pinned a specific non-self-serializable
+          transaction (Velodrome's >80 % statistic) *)
+}
+
+val make :
+  analysis:string ->
+  kind:kind ->
+  ?tid:Tid.t ->
+  ?label:Label.t ->
+  ?var:Var.t ->
+  ?dot:string ->
+  ?blamed:bool ->
+  index:int ->
+  string ->
+  t
+
+val pp : Names.t -> Format.formatter -> t -> unit
+
+val dedup_by_label : t list -> t list
+(** Keep the first warning for each (analysis, kind, label) triple —
+    the paper's "distinct warnings per method" counting. Warnings without
+    a label are deduplicated by (analysis, kind, var, tid). *)
+
+val kind_to_string : kind -> string

@@ -1,0 +1,1 @@
+lib/atomizer/atomizer.ml: Backend Event Hashtbl Label List Names Op Printf Tid Velodrome_analysis Velodrome_eraser Velodrome_trace Warning

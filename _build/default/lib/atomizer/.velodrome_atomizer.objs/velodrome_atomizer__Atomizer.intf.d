@@ -1,0 +1,1 @@
+lib/atomizer/atomizer.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,138 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_analysis
+
+type phase = Pre | Post  (** before / after the commit point *)
+
+type thread_state = {
+  mutable blocks : int list;  (** labels of open blocks, innermost first *)
+  mutable phase : phase;
+  mutable violated : bool;  (** already reported for this block instance *)
+}
+
+type t = {
+  names : Names.t;
+  eraser : Velodrome_eraser.Eraser.t;
+      (** embedded lockset oracle for mover classification *)
+  threads : (int, thread_state) Hashtbl.t;
+  mutable warnings_rev : Warning.t list;
+  reported : (int, unit) Hashtbl.t;  (** outermost labels already reported *)
+}
+
+let name = "atomizer"
+
+let create names =
+  {
+    names;
+    eraser = Velodrome_eraser.Eraser.create names;
+    threads = Hashtbl.create 8;
+    warnings_rev = [];
+    reported = Hashtbl.create 8;
+  }
+
+let thread t ti =
+  match Hashtbl.find_opt t.threads ti with
+  | Some st -> st
+  | None ->
+    let st = { blocks = []; phase = Pre; violated = false } in
+    Hashtbl.replace t.threads ti st;
+    st
+
+let in_atomic st = st.blocks <> []
+
+let outermost st =
+  match List.rev st.blocks with
+  | l :: _ -> Some (Label.of_int l)
+  | [] -> None
+
+let report t st (e : Event.t) reason =
+  if not st.violated then begin
+    st.violated <- true;
+    let label = outermost st in
+    let key =
+      match label with Some l -> Label.to_int l | None -> -1
+    in
+    if not (Hashtbl.mem t.reported key) then begin
+      Hashtbl.replace t.reported key ();
+      let message =
+        Printf.sprintf "block is not reducible: %s after commit point" reason
+      in
+      t.warnings_rev <-
+        Warning.make ~analysis:name ~kind:Warning.Reduction_failure
+          ~tid:(Op.tid e.Event.op) ?label ~index:e.Event.index message
+        :: t.warnings_rev
+    end
+  end
+
+(* An access is a non-mover when the embedded lockset says the variable is
+   racy, or when it is volatile (volatile synchronization is intentional
+   communication between threads, hence never a both-mover). *)
+let is_non_mover t x =
+  Names.is_volatile t.names x
+  || Velodrome_eraser.Eraser.lockset_is_empty t.eraser x
+
+let classify_access t st (e : Event.t) x =
+  if in_atomic st && is_non_mover t x then begin
+    match st.phase with
+    | Pre -> st.phase <- Post  (* this access is the commit point *)
+    | Post -> report t st e "second non-mover access"
+  end
+
+let on_event t (e : Event.t) =
+  let ti = Tid.to_int (Op.tid e.Event.op) in
+  let st = thread t ti in
+  (match e.Event.op with
+  | Op.Begin (_, l) ->
+    if st.blocks = [] then begin
+      st.phase <- Pre;
+      st.violated <- false
+    end;
+    st.blocks <- Label.to_int l :: st.blocks
+  | Op.End _ -> (
+    match st.blocks with
+    | _ :: rest ->
+      st.blocks <- rest;
+      if rest = [] then begin
+        st.phase <- Pre;
+        st.violated <- false
+      end
+    | [] -> ())
+  | Op.Acquire _ ->
+    if in_atomic st && st.phase = Post then
+      report t st e "lock acquire (right-mover)"
+  | Op.Release _ -> if in_atomic st then st.phase <- Post
+  | Op.Read (_, x) | Op.Write (_, x) ->
+    (* Classification must use the lockset state *before* this access is
+       folded in, matching the Atomizer's instrumentation order. *)
+    classify_access t st e x);
+  (* Keep the embedded lockset oracle up to date. *)
+  Velodrome_eraser.Eraser.on_event t.eraser e
+
+(* Pause when the thread is inside an atomic block, past its commit
+   point, and about to perform an operation that would complete the
+   non-reducible pattern: the thread is then parked {e inside} the
+   violation window, so a conflicting operation from another thread can
+   land there and give Velodrome a concrete witness. *)
+let pause_hint t (e : Event.t) =
+  let st = thread t (Tid.to_int (Op.tid e.Event.op)) in
+  in_atomic st && st.phase = Post
+  &&
+  match e.Event.op with
+  | Op.Read (_, x) | Op.Write (_, x) -> is_non_mover t x
+  | Op.Acquire _ -> true
+  | _ -> false
+
+let finish _ = ()
+let warnings t = List.rev t.warnings_rev
+
+let backend () : (module Backend.S) =
+  (module struct
+    type nonrec t = t
+
+    let name = name
+    let create = create
+    let on_event = on_event
+    let pause_hint = pause_hint
+    let finish = finish
+    let warnings = warnings
+  end)

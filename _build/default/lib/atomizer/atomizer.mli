@@ -1,0 +1,46 @@
+(** The Atomizer — reduction-based dynamic atomicity checking (Flanagan &
+    Freund, POPL 2004).
+
+    The baseline Velodrome is compared against throughout the paper.
+    Lipton's theory of reduction classifies each operation inside an
+    atomic block:
+
+    - lock acquires are {e right-movers};
+    - lock releases are {e left-movers};
+    - race-free accesses (per an embedded Eraser lockset) are
+      {e both-movers};
+    - racy accesses — including volatile accesses — are {e non-movers}.
+
+    A block is reducible, hence serializable, when its operations match
+    [right-mover* · (non-mover)? · left-mover*]: everything before the
+    commit point can be moved right, everything after it left. The checker
+    tracks a per-thread phase (pre/post commit); a right-mover or a second
+    non-mover after the commit point fails the pattern and produces a
+    warning attributed to the outermost open atomic block.
+
+    The Atomizer is {e neither sound nor complete} for the observed trace:
+    the lockset abstraction yields false alarms on non-lock
+    synchronization (the volatile hand-off of Section 2), while its
+    generalization over schedules lets it flag violations that did not
+    manifest — which is exactly why the paper runs it both as a
+    comparison point (Table 2) and as the heuristic guiding adversarial
+    scheduling (Section 5).
+
+    {!pause_hint} answers [true] when the next operation is a racy access
+    inside an atomic block — a potential atomicity violation; the
+    adversarial scheduler then suspends the thread, giving other threads a
+    chance to interpose a conflicting operation that Velodrome can then
+    confirm. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type t
+
+val create : Names.t -> t
+val on_event : t -> Event.t -> unit
+val pause_hint : t -> Event.t -> bool
+val finish : t -> unit
+val warnings : t -> Warning.t list
+val name : string
+val backend : unit -> (module Backend.S)

@@ -1,0 +1,1 @@
+lib/core/basic.ml: Backend Event Hashtbl Label List Lock Names Op Option Printf Stats Tid Var Velodrome_analysis Velodrome_trace Velodrome_util Warning

@@ -1,0 +1,1 @@
+lib/core/basic.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Backend Error_graph Event Format Hashtbl Label List Lock Names Op Option Pool Printf Step String Tid Var Velodrome_analysis Velodrome_trace Warning

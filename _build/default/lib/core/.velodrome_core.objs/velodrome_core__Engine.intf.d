@@ -1,0 +1,1 @@
+lib/core/engine.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/core/error_graph.ml: Dot Format Ids List Names Op Printf Velodrome_trace Velodrome_util

@@ -1,0 +1,1 @@
+lib/core/error_graph.mli: Format Names Op Velodrome_trace

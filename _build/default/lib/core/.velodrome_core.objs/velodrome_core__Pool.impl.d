@@ -1,0 +1,1 @@
+lib/core/pool.ml: Hashtbl List Op Option Stack Stats Step Vec Velodrome_trace Velodrome_util

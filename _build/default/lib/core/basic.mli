@@ -1,0 +1,37 @@
+(** The initial analysis of Figure 2 — a deliberately independent
+    implementation.
+
+    One node is allocated per transaction, including a fresh unary
+    transaction for every operation outside an atomic block (the naive
+    [INS OUTSIDE] rule). No steps, no timestamps, no merging, no blame;
+    cycle detection is a plain DFS reachability query over an explicit
+    adjacency structure rather than {!Pool}'s incremental ancestor sets.
+
+    Its role is differential testing: on any trace, {!Basic} and
+    {!Engine} must agree both on {e whether} the trace is serializable and
+    on the {e index} of the first violating event. Garbage collection
+    (Section 4.1, reference counting) can be disabled to measure its
+    effect. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type config = { gc : bool }
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Names.t -> t
+val on_event : t -> Event.t -> unit
+val finish : t -> unit
+val warnings : t -> Warning.t list
+val has_error : t -> bool
+val cycles_found : t -> int
+val first_error_index : t -> int option
+val nodes_allocated : t -> int
+val nodes_max_alive : t -> int
+val nodes_live : t -> int
+
+val backend : ?config:config -> unit -> (module Backend.S)
+(** Named ["velodrome-basic"]. *)

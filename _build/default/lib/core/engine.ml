@@ -1,0 +1,482 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_analysis
+
+type config = { merge : bool; record_graphs : bool }
+
+let default_config = { merge = true; record_graphs = true }
+
+type thread_state = {
+  mutable cur : Pool.node option;
+  mutable stack : (int * int) list;  (** (label, begin ts), innermost first *)
+  mutable l : Step.t;
+}
+
+type var_state = {
+  mutable w : Step.t;
+  reads : (int, Step.t) Hashtbl.t;  (** tid -> last read step *)
+}
+
+type t = {
+  names : Names.t;
+  config : config;
+  pool : Pool.t;
+  threads : (int, thread_state) Hashtbl.t;
+  locks : (int, Step.t) Hashtbl.t;
+  vars : (int, var_state) Hashtbl.t;
+  mutable warnings_rev : Warning.t list;
+  reported : (string, unit) Hashtbl.t;  (** dedup keys of emitted warnings *)
+  mutable cycles : int;
+  mutable blamed : int;
+  mutable first_error : int option;
+  mutable pending : Pool.cycle list;
+      (** cycles detected while processing the current event; one event may
+          reject several edges (e.g. a write conflicting with both the
+          recorded reads and the recorded write), and blame should prefer
+          an increasing cycle among them *)
+}
+
+let analysis_name config =
+  if config.merge then "velodrome" else "velodrome-nomerge"
+
+let create ?(config = default_config) names =
+  {
+    names;
+    config;
+    pool = Pool.create ();
+    threads = Hashtbl.create 8;
+    locks = Hashtbl.create 16;
+    vars = Hashtbl.create 64;
+    warnings_rev = [];
+    reported = Hashtbl.create 16;
+    cycles = 0;
+    blamed = 0;
+    first_error = None;
+    pending = [];
+  }
+
+let thread t tid =
+  let key = Tid.to_int tid in
+  match Hashtbl.find_opt t.threads key with
+  | Some st -> st
+  | None ->
+    let st = { cur = None; stack = []; l = Step.bottom } in
+    Hashtbl.replace t.threads key st;
+    st
+
+let var_state t x =
+  let key = Var.to_int x in
+  match Hashtbl.find_opt t.vars key with
+  | Some vs -> vs
+  | None ->
+    let vs = { w = Step.bottom; reads = Hashtbl.create 4 } in
+    Hashtbl.replace t.vars key vs;
+    vs
+
+let lock_step t m =
+  Option.value ~default:Step.bottom
+    (Hashtbl.find_opt t.locks (Lock.to_int m))
+
+(* Resolve a recorded (weak) step to its node, unless ⊥ or stale. *)
+let deref t s =
+  match Pool.resolve t.pool s with
+  | Some n -> Some (n, Step.ts s)
+  | None -> None
+
+(* --- Error reporting --------------------------------------------------- *)
+
+let cycle_nodes (c : Pool.cycle) =
+  match c.Pool.path with
+  | [] -> []
+  | (first, _, _) :: _ ->
+    first :: List.map (fun (_, _, dst) -> dst) c.Pool.path
+
+let graph_of_cycle (c : Pool.cycle) ~closing_op ~blamed_slot =
+  let nodes =
+    List.map
+      (fun n ->
+        {
+          Error_graph.id = Pool.slot n;
+          tid = Pool.diag_tid n;
+          label = Pool.diag_label n;
+          blamed = Some (Pool.slot n) = blamed_slot;
+        })
+      (cycle_nodes c)
+  in
+  let edges =
+    List.map
+      (fun (src, (e : Pool.edge), dst) ->
+        {
+          Error_graph.src = Pool.slot src;
+          dst = Pool.slot dst;
+          op = e.Pool.diag_op;
+          closing = false;
+        })
+      c.Pool.path
+  in
+  let closing =
+    match (List.rev c.Pool.path, c.Pool.path) with
+    | (_, _, last) :: _, (first, _, _) :: _ ->
+      [
+        {
+          Error_graph.src = Pool.slot last;
+          dst = Pool.slot first;
+          op = Some closing_op;
+          closing = true;
+        };
+      ]
+    | _ -> []
+  in
+  { Error_graph.nodes; edges = edges @ closing }
+
+(* A cycle [v -> n1 -> ... -> u -> v] is increasing when every node other
+   than v enters on a timestamp no later than it leaves on (Section 4.3).
+   [path] runs v ⇒* u; the closing edge u -> v carries
+   [closing_tail_ts]/[closing_head_ts]. *)
+let is_increasing (c : Pool.cycle) =
+  let rec go = function
+    | [] -> true
+    | [ (_, (e : Pool.edge), _u) ] ->
+      (* u's incoming edge is [e]; its outgoing edge is the closing one. *)
+      e.Pool.head_ts <= c.Pool.closing_tail_ts
+    | (_, (e1 : Pool.edge), _) :: (((_, e2, _) :: _) as rest) ->
+      e1.Pool.head_ts <= (e2 : Pool.edge).Pool.tail_ts && go rest
+  in
+  go c.Pool.path
+
+let emit t w key =
+  if not (Hashtbl.mem t.reported key) then begin
+    Hashtbl.replace t.reported key ();
+    t.warnings_rev <- w :: t.warnings_rev
+  end
+
+(* Queue a detected cycle; the warning is built once per event by
+   [flush_pending], which prefers an increasing cycle when the event
+   produced several. *)
+let report_cycle t _st _e (c : Pool.cycle) = t.pending <- c :: t.pending
+
+let emit_cycle_warning t st (e : Event.t) (c : Pool.cycle) =
+  let increasing = is_increasing c in
+  (* Root operation: the timestamp at which the current transaction's
+     outgoing edge on the cycle leaves it. *)
+  let root_ts =
+    match c.Pool.path with
+    | (_, edge, _) :: _ -> edge.Pool.tail_ts
+    | [] -> c.Pool.closing_tail_ts
+  in
+  let refuted =
+    if increasing then
+      List.filter (fun (_, begin_ts) -> begin_ts <= root_ts) st.stack
+    else []
+  in
+  (* A pseudo-block (label -1) wraps a unary transaction in no-merge mode;
+     unary transactions are trivially self-serializable and never blamed. *)
+  let refuted = List.filter (fun (l, _) -> l >= 0) refuted in
+  let blamed = refuted <> [] in
+  if blamed then t.blamed <- t.blamed + 1;
+  (* The outermost refuted block is the method we report (inner refuted
+     blocks are mentioned; deeper, non-refuted blocks stay silent). *)
+  let outermost = List.rev refuted in
+  let primary_label =
+    match outermost with
+    | (l, _) :: _ when l >= 0 -> Some (Label.of_int l)
+    | _ -> (
+      (* Unblamed: attribute the report to the current outermost block so
+         the user can find it, but mark it unblamed. *)
+      match List.rev st.stack with
+      | (l, _) :: _ when l >= 0 -> Some (Label.of_int l)
+      | _ -> None)
+  in
+  let key =
+    match (blamed, primary_label) with
+    | true, Some l -> Printf.sprintf "blamed:%d" (Label.to_int l)
+    | _ ->
+      (* Distinct unblamed cycles are distinguished by their node
+         signature so repeats do not pile up. *)
+      String.concat ";"
+        (List.map
+           (fun n ->
+             Printf.sprintf "%d:%d" (Pool.diag_tid n) (Pool.diag_label n))
+           (cycle_nodes c))
+  in
+  if Hashtbl.mem t.reported key then ()
+  else begin
+  let blamed_slot =
+    match (blamed, st.cur) with
+    | true, Some n -> Some (Pool.slot n)
+    | _ -> None
+  in
+  let graph = graph_of_cycle c ~closing_op:e.Event.op ~blamed_slot in
+  let dot =
+    if t.config.record_graphs then
+      let name =
+        match primary_label with
+        | Some l -> Names.label_name t.names l
+        | None -> "cycle"
+      in
+      Some (Error_graph.to_dot t.names ~name graph)
+    else None
+  in
+  let message =
+    let summary = Format.asprintf "%a" (Error_graph.pp_summary t.names) graph in
+    let verdict =
+      if blamed then
+        Printf.sprintf "not self-serializable (refuted blocks: %s)"
+          (String.concat ", "
+             (List.map
+                (fun (l, _) ->
+                  if l >= 0 then Names.label_name t.names (Label.of_int l)
+                  else "(unary)")
+                outermost))
+      else "non-serializable trace (no single transaction blamed)"
+    in
+    Printf.sprintf "%s; cycle: %s" verdict summary
+  in
+  let warning =
+    Warning.make
+      ~analysis:(analysis_name t.config)
+      ~kind:Warning.Atomicity_violation ~tid:(Op.tid e.Event.op)
+      ?label:primary_label ?dot ~blamed ~index:e.Event.index message
+  in
+  emit t warning key
+  end
+
+let flush_pending t st (e : Event.t) =
+  match t.pending with
+  | [] -> ()
+  | cycles ->
+    t.pending <- [];
+    t.cycles <- t.cycles + 1;
+    if t.first_error = None then t.first_error <- Some e.Event.index;
+    let cycles = List.rev cycles in
+    let chosen =
+      match List.find_opt is_increasing cycles with
+      | Some c -> c
+      | None -> List.hd cycles
+    in
+    emit_cycle_warning t st e chosen
+
+(* --- Edges -------------------------------------------------------------- *)
+
+(* Add an edge from a recorded step to the current transaction's new step;
+   report a cycle if one would form. *)
+let edge_from t st ~src:step ~dst ~dst_ts (e : Event.t) =
+  match deref t step with
+  | None -> ()
+  | Some (src, src_ts) -> (
+    match
+      Pool.add_edge t.pool ~src ~src_ts ~dst ~dst_ts
+        ~diag:(e.Event.op, e.Event.index) ()
+    with
+    | `Ok | `Self -> ()
+    | `Cycle c -> report_cycle t st e c)
+
+(* --- Merge (Figure 4) --------------------------------------------------- *)
+
+let merge t (e : Event.t) steps =
+  let resolved = List.filter_map (deref t) steps in
+  match resolved with
+  | [] -> Step.bottom
+  | _ -> (
+    (* A representative must already happen-after every argument AND be
+       finished: an active transaction can still perform conflicting
+       operations, and absorbing the unary op into it would turn the
+       resulting cycle edges into self-edges. *)
+    let is_rep (nj, _) =
+      (not (Pool.is_active nj))
+      && List.for_all (fun (ni, _) -> Pool.happens_before_or_eq t.pool ni nj)
+           resolved
+    in
+    match List.find_opt is_rep resolved with
+    | Some (nj, tsj) -> Pool.step_of nj ~ts:tsj
+    | None ->
+      let n =
+        Pool.alloc t.pool
+          ~tid:(Tid.to_int (Op.tid e.Event.op))
+          ~label:(-1) ~event:e.Event.index
+      in
+      let ts = Pool.fresh_ts n in
+      List.iter
+        (fun (ni, tsi) ->
+          match
+            Pool.add_edge t.pool ~src:ni ~src_ts:tsi ~dst:n ~dst_ts:ts
+              ~diag:(e.Event.op, e.Event.index) ()
+          with
+          | `Ok | `Self -> ()
+          | `Cycle _ ->
+            (* Impossible: [n] is fresh and has no outgoing edges. *)
+            assert false)
+        resolved;
+      Pool.sweep t.pool n;
+      Pool.step_of n ~ts)
+
+(* [L(t)+1] for a thread outside any transaction: mint the next timestamp
+   in whatever node its last step belongs to; ⊥ stays ⊥. *)
+let l_plus_one t st =
+  match deref t st.l with
+  | None -> Step.bottom
+  | Some (n, _) -> Pool.step_of n ~ts:(Pool.fresh_ts n)
+
+(* --- Inside-transaction step -------------------------------------------- *)
+
+let inside_step st n =
+  let ts = Pool.fresh_ts n in
+  st.l <- Pool.step_of n ~ts;
+  ts
+
+(* --- Naive outside handling (Figure 2's [INS OUTSIDE]) ------------------ *)
+
+(* Wrap the operation in a fresh unary transaction: begin, op, end. Used
+   when [config.merge] is off; Table 1's "Without Merge" columns. *)
+let outside_naive t st (e : Event.t) body =
+  let n =
+    Pool.alloc t.pool
+      ~tid:(Tid.to_int (Op.tid e.Event.op))
+      ~label:(-1) ~event:e.Event.index
+  in
+  Pool.set_active t.pool n true;
+  let ts0 = Pool.fresh_ts n in
+  edge_from t st ~src:st.l ~dst:n ~dst_ts:ts0 e;
+  st.l <- Pool.step_of n ~ts:ts0;
+  st.cur <- Some n;
+  st.stack <- [ (-1, ts0) ];
+  body n;
+  let ts = Pool.fresh_ts n in
+  st.l <- Pool.step_of n ~ts;
+  st.cur <- None;
+  st.stack <- [];
+  Pool.set_active t.pool n false
+
+(* --- Event dispatch ------------------------------------------------------ *)
+
+let do_acquire t st n (e : Event.t) m =
+  let ts = inside_step st n in
+  edge_from t st ~src:(lock_step t m) ~dst:n ~dst_ts:ts e
+
+let do_release t st n m =
+  ignore (inside_step st n);
+  Hashtbl.replace t.locks (Lock.to_int m) st.l
+
+let do_read t st n (e : Event.t) x =
+  let vs = var_state t x in
+  let ts = inside_step st n in
+  edge_from t st ~src:vs.w ~dst:n ~dst_ts:ts e;
+  Hashtbl.replace vs.reads (Tid.to_int (Op.tid e.Event.op)) st.l
+
+let do_write t st n (e : Event.t) x =
+  let vs = var_state t x in
+  let ts = inside_step st n in
+  Hashtbl.iter (fun _tid r -> edge_from t st ~src:r ~dst:n ~dst_ts:ts e)
+    vs.reads;
+  edge_from t st ~src:vs.w ~dst:n ~dst_ts:ts e;
+  vs.w <- st.l
+
+let dispatch t (e : Event.t) =
+  let op = e.Event.op in
+  let tid = Op.tid op in
+  let st = thread t tid in
+  match op with
+  | Op.Begin (_, l) -> (
+    match st.cur with
+    | None ->
+      (* [INS2 ENTER] *)
+      let n =
+        Pool.alloc t.pool ~tid:(Tid.to_int tid) ~label:(Label.to_int l)
+          ~event:e.Event.index
+      in
+      Pool.set_active t.pool n true;
+      let ts = Pool.fresh_ts n in
+      edge_from t st ~src:st.l ~dst:n ~dst_ts:ts e;
+      st.cur <- Some n;
+      st.stack <- [ (Label.to_int l, ts) ];
+      st.l <- Pool.step_of n ~ts
+    | Some n ->
+      (* [INS2 RE-ENTER]: same node; the L(t) edge is a self-edge. *)
+      let ts = inside_step st n in
+      st.stack <- (Label.to_int l, ts) :: st.stack)
+  | Op.End _ -> (
+    match (st.cur, st.stack) with
+    | Some n, _ :: rest ->
+      ignore (inside_step st n);
+      st.stack <- rest;
+      if rest = [] then begin
+        st.cur <- None;
+        Pool.set_active t.pool n false
+      end
+    | _ ->
+      (* Ill-formed stream ([End] without [Begin]); ignore, matching the
+         well-formedness contract of {!Velodrome_trace.Trace.check}. *)
+      ())
+  | Op.Acquire (_, m) -> (
+    match st.cur with
+    | Some n -> do_acquire t st n e m
+    | None ->
+      if t.config.merge then begin
+        (* [INS2 OUTSIDE ACQUIRE] *)
+        let s = merge t e [ st.l; lock_step t m ] in
+        st.l <- s
+      end
+      else outside_naive t st e (fun n -> do_acquire t st n e m))
+  | Op.Release (_, m) -> (
+    match st.cur with
+    | Some n -> do_release t st n m
+    | None ->
+      if t.config.merge then begin
+        (* [INS2 OUTSIDE RELEASE] *)
+        let s = l_plus_one t st in
+        st.l <- s;
+        Hashtbl.replace t.locks (Lock.to_int m) s
+      end
+      else outside_naive t st e (fun n -> do_release t st n m))
+  | Op.Read (_, x) -> (
+    match st.cur with
+    | Some n -> do_read t st n e x
+    | None ->
+      if t.config.merge then begin
+        (* [INS2 OUTSIDE READ] *)
+        let vs = var_state t x in
+        let s = merge t e [ st.l; vs.w ] in
+        st.l <- s;
+        Hashtbl.replace vs.reads (Tid.to_int tid) s
+      end
+      else outside_naive t st e (fun n -> do_read t st n e x))
+  | Op.Write (_, x) -> (
+    match st.cur with
+    | Some n -> do_write t st n e x
+    | None ->
+      if t.config.merge then begin
+        (* [INS2 OUTSIDE WRITE] *)
+        let vs = var_state t x in
+        let reads = Hashtbl.fold (fun _ r acc -> r :: acc) vs.reads [] in
+        let s = merge t e (st.l :: vs.w :: reads) in
+        st.l <- s;
+        vs.w <- s
+      end
+      else outside_naive t st e (fun n -> do_write t st n e x))
+
+let on_event t (e : Event.t) =
+  dispatch t e;
+  flush_pending t (thread t (Op.tid e.Event.op)) e
+
+let finish _ = ()
+
+let warnings t = List.rev t.warnings_rev
+let has_error t = t.cycles > 0
+let cycles_found t = t.cycles
+let blamed_count t = t.blamed
+let first_error_index t = t.first_error
+let nodes_allocated t = Pool.allocated t.pool
+let nodes_max_alive t = Pool.max_alive t.pool
+let nodes_live t = Pool.live_count t.pool
+
+let backend ?(config = default_config) () : (module Backend.S) =
+  (module struct
+    type nonrec t = t
+
+    let name = analysis_name config
+    let create names = create ~config names
+    let on_event = on_event
+    let pause_hint _ _ = false
+    let finish = finish
+    let warnings = warnings
+  end)

@@ -1,0 +1,245 @@
+open Velodrome_trace
+open Velodrome_util
+
+type node = {
+  slot : int;
+  mutable next_ts : int;
+  mutable collected_upto : int;
+  mutable live : bool;
+  mutable active : bool;
+  mutable refcount : int;
+  out : (int, edge) Hashtbl.t;  (** dst slot -> edge *)
+  ancestors : (int, unit) Hashtbl.t;  (** live slots with a path here *)
+  mutable d_tid : int;
+  mutable d_label : int;
+  mutable d_event : int;
+}
+
+and edge = {
+  mutable tail_ts : int;
+  mutable head_ts : int;
+  mutable diag_op : Op.t option;
+  mutable diag_index : int;
+}
+
+type cycle = {
+  path : (node * edge * node) list;
+  closing_tail_ts : int;
+  closing_head_ts : int;
+}
+
+type t = {
+  slots : node Vec.t;  (** every slot record ever created; index = slot *)
+  free : int Stack.t;
+  live_nodes : (int, node) Hashtbl.t;
+  counter : Stats.counter;
+}
+
+let create () =
+  {
+    slots = Vec.create ();
+    free = Stack.create ();
+    live_nodes = Hashtbl.create 64;
+    counter = Stats.counter ();
+  }
+
+let slot n = n.slot
+let is_live n = n.live
+let is_active n = n.active
+let diag_tid n = n.d_tid
+let diag_label n = n.d_label
+let diag_event n = n.d_event
+
+let alloc t ~tid ~label ~event =
+  let n =
+    match Stack.pop_opt t.free with
+    | Some s ->
+      let n = Vec.get t.slots s in
+      n.live <- true;
+      n.active <- false;
+      n.refcount <- 0;
+      Hashtbl.reset n.out;
+      Hashtbl.reset n.ancestors;
+      n
+    | None ->
+      let s = Vec.length t.slots in
+      if s >= Step.max_slots then
+        failwith "Pool.alloc: live node count exceeds slot space";
+      let n =
+        {
+          slot = s;
+          next_ts = 1;
+          collected_upto = 0;
+          live = true;
+          active = false;
+          refcount = 0;
+          out = Hashtbl.create 4;
+          ancestors = Hashtbl.create 8;
+          d_tid = -1;
+          d_label = -1;
+          d_event = -1;
+        }
+      in
+      Vec.push t.slots n;
+      n
+  in
+  n.d_tid <- tid;
+  n.d_label <- label;
+  n.d_event <- event;
+  Hashtbl.replace t.live_nodes n.slot n;
+  Stats.incr t.counter;
+  n
+
+let fresh_ts n =
+  let ts = n.next_ts in
+  n.next_ts <- ts + 1;
+  ts
+
+let step_of n ~ts = Step.make ~slot:n.slot ~ts
+
+let resolve t s =
+  if Step.is_bottom s then None
+  else begin
+    let sl = Step.slot s in
+    if sl >= Vec.length t.slots then None
+    else begin
+      let n = Vec.get t.slots sl in
+      if Step.ts s <= n.collected_upto then None
+      else if not n.live then None
+      else Some n
+    end
+  end
+
+let rec collect t n =
+  n.live <- false;
+  n.collected_upto <- n.next_ts - 1;
+  Hashtbl.remove t.live_nodes n.slot;
+  Stats.decr t.counter;
+  (* This node can never again be the target of an edge, so its outgoing
+     edges cannot participate in any future cycle; drop them, releasing
+     references and possibly cascading. *)
+  let targets = Hashtbl.fold (fun dst _ acc -> dst :: acc) n.out [] in
+  Hashtbl.reset n.out;
+  (* Keep the ancestor-set invariant: sets only mention live nodes. *)
+  Hashtbl.iter (fun _ live -> Hashtbl.remove live.ancestors n.slot) t.live_nodes;
+  Stack.push n.slot t.free;
+  List.iter
+    (fun dst_slot ->
+      match Hashtbl.find_opt t.live_nodes dst_slot with
+      | None -> ()
+      | Some dst ->
+        dst.refcount <- dst.refcount - 1;
+        maybe_collect t dst)
+    targets
+
+and maybe_collect t n =
+  if n.live && (not n.active) && n.refcount = 0 then collect t n
+
+let set_active t n b =
+  n.active <- b;
+  if not b then maybe_collect t n
+
+let sweep = maybe_collect
+
+let happens_before_or_eq _t a b =
+  a.slot = b.slot || Hashtbl.mem b.ancestors a.slot
+
+let find_path t ~src:from_node ~dst:to_node =
+  (* DFS over live out-edges from [from_node] to [to_node]. *)
+  let visited = Hashtbl.create 16 in
+  let rec go n =
+    if Hashtbl.mem visited n.slot then None
+    else begin
+      Hashtbl.replace visited n.slot ();
+      let result = ref None in
+      (try
+         Hashtbl.iter
+           (fun dst_slot e ->
+             match Hashtbl.find_opt t.live_nodes dst_slot with
+             | None -> ()
+             | Some dst ->
+               if dst.slot = to_node.slot then begin
+                 result := Some [ (n, e, dst) ];
+                 raise Exit
+               end
+               else begin
+                 match go dst with
+                 | Some rest ->
+                   result := Some ((n, e, dst) :: rest);
+                   raise Exit
+                 | None -> ()
+               end)
+           n.out
+       with Exit -> ());
+      !result
+    end
+  in
+  go from_node
+
+let add_edge t ~src ~src_ts ~dst ~dst_ts ?diag () =
+  if src.slot = dst.slot then `Self
+  else if Hashtbl.mem src.ancestors dst.slot then begin
+    (* [dst ⇒* src] already holds; the new edge would close a cycle. *)
+    match find_path t ~src:dst ~dst:src with
+    | Some path ->
+      `Cycle { path; closing_tail_ts = src_ts; closing_head_ts = dst_ts }
+    | None ->
+      (* The ancestor invariant guarantees a live path exists. *)
+      assert false
+  end
+  else begin
+    (match Hashtbl.find_opt src.out dst.slot with
+    | Some e ->
+      (* ⊕ keeps one edge per node pair: replace the timestamps. *)
+      e.tail_ts <- src_ts;
+      e.head_ts <- dst_ts;
+      (match diag with
+      | Some (op, idx) ->
+        e.diag_op <- Some op;
+        e.diag_index <- idx
+      | None -> ());
+      ()
+    | None ->
+      let e =
+        {
+          tail_ts = src_ts;
+          head_ts = dst_ts;
+          diag_op = Option.map fst diag;
+          diag_index = (match diag with Some (_, i) -> i | None -> -1);
+        }
+      in
+      Hashtbl.replace src.out dst.slot e;
+      dst.refcount <- dst.refcount + 1);
+    (* Close the ancestor sets under the new edge. *)
+    let extra =
+      src.slot
+      :: Hashtbl.fold (fun s () acc -> s :: acc) src.ancestors []
+    in
+    let rec push n =
+      let changed = ref false in
+      List.iter
+        (fun s ->
+          if s <> n.slot && not (Hashtbl.mem n.ancestors s) then begin
+            Hashtbl.replace n.ancestors s ();
+            changed := true
+          end)
+        extra;
+      if !changed then
+        Hashtbl.iter
+          (fun dst_slot _ ->
+            match Hashtbl.find_opt t.live_nodes dst_slot with
+            | Some m -> push m
+            | None -> ())
+          n.out
+    in
+    push dst;
+    `Ok
+  end
+
+let live_count t = Hashtbl.length t.live_nodes
+let allocated t = Stats.total_increments t.counter
+let max_alive t = Stats.high_water t.counter
+
+let check_no_live t =
+  let k = live_count t in
+  if k = 0 then Ok () else Error k

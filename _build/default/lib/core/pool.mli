@@ -1,0 +1,106 @@
+(** Transaction nodes and the happens-before graph (Sections 4.1–4.2, 5).
+
+    The pool owns every node of the transactional happens-before graph and
+    implements the three mechanisms the paper's prototype relies on:
+
+    - {b Acyclicity via ancestor sets.} Each live node carries the set of
+      live nodes with a path to it. Attempting to add an edge whose
+      reversal is already implied is reported as a cycle {e without adding
+      the edge}, so the graph stays acyclic at all times.
+    - {b Reference-counting garbage collection.} Incoming edges to a node
+      are only ever added by the thread executing that transaction, so a
+      finished node with no incoming edges can never lie on a cycle and is
+      collected immediately, cascading along its outgoing edges.
+    - {b Slot recycling with stale-step detection.} Collected slots are
+      reused; timestamps within a slot never restart, and each slot
+      remembers the last timestamp in use when it was collected, so a step
+      minted for an earlier incarnation resolves to ⊥ ({!resolve}).
+
+    Edges carry the timestamps of the operations at their tail and head —
+    the raw material for blame assignment — plus optional diagnostic
+    operations for error graphs. At most one edge is kept per ordered node
+    pair; re-adding replaces the timestamps (the paper's [⊕] on steps). *)
+
+open Velodrome_trace
+
+type t
+type node
+
+type edge = {
+  mutable tail_ts : int;
+  mutable head_ts : int;
+  mutable diag_op : Op.t option;  (** operation that induced the edge *)
+  mutable diag_index : int;  (** event index of that operation *)
+}
+
+type cycle = {
+  path : (node * edge * node) list;
+      (** consecutive live edges forming the path [dst ⇒* src] *)
+  closing_tail_ts : int;
+  closing_head_ts : int;  (** the rejected edge [src -> dst] *)
+}
+
+val create : unit -> t
+
+val alloc : t -> tid:int -> label:int -> event:int -> node
+(** A fresh (or recycled) live, inactive node with no edges. [label] is
+    [-1] for unary/merged transactions; [tid]/[event] are diagnostic. *)
+
+val set_active : t -> node -> bool -> unit
+(** Mark the node as some thread's current transaction. Deactivating may
+    collect the node immediately. *)
+
+val sweep : t -> node -> unit
+(** Collect the node now if it is inactive with no incoming edges. Engines
+    call this after building a node that may have received no edges (e.g.
+    a unary transaction whose predecessors were all ⊥). *)
+
+val fresh_ts : node -> int
+(** Next timestamp in this node; strictly increasing for the lifetime of
+    the slot. *)
+
+val step_of : node -> ts:int -> Step.t
+
+val resolve : t -> Step.t -> node option
+(** [None] for ⊥ and for stale steps (slot collected since the step was
+    minted, even if since recycled). *)
+
+val slot : node -> int
+
+val is_live : node -> bool
+
+val is_active : node -> bool
+(** Whether the node is currently some thread's open transaction. Merge
+    must never pick an active node as representative: the unary operation
+    would be absorbed into a transaction that can still perform
+    conflicting operations, turning future cycle edges into self-edges
+    and losing completeness. *)
+
+val diag_tid : node -> int
+val diag_label : node -> int
+val diag_event : node -> int
+
+val happens_before_or_eq : t -> node -> node -> bool
+(** Non-strict: equal nodes, or a path exists. Used by [merge]. *)
+
+val add_edge :
+  t ->
+  src:node ->
+  src_ts:int ->
+  dst:node ->
+  dst_ts:int ->
+  ?diag:Op.t * int ->
+  unit ->
+  [ `Ok | `Self | `Cycle of cycle ]
+(** Add [src -> dst]. [`Self] when the nodes coincide (filtered, like the
+    paper's ⊕). [`Cycle] when the edge would close a cycle; the edge is
+    not added and the offending path is returned. *)
+
+val live_count : t -> int
+val allocated : t -> int
+val max_alive : t -> int
+
+val check_no_live : t -> (unit, int) result
+(** [Ok ()] if every node has been collected; [Error k] with the number of
+    survivors otherwise. Used by tests: after a trace whose transactions
+    all finish cycle-free, the GC must have emptied the graph. *)

@@ -1,0 +1,27 @@
+type t = int
+
+let ts_bits = 47
+let max_slots = 1 lsl 15
+let max_ts = 1 lsl ts_bits
+
+let bottom = -1
+let is_bottom s = s < 0
+
+let make ~slot ~ts =
+  if slot < 0 || slot >= max_slots then invalid_arg "Step.make: slot range";
+  if ts < 0 || ts >= max_ts then invalid_arg "Step.make: ts range";
+  (slot lsl ts_bits) lor ts
+
+let slot s =
+  if is_bottom s then invalid_arg "Step.slot: bottom";
+  s lsr ts_bits
+
+let ts s =
+  if is_bottom s then invalid_arg "Step.ts: bottom";
+  s land (max_ts - 1)
+
+let equal = Int.equal
+
+let pp ppf s =
+  if is_bottom s then Format.fprintf ppf "⊥"
+  else Format.fprintf ppf "(%d,%d)" (slot s) (ts s)

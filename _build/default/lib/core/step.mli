@@ -1,0 +1,35 @@
+(** Packed steps.
+
+    A step is a pair of a transaction node and a timestamp within that
+    node ([Step = Node × Nat], Figure 4). The prototype section of the
+    paper describes the representation reproduced here: each step is a
+    single machine integer whose top bits identify a node {e slot} and
+    whose lower bits are the timestamp. Slots are recycled when nodes are
+    garbage collected; timestamps within a slot never restart, so a stale
+    step — one minted before its slot was last collected — is recognized by
+    comparing its timestamp against the slot's collection watermark (see
+    {!Pool.resolve}).
+
+    OCaml ints give us 62 usable bits: 15 for the slot (32768 concurrent
+    live nodes, far beyond the "few dozen" the paper observes) and 47 for
+    timestamps. [bottom] represents ⊥. *)
+
+type t = private int
+
+val bottom : t
+val is_bottom : t -> bool
+
+val make : slot:int -> ts:int -> t
+(** Raises [Invalid_argument] when out of range. *)
+
+val slot : t -> int
+(** Raises [Invalid_argument] on [bottom]. *)
+
+val ts : t -> int
+(** Raises [Invalid_argument] on [bottom]. *)
+
+val max_slots : int
+val max_ts : int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/eraser/eraser.ml: Backend Event Hashtbl Int List Lock Names Op Option Printf Set Tid Var Velodrome_analysis Velodrome_trace Warning

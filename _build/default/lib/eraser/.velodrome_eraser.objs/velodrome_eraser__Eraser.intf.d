@@ -1,0 +1,1 @@
+lib/eraser/eraser.mli: Backend Event Ids Names Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,107 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_analysis
+
+module IntSet = Set.Make (Int)
+
+type var_state =
+  | Virgin
+  | Exclusive of int  (** owning thread *)
+  | Shared of IntSet.t  (** candidate lockset; reads only so far *)
+  | Shared_modified of IntSet.t
+
+type t = {
+  names : Names.t;
+  vars : (int, var_state) Hashtbl.t;
+  held : (int, IntSet.t) Hashtbl.t;  (** tid -> locks held *)
+  mutable warnings_rev : Warning.t list;
+  reported : (int, unit) Hashtbl.t;  (** vars already warned about *)
+}
+
+let name = "eraser"
+
+let create names =
+  {
+    names;
+    vars = Hashtbl.create 64;
+    held = Hashtbl.create 8;
+    warnings_rev = [];
+    reported = Hashtbl.create 8;
+  }
+
+let held_set t tid =
+  Option.value ~default:IntSet.empty (Hashtbl.find_opt t.held tid)
+
+let var_state t x =
+  Option.value ~default:Virgin (Hashtbl.find_opt t.vars x)
+
+let report t (e : Event.t) x =
+  if not (Hashtbl.mem t.reported x) then begin
+    Hashtbl.replace t.reported x ();
+    let var = Var.of_int x in
+    let message =
+      Printf.sprintf "candidate lockset for %s is empty"
+        (Names.var_name t.names var)
+    in
+    t.warnings_rev <-
+      Warning.make ~analysis:name ~kind:Warning.Race ~tid:(Op.tid e.Event.op)
+        ~var ~index:e.Event.index message
+      :: t.warnings_rev
+  end
+
+let access t (e : Event.t) ~is_write tid x =
+  if not (Names.is_volatile t.names (Var.of_int x)) then begin
+    let locks = held_set t tid in
+    let next =
+      match var_state t x with
+      | Virgin -> Exclusive tid
+      | Exclusive owner when owner = tid -> Exclusive tid
+      | Exclusive _ ->
+        if is_write then Shared_modified locks else Shared locks
+      | Shared ls ->
+        let ls = IntSet.inter ls locks in
+        if is_write then Shared_modified ls else Shared ls
+      | Shared_modified ls -> Shared_modified (IntSet.inter ls locks)
+    in
+    Hashtbl.replace t.vars x next;
+    match next with
+    | Shared_modified ls when IntSet.is_empty ls -> report t e x
+    | _ -> ()
+  end
+
+let on_event t (e : Event.t) =
+  match e.Event.op with
+  | Op.Read (u, x) -> access t e ~is_write:false (Tid.to_int u) (Var.to_int x)
+  | Op.Write (u, x) -> access t e ~is_write:true (Tid.to_int u) (Var.to_int x)
+  | Op.Acquire (u, m) ->
+    let ti = Tid.to_int u in
+    Hashtbl.replace t.held ti (IntSet.add (Lock.to_int m) (held_set t ti))
+  | Op.Release (u, m) ->
+    let ti = Tid.to_int u in
+    Hashtbl.replace t.held ti (IntSet.remove (Lock.to_int m) (held_set t ti))
+  | Op.Begin _ | Op.End _ -> ()
+
+let finish _ = ()
+let warnings t = List.rev t.warnings_rev
+
+let lockset_is_empty t x =
+  (not (Names.is_volatile t.names x))
+  &&
+  match var_state t (Var.to_int x) with
+  | Virgin | Exclusive _ -> false
+  | Shared ls | Shared_modified ls -> IntSet.is_empty ls
+
+let held t u =
+  IntSet.elements (held_set t (Tid.to_int u)) |> List.map Lock.of_int
+
+let backend () : (module Backend.S) =
+  (module struct
+    type nonrec t = t
+
+    let name = name
+    let create = create
+    let on_event = on_event
+    let pause_hint _ _ = false
+    let finish = finish
+    let warnings = warnings
+  end)

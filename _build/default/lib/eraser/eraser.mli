@@ -1,0 +1,41 @@
+(** The Eraser LockSet race detector (Savage et al., TOCS 1997).
+
+    One of the two baseline analyses of Table 1 and the race oracle the
+    Atomizer builds on. Each shared variable moves through the classic
+    state machine:
+
+    {v Virgin -> Exclusive(t) -> Shared -> Shared-Modified v}
+
+    and carries a {e candidate lockset} — the locks held on every access
+    since the variable became shared. A warning is reported the first time
+    the candidate lockset of a Shared-Modified variable becomes empty.
+    Volatile variables are exempt (their synchronization is intentional),
+    which is also why Eraser cannot understand volatile hand-off idioms —
+    the imprecision the paper's Section 2 example exploits.
+
+    Eraser is neither sound nor complete for a given trace: it generalizes
+    beyond the observed interleaving (reporting potential races that did
+    not occur) and its lockset abstraction cannot represent non-lock
+    synchronization. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type t
+
+val create : Names.t -> t
+val on_event : t -> Event.t -> unit
+val finish : t -> unit
+val warnings : t -> Warning.t list
+
+val lockset_is_empty : t -> Ids.Var.t -> bool
+(** Whether the candidate lockset of a shared variable is currently empty
+    — the "racy access" classification the Atomizer consumes. Virgin and
+    Exclusive variables are not racy; volatiles are never racy. *)
+
+val held : t -> Ids.Tid.t -> Ids.Lock.t list
+(** Locks currently held by a thread (ascending ids). *)
+
+val name : string
+
+val backend : unit -> (module Backend.S)

@@ -1,0 +1,1 @@
+lib/harness/common.ml: Array Ast Hashtbl List Names Option Run Sys Velodrome_analysis Velodrome_sim Velodrome_trace Velodrome_util Velodrome_workloads Warning Workload

@@ -1,0 +1,1 @@
+lib/harness/common.mli: Backend Hashtbl Names Velodrome_analysis Velodrome_sim Velodrome_trace Velodrome_workloads Warning Workload

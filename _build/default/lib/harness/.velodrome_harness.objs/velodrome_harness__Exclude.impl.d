@@ -1,0 +1,1 @@
+lib/harness/exclude.ml: Backend Event Hashtbl List Op Tid Velodrome_analysis Velodrome_trace

@@ -1,0 +1,1 @@
+lib/harness/exclude.mli: Backend Ids Op Velodrome_analysis Velodrome_trace

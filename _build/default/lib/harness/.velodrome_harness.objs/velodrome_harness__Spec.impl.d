@@ -1,0 +1,1 @@
+lib/harness/spec.ml: Fun List Printf String Velodrome_trace

@@ -1,0 +1,1 @@
+lib/harness/spec.mli: Velodrome_trace

@@ -1,0 +1,1 @@
+lib/harness/study.ml: Backend Common Format List Set String Table2 Velodrome_analysis Velodrome_atomizer Velodrome_core Velodrome_inject Velodrome_sim Velodrome_workloads Warning Workload

@@ -1,0 +1,1 @@
+lib/harness/study.mli: Format Velodrome_workloads

@@ -1,0 +1,1 @@
+lib/harness/table1.mli: Format Velodrome_workloads

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Backend Common Format Hashtbl List Set String Velodrome_analysis Velodrome_atomizer Velodrome_core Velodrome_sim Velodrome_workloads Warning Workload

@@ -1,0 +1,60 @@
+open Velodrome_trace
+open Velodrome_analysis
+open Velodrome_workloads
+open Velodrome_sim
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (Sys.time () -. t0, r)
+
+let time_median n f =
+  let samples = Array.init (max 1 n) (fun _ -> fst (time f)) in
+  Velodrome_util.Stats.median samples
+
+let time_stable ?(min_total = 0.05) n f =
+  let t0 = Sys.time () in
+  let count = ref 0 in
+  while !count < n || Sys.time () -. t0 < min_total do
+    f ();
+    incr count
+  done;
+  (Sys.time () -. t0) /. float_of_int !count
+
+let ground_truth (w : Workload.t) =
+  let tbl = Hashtbl.create 32 in
+  List.iter (fun g -> Hashtbl.replace tbl g.Workload.label g) w.Workload.methods;
+  tbl
+
+let non_atomic_label_ids (w : Workload.t) names =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun g ->
+      if not g.Workload.atomic then
+        match Velodrome_util.Symtab.find names.Names.labels g.Workload.label with
+        | Some id -> Hashtbl.replace tbl id ()
+        | None -> ())
+    w.Workload.methods;
+  tbl
+
+let label_of_warning names (w : Warning.t) =
+  Option.map (Names.label_name names) w.Warning.label
+
+(* The paper suspends offending threads for 100 ms — thousands of events
+   on its testbed. An adaptive pause — released early by any conflicting
+   write, capped at 2000 scheduling decisions — plays the same role here:
+   long enough for a staggered thread to progress into the window. *)
+let run_once ?(seed = 42) ?(round_robin = false) ?(quantum = 1)
+    ?(adversarial = false) ?(pause_slots = 2000) ?(record_trace = false)
+    program mk_backends =
+  let config =
+    {
+      Run.default_config with
+      policy = (if round_robin then Run.Round_robin else Run.Random seed);
+      quantum;
+      adversarial;
+      pause_slots;
+      record_trace;
+    }
+  in
+  Run.run ~config program (mk_backends program.Ast.names)

@@ -1,0 +1,72 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_analysis
+
+let filter_ops ~excluded ops =
+  let stacks : (int, bool list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack t =
+    let k = Tid.to_int t in
+    match Hashtbl.find_opt stacks k with
+    | Some s -> s
+    | None ->
+      let s = ref [] in
+      Hashtbl.replace stacks k s;
+      s
+  in
+  List.filter
+    (fun op ->
+      match op with
+      | Op.Begin (t, l) ->
+        let drop = excluded l in
+        let s = stack t in
+        s := drop :: !s;
+        not drop
+      | Op.End t -> (
+        let s = stack t in
+        match !s with
+        | dropped :: rest ->
+          s := rest;
+          not dropped
+        | [] -> true)
+      | _ -> true)
+    ops
+
+let methods ~excluded inner =
+  Backend.filter ~suffix:"+exclude"
+    (fun () ->
+      (* Per-thread stack of booleans: true = this open block was
+         dropped, so its matching End must be dropped too. *)
+      let stacks : (int, bool list ref) Hashtbl.t = Hashtbl.create 8 in
+      let stack t =
+        let k = Tid.to_int t in
+        match Hashtbl.find_opt stacks k with
+        | Some s -> s
+        | None ->
+          let s = ref [] in
+          Hashtbl.replace stacks k s;
+          s
+      in
+      let would_forward e =
+        match e.Event.op with
+        | Op.Begin (_, l) -> not (excluded l)
+        | Op.End t -> ( match !(stack t) with dropped :: _ -> not dropped | [] -> true)
+        | _ -> true
+      in
+      let observe e =
+        match e.Event.op with
+        | Op.Begin (t, l) ->
+          let drop = excluded l in
+          let s = stack t in
+          s := drop :: !s;
+          not drop
+        | Op.End t -> (
+          let s = stack t in
+          match !s with
+          | dropped :: rest ->
+            s := rest;
+            not dropped
+          | [] -> true)
+        | _ -> true
+      in
+      { Backend.would_forward; observe })
+    inner

@@ -1,0 +1,19 @@
+(** Method exclusion.
+
+    Table 1's runs "configured the Atomizer and Velodrome to only check
+    the remaining methods" — the known non-atomic ones are excluded, as a
+    user would after triaging. RoadRunner does this by not instrumenting
+    those methods' begin/end; the equivalent here is a filter that drops
+    [Begin]/[End] events of excluded labels (their bodies then run as
+    unary transactions). Nested occurrences are handled with a per-thread
+    stack. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+val methods :
+  excluded:(Ids.Label.t -> bool) -> Backend.packed -> Backend.packed
+
+val filter_ops : excluded:(Ids.Label.t -> bool) -> Op.t list -> Op.t list
+(** The same transformation as a pure function on operation lists, used
+    when replaying recorded traces into engines for node statistics. *)

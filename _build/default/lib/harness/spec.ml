@@ -1,0 +1,65 @@
+type rule = { atomic : bool; pattern : string }
+type t = rule list  (** in file order; later rules win *)
+
+let default = []
+
+let matches pattern name =
+  let plen = String.length pattern in
+  if plen > 0 && pattern.[plen - 1] = '*' then begin
+    let prefix = String.sub pattern 0 (plen - 1) in
+    String.length name >= String.length prefix
+    && String.sub name 0 (String.length prefix) = prefix
+  end
+  else pattern = name
+
+let is_checked rules name =
+  (* Later rules win; unmatched methods are checked. *)
+  List.fold_left
+    (fun acc r -> if matches r.pattern name then r.atomic else acc)
+    true rules
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let rules = ref [] in
+  let error = ref None in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some k -> String.sub line 0 k
+        | None -> line
+      in
+      let words =
+        String.split_on_char ' ' line
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun w -> w <> "")
+      in
+      match words with
+      | [] -> ()
+      | [ "atomic"; pattern ] ->
+        rules := { atomic = true; pattern } :: !rules
+      | [ "notatomic"; pattern ] ->
+        rules := { atomic = false; pattern } :: !rules
+      | _ ->
+        if !error = None then
+          error :=
+            Some
+              (Printf.sprintf
+                 "line %d: expected 'atomic PATTERN' or 'notatomic PATTERN'"
+                 lineno))
+    lines;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev !rules)
+
+let of_file path =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let excluded rules names l =
+  not (is_checked rules (Velodrome_trace.Names.label_name names l))

@@ -1,0 +1,36 @@
+(** Atomicity specifications.
+
+    The Velodrome prototype "takes as input a compiled Java program and a
+    specification of which methods in that program should be atomic"
+    (Section 5); RoadRunner configures this through command-line options.
+    This module gives the reproduction the same input: a small spec
+    language selecting which atomic-block labels are checked. Blocks that
+    are not checked have their [Begin]/[End] filtered from the stream
+    (their bodies run as unary transactions), exactly how Table 1's runs
+    exclude the known non-atomic methods.
+
+    Format — one rule per line, [#] comments, later rules win:
+
+    {v
+    atomic *              # check everything (the default)
+    notatomic Thread.run* # ...except the run methods
+    notatomic Set.add
+    atomic Set.addAll     # but do keep this one
+    v}
+
+    Patterns are exact names or prefix globs with a trailing [*]. *)
+
+type t
+
+val default : t
+(** Check every method. *)
+
+val parse : string -> (t, string) result
+val of_file : string -> (t, string) result
+
+val is_checked : t -> string -> bool
+(** Whether a method label should be checked for atomicity. *)
+
+val excluded :
+  t -> Velodrome_trace.Names.t -> Velodrome_trace.Ids.Label.t -> bool
+(** The exclusion predicate for {!Exclude.methods}. *)

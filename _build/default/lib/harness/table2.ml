@@ -1,0 +1,133 @@
+open Velodrome_analysis
+open Velodrome_workloads
+
+type row = {
+  workload : string;
+  atomizer_real : int;
+  atomizer_fa : int;
+  velodrome_real : int;
+  velodrome_fa : int;
+  missed : int;
+  velodrome_warnings : int;
+  velodrome_blamed : int;
+}
+
+module SSet = Set.Make (String)
+
+let run_row ?(seeds = [ 1; 2; 3; 4; 5 ]) ?(adversarial = false)
+    ?(round_robin = false) ?(quantum = 1) size (w : Workload.t) =
+  let truth = Common.ground_truth w in
+  let atomizer_labels = ref SSet.empty in
+  let velodrome_labels = ref SSet.empty in
+  let v_total = ref 0 in
+  let v_blamed = ref 0 in
+  List.iter
+    (fun seed ->
+      let program = w.Workload.build size in
+      let names = program.Velodrome_sim.Ast.names in
+      let res =
+        Common.run_once ~seed ~round_robin ~quantum ~adversarial program
+          (fun n ->
+            [
+              Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+              Backend.make (Velodrome_core.Engine.backend ()) n;
+            ])
+      in
+      List.iter
+        (fun (warning : Warning.t) ->
+          match (warning.Warning.analysis, Common.label_of_warning names warning) with
+          | "atomizer", Some l -> atomizer_labels := SSet.add l !atomizer_labels
+          | "velodrome", l ->
+            incr v_total;
+            if warning.Warning.blamed then begin
+              incr v_blamed;
+              match l with
+              | Some l -> velodrome_labels := SSet.add l !velodrome_labels
+              | None -> ()
+            end
+          | _ -> ())
+        res.Velodrome_sim.Run.warnings)
+    seeds;
+  let classify set =
+    SSet.fold
+      (fun l (real, fa) ->
+        match Hashtbl.find_opt truth l with
+        | Some g when not g.Workload.atomic -> (real + 1, fa)
+        | Some _ -> (real, fa + 1)
+        | None -> (real, fa + 1))
+      set (0, 0)
+  in
+  let a_real, a_fa = classify !atomizer_labels in
+  let v_real, v_fa = classify !velodrome_labels in
+  (* Missed relative to what the Atomizer found, as in the paper. *)
+  let missed =
+    SSet.cardinal
+      (SSet.filter
+         (fun l ->
+           (match Hashtbl.find_opt truth l with
+           | Some g -> not g.Workload.atomic
+           | None -> false)
+           && not (SSet.mem l !velodrome_labels))
+         !atomizer_labels)
+  in
+  {
+    workload = w.Workload.name;
+    atomizer_real = a_real;
+    atomizer_fa = a_fa;
+    velodrome_real = v_real;
+    velodrome_fa = v_fa;
+    missed;
+    velodrome_warnings = !v_total;
+    velodrome_blamed = !v_blamed;
+  }
+
+let run ?(size = Workload.Medium) ?(seeds = [ 1; 2; 3; 4; 5 ])
+    ?(adversarial = false) ?(round_robin = false) ?(quantum = 1) () =
+  List.map (run_row ~seeds ~adversarial ~round_robin ~quantum size)
+    Workload.all
+
+let row_for ?(size = Workload.Medium) ?(seeds = [ 1; 2; 3; 4; 5 ])
+    ?(adversarial = false) w =
+  run_row ~seeds ~adversarial size w
+
+let totals rows =
+  List.fold_left
+    (fun acc r ->
+      {
+        acc with
+        atomizer_real = acc.atomizer_real + r.atomizer_real;
+        atomizer_fa = acc.atomizer_fa + r.atomizer_fa;
+        velodrome_real = acc.velodrome_real + r.velodrome_real;
+        velodrome_fa = acc.velodrome_fa + r.velodrome_fa;
+        missed = acc.missed + r.missed;
+        velodrome_warnings = acc.velodrome_warnings + r.velodrome_warnings;
+        velodrome_blamed = acc.velodrome_blamed + r.velodrome_blamed;
+      })
+    {
+      workload = "Total";
+      atomizer_real = 0;
+      atomizer_fa = 0;
+      velodrome_real = 0;
+      velodrome_fa = 0;
+      missed = 0;
+      velodrome_warnings = 0;
+      velodrome_blamed = 0;
+    }
+    rows
+
+let print ppf rows =
+  Format.fprintf ppf "%-11s | %9s %9s | %9s %9s %7s | %8s@." "Program"
+    "Atz:real" "Atz:FA" "Vel:real" "Vel:FA" "Missed" "Blamed%";
+  let line r =
+    let pct =
+      if r.velodrome_warnings = 0 then 100.0
+      else
+        100.0 *. float_of_int r.velodrome_blamed
+        /. float_of_int r.velodrome_warnings
+    in
+    Format.fprintf ppf "%-11s | %9d %9d | %9d %9d %7d | %7.0f%%@." r.workload
+      r.atomizer_real r.atomizer_fa r.velodrome_real r.velodrome_fa r.missed
+      pct
+  in
+  List.iter line rows;
+  line (totals rows)

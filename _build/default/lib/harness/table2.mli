@@ -1,0 +1,50 @@
+(** Table 2: warnings under the all-methods-atomic assumption.
+
+    Each workload runs several times (the paper uses five runs); distinct
+    warnings are unioned per method across runs and classified against
+    the workload's ground truth:
+
+    - Atomizer warnings on non-atomic methods are real; on atomic methods
+      they are false alarms.
+    - Velodrome warnings with blame are attributed to the blamed method;
+      by the blame theorem they can only land on methods that are not
+      self-serializable in the observed trace, so the false-alarm column
+      must be zero.
+    - Missed = non-atomic methods the Atomizer reported but Velodrome
+      never caught in any run (the observed traces happened to be
+      serializable for them).
+
+    The blame statistic (>80 % in the paper) is the fraction of
+    Velodrome's warnings that carried blame. *)
+
+type row = {
+  workload : string;
+  atomizer_real : int;
+  atomizer_fa : int;
+  velodrome_real : int;
+  velodrome_fa : int;
+  missed : int;
+  velodrome_warnings : int;  (** total distinct warnings, incl. unblamed *)
+  velodrome_blamed : int;
+}
+
+val run :
+  ?size:Velodrome_workloads.Workload.size ->
+  ?seeds:int list ->
+  ?adversarial:bool ->
+  ?round_robin:bool ->
+  ?quantum:int ->
+  unit ->
+  row list
+
+val row_for :
+  ?size:Velodrome_workloads.Workload.size ->
+  ?seeds:int list ->
+  ?adversarial:bool ->
+  Velodrome_workloads.Workload.t ->
+  row
+(** One workload's row (used by tests and ad-hoc experiments). *)
+
+val totals : row list -> row
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,1 @@
+lib/hbrace/epoch.ml: Format Int Vclock

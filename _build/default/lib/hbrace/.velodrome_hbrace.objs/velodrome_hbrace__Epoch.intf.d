@@ -1,0 +1,1 @@
+lib/hbrace/epoch.mli: Format Vclock

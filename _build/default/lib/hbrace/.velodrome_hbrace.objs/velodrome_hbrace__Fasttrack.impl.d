@@ -1,0 +1,1 @@
+lib/hbrace/fasttrack.ml: Backend Epoch Event Hashtbl List Lock Names Op Printf Tid Var Vclock Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/hbrace/fasttrack.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

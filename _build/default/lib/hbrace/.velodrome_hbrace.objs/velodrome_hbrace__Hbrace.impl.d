@@ -1,0 +1,1 @@
+lib/hbrace/hbrace.ml: Backend Event Hashtbl List Lock Names Op Printf Tid Var Vclock Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/hbrace/hbrace.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+lib/hbrace/vclock.ml: Array Format String

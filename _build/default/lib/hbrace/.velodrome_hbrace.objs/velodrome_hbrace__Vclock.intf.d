@@ -1,0 +1,1 @@
+lib/hbrace/vclock.mli: Format

@@ -1,0 +1,23 @@
+(** FastTrack-style happens-before race detection with adaptive epochs.
+
+    Same precision as {!Hbrace} for the first race on each variable, but
+    the common cases — thread-local data, lock-protected data, read-only
+    sharing — use a single {!Epoch.t} per variable instead of full
+    vector clocks: reads stay an epoch while they are totally ordered and
+    inflate to a read vector only on genuinely concurrent reads; writes
+    are always an epoch. This is the representation trade-off RoadRunner
+    makes in its optimized detector, and the property suite checks it
+    against the full-vector {!Hbrace} implementation: the two flag
+    exactly the same set of racy variables on every trace. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type t
+
+val create : Names.t -> t
+val on_event : t -> Event.t -> unit
+val finish : t -> unit
+val warnings : t -> Warning.t list
+val name : string
+val backend : unit -> (module Backend.S)

@@ -1,0 +1,44 @@
+type t = { mutable data : int array }
+
+let create () = { data = [||] }
+
+let ensure t n =
+  let cap = Array.length t.data in
+  if n >= cap then begin
+    let ncap = max (n + 1) (max 4 (2 * cap)) in
+    let data = Array.make ncap 0 in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+let get t i = if i < Array.length t.data then t.data.(i) else 0
+
+let set t i v =
+  ensure t i;
+  t.data.(i) <- v
+
+let incr t i = set t i (get t i + 1)
+
+let join dst src =
+  Array.iteri
+    (fun i v -> if v > get dst i then set dst i v)
+    src.data
+
+let copy t = { data = Array.copy t.data }
+
+let width a b = max (Array.length a.data) (Array.length b.data)
+
+let leq a b =
+  let rec go i = i < 0 || (get a i <= get b i && go (i - 1)) in
+  go (width a b - 1)
+
+let first_exceeding a b =
+  let n = width a b in
+  let rec go i =
+    if i >= n then None else if get a i > get b i then Some i else go (i + 1)
+  in
+  go 0
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.data)))

@@ -1,0 +1,27 @@
+(** Vector clocks over dense thread ids.
+
+    The clock of thread [t] counts the synchronization epochs of [t]; a
+    clock [c] knows about everything thread [u] did up to epoch [c(u)].
+    Clocks grow on demand as new thread ids appear; absent entries read as
+    0, matching the ⊥-initialized clocks of the literature. *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val incr : t -> int -> unit
+
+val join : t -> t -> unit
+(** [join dst src] updates [dst] to the pointwise maximum. *)
+
+val copy : t -> t
+
+val leq : t -> t -> bool
+(** Pointwise ≤ — the happens-before order on clocks. *)
+
+val first_exceeding : t -> t -> int option
+(** [first_exceeding a b] is the least thread id where [a] exceeds [b],
+    i.e. a witness that [a ⋠ b]; [None] when [a ≤ b]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/inject/inject.ml: Array Ast Hashtbl Label List Lock Velodrome_sim Velodrome_trace Velodrome_util Velodrome_workloads Workload

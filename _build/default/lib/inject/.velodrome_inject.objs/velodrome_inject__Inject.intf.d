@@ -1,0 +1,1 @@
+lib/inject/inject.mli: Ast Velodrome_sim Velodrome_trace Velodrome_workloads Workload

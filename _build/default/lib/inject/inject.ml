@@ -1,0 +1,118 @@
+open Velodrome_sim
+open Velodrome_trace.Ids
+open Velodrome_workloads
+
+type mutant = {
+  workload : string;
+  method_label : string;
+  program : Ast.program;
+}
+
+(* Remove all acquire/release statements inside blocks labelled [target];
+   other statements are rewritten recursively. *)
+let strip_sync_in_label (p : Ast.program) target =
+  let rec strip_stmts inside stmts =
+    List.filter_map (strip_stmt inside) stmts
+  and strip_stmt inside s =
+    match s with
+    | Ast.Acquire _ | Ast.Release _ when inside -> None
+    | Ast.Atomic (l, body) ->
+      let inside' = inside || Label.equal l target in
+      Some (Ast.Atomic (l, strip_stmts inside' body))
+    | Ast.If (c, a, b) ->
+      Some (Ast.If (c, strip_stmts inside a, strip_stmts inside b))
+    | Ast.While (c, body) -> Some (Ast.While (c, strip_stmts inside body))
+    | s -> Some s
+  in
+  { p with Ast.threads = Array.map (strip_stmts false) p.Ast.threads }
+
+(* A method is a candidate when some atomic block with its label contains
+   an acquire, and the locks it takes are also taken by another thread
+   (contention). *)
+let analyse (p : Ast.program) =
+  (* label id -> (set of locks acquired inside), and lock -> set of
+     threads using it. *)
+  let label_locks : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let lock_threads : (int, (int, unit) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let note_lock thread m =
+    let tbl =
+      match Hashtbl.find_opt lock_threads m with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace lock_threads m t;
+        t
+    in
+    Hashtbl.replace tbl thread ()
+  in
+  let note_label l m =
+    let tbl =
+      match Hashtbl.find_opt label_locks l with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 4 in
+        Hashtbl.replace label_locks l t;
+        t
+    in
+    Hashtbl.replace tbl m ()
+  in
+  let rec walk thread labels = function
+    | [] -> ()
+    | s :: rest ->
+      (match s with
+      | Ast.Acquire m ->
+        let mi = Lock.to_int m in
+        note_lock thread mi;
+        List.iter (fun l -> note_label l mi) labels
+      | Ast.Atomic (l, body) -> walk thread (Label.to_int l :: labels) body
+      | Ast.If (_, a, b) ->
+        walk thread labels a;
+        walk thread labels b
+      | Ast.While (_, body) -> walk thread labels body
+      | _ -> ());
+      walk thread labels rest
+  in
+  Array.iteri (fun t body -> walk t [] body) p.Ast.threads;
+  (label_locks, lock_threads)
+
+let mutants (w : Workload.t) size =
+  let p = w.Workload.build size in
+  let label_locks, lock_threads = analyse p in
+  let contended l =
+    match Hashtbl.find_opt label_locks l with
+    | None -> false
+    | Some locks ->
+      Hashtbl.fold
+        (fun m () acc ->
+          acc
+          ||
+          match Hashtbl.find_opt lock_threads m with
+          | Some users -> Hashtbl.length users >= 2
+          | None -> false)
+        locks false
+  in
+  (* Only mutate methods that are atomic in the original program: removing
+     locks from an already-broken method is not an injected defect. *)
+  List.filter_map
+    (fun g ->
+      if not g.Workload.atomic then None
+      else begin
+        match
+          Velodrome_util.Symtab.find
+            p.Ast.names.Velodrome_trace.Names.labels g.Workload.label
+        with
+        | None -> None
+        | Some lid when not (contended lid) -> None
+        | Some lid ->
+          Some
+            {
+              workload = w.Workload.name;
+              method_label = g.Workload.label;
+              program = strip_sync_in_label p (Label.of_int lid);
+            }
+      end)
+    w.Workload.methods

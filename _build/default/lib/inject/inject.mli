@@ -1,0 +1,33 @@
+(** Synchronization-defect injection (Section 6's study).
+
+    The paper corrupts elevator and colt by "systematically removing each
+    synchronized statement that induced contention between threads, one
+    at a time", then measures how often a single Velodrome run finds the
+    inserted defect — about 30 % without scheduler adjustment, about 70 %
+    with it.
+
+    A mutation here removes every [Acquire]/[Release] inside one atomic
+    method (identified by label), in every thread. Only {e contended}
+    methods are mutated: the method's lock must be used by at least two
+    threads, otherwise no cross-thread violation can result. The bodies
+    that remain are adjacent read/write pairs, so the resulting defects
+    have narrow windows — the regime where adversarial scheduling pays
+    off. *)
+
+open Velodrome_sim
+open Velodrome_workloads
+
+type mutant = {
+  workload : string;
+  method_label : string;  (** the method whose locks were removed *)
+  program : Ast.program;
+}
+
+val mutants : Workload.t -> Workload.size -> mutant list
+(** One mutant per contended synchronized method of the workload. *)
+
+val strip_sync_in_label :
+  Ast.program -> Velodrome_trace.Ids.Label.t -> Ast.program
+(** The underlying AST transformation (exposed for tests): remove all
+    acquire/release statements lexically inside atomic blocks with the
+    given label. *)

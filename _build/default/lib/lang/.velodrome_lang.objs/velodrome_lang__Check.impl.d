@@ -1,0 +1,1 @@
+lib/lang/check.ml: Array Ast Format Int List Lock Map Option Printf Velodrome_sim Velodrome_trace

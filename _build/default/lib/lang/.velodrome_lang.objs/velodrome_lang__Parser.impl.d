@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Builder Format Fun Hashtbl Lexer List Printf String Velodrome_sim Velodrome_trace Velodrome_util

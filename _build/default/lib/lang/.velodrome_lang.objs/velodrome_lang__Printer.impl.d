@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Array Ast Format Ids List Names Symtab Velodrome_sim Velodrome_trace Velodrome_util

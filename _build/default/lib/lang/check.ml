@@ -1,0 +1,72 @@
+open Velodrome_sim
+open Velodrome_trace.Ids
+
+type error = { thread : int; message : string }
+
+let pp_error ppf e =
+  Format.fprintf ppf "thread %d: %s" e.thread e.message
+
+module LockMap = Map.Make (Int)
+
+(* The lock effect of a statement list: the multiset of acquire/release
+   depth changes, or an error message. Depths may not go negative at any
+   point. *)
+let rec effect held errs thread = function
+  | [] -> held
+  | s :: rest ->
+    let held =
+      match s with
+      | Ast.Acquire m ->
+        let k = Lock.to_int m in
+        LockMap.update k
+          (fun d -> Some (Option.value ~default:0 d + 1))
+          held
+      | Ast.Release m ->
+        let k = Lock.to_int m in
+        let d = Option.value ~default:0 (LockMap.find_opt k held) in
+        if d <= 0 then begin
+          errs :=
+            {
+              thread;
+              message =
+                Printf.sprintf "release of lock %d without matching acquire" k;
+            }
+            :: !errs;
+          held
+        end
+        else if d = 1 then LockMap.remove k held
+        else LockMap.add k (d - 1) held
+      | Ast.Atomic (_, body) -> effect held errs thread body
+      | Ast.If (_, a, b) ->
+        let ha = effect held errs thread a in
+        let hb = effect held errs thread b in
+        if not (LockMap.equal Int.equal ha hb) then
+          errs :=
+            {
+              thread;
+              message = "if branches have different lock effects";
+            }
+            :: !errs;
+        ha
+      | Ast.While (_, body) ->
+        let hb = effect held errs thread body in
+        if not (LockMap.equal Int.equal hb held) then
+          errs :=
+            { thread; message = "loop body is not lock-neutral" } :: !errs;
+        held
+      | Ast.Read _ | Ast.Write _ | Ast.Local _ | Ast.Work _ | Ast.Yield ->
+        held
+    in
+    effect held errs thread rest
+
+let check_program (p : Ast.program) =
+  let errs = ref [] in
+  Array.iteri
+    (fun i body ->
+      let final = effect LockMap.empty errs i body in
+      if not (LockMap.is_empty final) then
+        errs :=
+          { thread = i; message = "thread finishes while holding locks" }
+          :: !errs)
+    p.Ast.threads;
+  match List.rev !errs with [] -> Ok () | es -> Error es

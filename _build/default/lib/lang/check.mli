@@ -1,0 +1,24 @@
+(** Static well-formedness checks on programs.
+
+    The interpreter raises at runtime on broken lock discipline; this
+    module rejects a large class of such programs before they run, in the
+    spirit of a front-end semantic analysis:
+
+    - a thread must hold a lock (lexically) to release it;
+    - both branches of an [if] must have the same lock effect;
+    - a loop body must be lock-neutral;
+    - a thread must not finish holding locks;
+    - atomic blocks are checked recursively.
+
+    The analysis is per-thread and purely syntactic (re-entrancy is
+    counted), so it is sound for the structured [acquire]/[release] usage
+    the workloads employ but deliberately rejects cross-branch trickery. *)
+
+type error = {
+  thread : int;
+  message : string;
+}
+
+val check_program : Velodrome_sim.Ast.program -> (unit, error list) result
+
+val pp_error : Format.formatter -> error -> unit

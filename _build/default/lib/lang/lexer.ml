@@ -1,0 +1,243 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | EQ
+  | LARROW
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [
+    "var"; "volatile"; "lock"; "thread"; "atomic"; "sync"; "acquire";
+    "release"; "if"; "else"; "while"; "work"; "yield"; "skip"; "tid";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '.' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+let pp_token ppf = function
+  | INT n -> Format.fprintf ppf "%d" n
+  | IDENT s -> Format.fprintf ppf "%s" s
+  | STRING s -> Format.fprintf ppf "%S" s
+  | KW s -> Format.fprintf ppf "%s" s
+  | LBRACE -> Format.fprintf ppf "{"
+  | RBRACE -> Format.fprintf ppf "}"
+  | LPAREN -> Format.fprintf ppf "("
+  | RPAREN -> Format.fprintf ppf ")"
+  | SEMI -> Format.fprintf ppf ";"
+  | EQ -> Format.fprintf ppf "="
+  | LARROW -> Format.fprintf ppf "<-"
+  | PLUS -> Format.fprintf ppf "+"
+  | MINUS -> Format.fprintf ppf "-"
+  | STAR -> Format.fprintf ppf "*"
+  | SLASH -> Format.fprintf ppf "/"
+  | PERCENT -> Format.fprintf ppf "%%"
+  | EQEQ -> Format.fprintf ppf "=="
+  | NEQ -> Format.fprintf ppf "!="
+  | LT -> Format.fprintf ppf "<"
+  | LE -> Format.fprintf ppf "<="
+  | GT -> Format.fprintf ppf ">"
+  | GE -> Format.fprintf ppf ">="
+  | EOF -> Format.fprintf ppf "<eof>"
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+    st.line <- st.line + 1;
+    st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Lex_error (msg, st.line, st.col))
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_ws st
+  | Some '/' when peek2 st = Some '/' ->
+    while peek st <> None && peek st <> Some '\n' do
+      advance st
+    done;
+    skip_ws st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let depth = ref 1 in
+    while !depth > 0 do
+      match (peek st, peek2 st) with
+      | None, _ -> error st "unterminated comment"
+      | Some '*', Some '/' ->
+        advance st;
+        advance st;
+        decr depth
+      | Some '/', Some '*' ->
+        advance st;
+        advance st;
+        incr depth
+      | _ -> advance st
+    done;
+    skip_ws st
+  | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let lex_int st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  int_of_string (String.sub st.src start (st.pos - start))
+
+let lex_string st =
+  advance st;
+  (* opening quote *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        advance st;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+      | None -> error st "unterminated escape")
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let next_token st =
+  skip_ws st;
+  let line = st.line and col = st.col in
+  let mk tok = { tok; line; col } in
+  match peek st with
+  | None -> mk EOF
+  | Some c when is_digit c -> mk (INT (lex_int st))
+  | Some c when is_ident_start c ->
+    let id = lex_ident st in
+    if List.mem id keywords then mk (KW id) else mk (IDENT id)
+  | Some '"' -> mk (STRING (lex_string st))
+  | Some '{' ->
+    advance st;
+    mk LBRACE
+  | Some '}' ->
+    advance st;
+    mk RBRACE
+  | Some '(' ->
+    advance st;
+    mk LPAREN
+  | Some ')' ->
+    advance st;
+    mk RPAREN
+  | Some ';' ->
+    advance st;
+    mk SEMI
+  | Some '+' ->
+    advance st;
+    mk PLUS
+  | Some '-' ->
+    advance st;
+    mk MINUS
+  | Some '*' ->
+    advance st;
+    mk STAR
+  | Some '/' ->
+    advance st;
+    mk SLASH
+  | Some '%' ->
+    advance st;
+    mk PERCENT
+  | Some '=' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk EQEQ
+    end
+    else mk EQ
+  | Some '!' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk NEQ
+    end
+    else error st "expected '=' after '!'"
+  | Some '<' ->
+    advance st;
+    (match peek st with
+    | Some '-' ->
+      advance st;
+      mk LARROW
+    | Some '=' ->
+      advance st;
+      mk LE
+    | _ -> mk LT)
+  | Some '>' ->
+    advance st;
+    if peek st = Some '=' then begin
+      advance st;
+      mk GE
+    end
+    else mk GT
+  | Some c -> error st (Printf.sprintf "unexpected character %C" c)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let t = next_token st in
+    if t.tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,40 @@
+(** Lexer for the [.vel] program format.
+
+    Hand-written; tokens carry line/column positions for error reporting.
+    [//] comments run to end of line, [/* */] comments nest. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW of string  (** keywords: var volatile lock thread atomic sync
+                      acquire release if else while work yield skip tid *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | EQ
+  | LARROW  (** [<-] *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+type spanned = { tok : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** message, line, column *)
+
+val tokenize : string -> spanned list
+(** Raises {!Lex_error} on malformed input. The result ends with [EOF]. *)
+
+val pp_token : Format.formatter -> token -> unit

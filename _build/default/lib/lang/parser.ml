@@ -1,0 +1,375 @@
+open Velodrome_sim
+open Lexer
+
+exception Parse_error of string * int * int
+
+let pp_error ppf (msg, line, col) =
+  Format.fprintf ppf "parse error at %d:%d: %s" line col msg
+
+type pstate = {
+  mutable toks : spanned list;
+  builder : Builder.t;
+  (* Per-thread register environment: name -> index. *)
+  mutable regs : (string, int) Hashtbl.t;
+  mutable next_reg : int;
+}
+
+let current p =
+  match p.toks with [] -> assert false | t :: _ -> t
+
+let fail p msg =
+  let t = current p in
+  raise (Parse_error (msg, t.line, t.col))
+
+let advance p = match p.toks with [] -> () | _ :: rest -> p.toks <- rest
+
+let eat p tok =
+  let t = current p in
+  if t.tok = tok then advance p
+  else
+    fail p
+      (Format.asprintf "expected '%a' but found '%a'" pp_token tok pp_token
+         t.tok)
+
+let eat_ident p =
+  match (current p).tok with
+  | IDENT s ->
+    advance p;
+    s
+  | t -> fail p (Format.asprintf "expected identifier, found '%a'" pp_token t)
+
+let eat_int p =
+  match (current p).tok with
+  | INT n ->
+    advance p;
+    n
+  | t -> fail p (Format.asprintf "expected integer, found '%a'" pp_token t)
+
+let eat_string p =
+  match (current p).tok with
+  | STRING s ->
+    advance p;
+    s
+  | t -> fail p (Format.asprintf "expected string, found '%a'" pp_token t)
+
+(* Identifier classification. *)
+
+type id_kind = Shared of Velodrome_trace.Ids.Var.t | Register of int
+
+let reg_of_name p name =
+  match Hashtbl.find_opt p.regs name with
+  | Some r -> r
+  | None ->
+    (* [_rK] identifiers denote register K directly (printer output). *)
+    let r =
+      if String.length name > 2 && String.sub name 0 2 = "_r" then
+        match int_of_string_opt (String.sub name 2 (String.length name - 2)) with
+        | Some k ->
+          if k >= p.next_reg then p.next_reg <- k + 1;
+          k
+        | None ->
+          let r = p.next_reg in
+          p.next_reg <- r + 1;
+          r
+      else begin
+        let r = p.next_reg in
+        p.next_reg <- r + 1;
+        r
+      end
+    in
+    Hashtbl.replace p.regs name r;
+    r
+
+let classify p name =
+  match
+    Velodrome_util.Symtab.find
+      (Builder.names p.builder).Velodrome_trace.Names.vars name
+  with
+  | Some _ -> Shared (Builder.var p.builder name)
+  | None -> Register (reg_of_name p name)
+
+let fresh_temp p =
+  let r = p.next_reg in
+  p.next_reg <- r + 1;
+  r
+
+(* Expressions. Shared-variable occurrences are replaced by fresh
+   registers; the reads loading them are accumulated in [prelude] (in
+   reverse). *)
+
+let rec parse_expr p prelude =
+  let lhs = parse_term p prelude in
+  parse_expr_rest p prelude lhs
+
+and parse_expr_rest p prelude lhs =
+  match (current p).tok with
+  | PLUS ->
+    advance p;
+    let rhs = parse_term p prelude in
+    parse_expr_rest p prelude (Ast.Add (lhs, rhs))
+  | MINUS ->
+    advance p;
+    let rhs = parse_term p prelude in
+    parse_expr_rest p prelude (Ast.Sub (lhs, rhs))
+  | _ -> lhs
+
+and parse_term p prelude =
+  let lhs = parse_factor p prelude in
+  parse_term_rest p prelude lhs
+
+and parse_term_rest p prelude lhs =
+  match (current p).tok with
+  | STAR ->
+    advance p;
+    let rhs = parse_factor p prelude in
+    parse_term_rest p prelude (Ast.Mul (lhs, rhs))
+  | SLASH ->
+    advance p;
+    let rhs = parse_factor p prelude in
+    parse_term_rest p prelude (Ast.Div (lhs, rhs))
+  | PERCENT ->
+    advance p;
+    let rhs = parse_factor p prelude in
+    parse_term_rest p prelude (Ast.Mod (lhs, rhs))
+  | _ -> lhs
+
+and parse_factor p prelude =
+  match (current p).tok with
+  | INT n ->
+    advance p;
+    Ast.Int n
+  | MINUS ->
+    advance p;
+    let e = parse_factor p prelude in
+    Ast.Sub (Ast.Int 0, e)
+  | KW "tid" ->
+    advance p;
+    Ast.Reg Ast.tid_reg
+  | LPAREN ->
+    advance p;
+    let e = parse_expr p prelude in
+    eat p RPAREN;
+    e
+  | IDENT name -> (
+    advance p;
+    match classify p name with
+    | Register r -> Ast.Reg r
+    | Shared x ->
+      let tmp = fresh_temp p in
+      prelude := Ast.Read (tmp, x) :: !prelude;
+      Ast.Reg tmp)
+  | t -> fail p (Format.asprintf "expected expression, found '%a'" pp_token t)
+
+let parse_cmp p =
+  match (current p).tok with
+  | EQEQ ->
+    advance p;
+    Ast.Eq
+  | NEQ ->
+    advance p;
+    Ast.Ne
+  | LT ->
+    advance p;
+    Ast.Lt
+  | LE ->
+    advance p;
+    Ast.Le
+  | GT ->
+    advance p;
+    Ast.Gt
+  | GE ->
+    advance p;
+    Ast.Ge
+  | t -> fail p (Format.asprintf "expected comparison, found '%a'" pp_token t)
+
+let parse_cond p prelude =
+  let lhs = parse_expr p prelude in
+  let cmp = parse_cmp p in
+  let rhs = parse_expr p prelude in
+  { Ast.lhs; cmp; rhs }
+
+(* Statements. *)
+
+let rec parse_block p =
+  eat p LBRACE;
+  let rec go acc =
+    if (current p).tok = RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else begin
+      let stmts = parse_stmt p in
+      go (List.rev_append stmts acc)
+    end
+  in
+  go []
+
+(* Each source statement may expand to several AST statements (the
+   desugared reads come first). *)
+and parse_stmt p =
+  match (current p).tok with
+  | KW "acquire" ->
+    advance p;
+    let m = Builder.lock p.builder (eat_ident p) in
+    eat p SEMI;
+    [ Ast.Acquire m ]
+  | KW "release" ->
+    advance p;
+    let m = Builder.lock p.builder (eat_ident p) in
+    eat p SEMI;
+    [ Ast.Release m ]
+  | KW "sync" ->
+    advance p;
+    let m = Builder.lock p.builder (eat_ident p) in
+    let body = parse_block p in
+    (Ast.Acquire m :: body) @ [ Ast.Release m ]
+  | KW "atomic" ->
+    advance p;
+    let l = Builder.label p.builder (eat_string p) in
+    let body = parse_block p in
+    [ Ast.Atomic (l, body) ]
+  | KW "if" ->
+    advance p;
+    eat p LPAREN;
+    let prelude = ref [] in
+    let c = parse_cond p prelude in
+    eat p RPAREN;
+    let then_b = parse_block p in
+    let else_b =
+      if (current p).tok = KW "else" then begin
+        advance p;
+        parse_block p
+      end
+      else []
+    in
+    List.rev !prelude @ [ Ast.If (c, then_b, else_b) ]
+  | KW "while" ->
+    advance p;
+    eat p LPAREN;
+    let prelude = ref [] in
+    let c = parse_cond p prelude in
+    eat p RPAREN;
+    let body = parse_block p in
+    let reads = List.rev !prelude in
+    (* Re-evaluate the condition's shared reads at the end of every
+       iteration so spin loops observe other threads' writes. *)
+    reads @ [ Ast.While (c, body @ reads) ]
+  | KW "work" ->
+    advance p;
+    let n = eat_int p in
+    eat p SEMI;
+    [ Ast.Work n ]
+  | KW "yield" ->
+    advance p;
+    eat p SEMI;
+    [ Ast.Yield ]
+  | KW "skip" ->
+    advance p;
+    eat p SEMI;
+    []
+  | IDENT name -> (
+    advance p;
+    match (current p).tok with
+    | LARROW ->
+      (* Explicit read: reg <- sharedvar *)
+      advance p;
+      let src = eat_ident p in
+      eat p SEMI;
+      let x =
+        match classify p src with
+        | Shared x -> x
+        | Register _ -> fail p (Printf.sprintf "'%s' is not a shared variable" src)
+      in
+      let r =
+        match classify p name with
+        | Register r -> r
+        | Shared _ ->
+          fail p (Printf.sprintf "'%s' is shared; use '=' to write it" name)
+      in
+      [ Ast.Read (r, x) ]
+    | EQ -> (
+      advance p;
+      let prelude = ref [] in
+      let e = parse_expr p prelude in
+      eat p SEMI;
+      let pre = List.rev !prelude in
+      match classify p name with
+      | Shared x -> pre @ [ Ast.Write (x, e) ]
+      | Register r -> pre @ [ Ast.Local (r, e) ])
+    | t ->
+      fail p (Format.asprintf "expected '=' or '<-', found '%a'" pp_token t))
+  | t -> fail p (Format.asprintf "expected statement, found '%a'" pp_token t)
+
+let parse_decl p =
+  match (current p).tok with
+  | KW "var" | KW "volatile" ->
+    let volatile = (current p).tok = KW "volatile" in
+    advance p;
+    let name = eat_ident p in
+    let init =
+      if (current p).tok = EQ then begin
+        advance p;
+        let neg = (current p).tok = MINUS in
+        if neg then advance p;
+        let n = eat_int p in
+        Some (if neg then -n else n)
+      end
+      else None
+    in
+    eat p SEMI;
+    if volatile then ignore (Builder.volatile ?init p.builder name)
+    else ignore (Builder.var ?init p.builder name);
+    true
+  | KW "lock" ->
+    advance p;
+    ignore (Builder.lock p.builder (eat_ident p));
+    eat p SEMI;
+    true
+  | _ -> false
+
+let parse_thread p =
+  match (current p).tok with
+  | KW "thread" ->
+    advance p;
+    let count =
+      match (current p).tok with
+      | INT n ->
+        advance p;
+        n
+      | _ -> 1
+    in
+    if count < 1 then fail p "thread replication count must be positive";
+    p.regs <- Hashtbl.create 16;
+    p.next_reg <- Ast.tid_reg + 1;
+    let body = parse_block p in
+    for _ = 1 to count do
+      Builder.thread p.builder body
+    done;
+    true
+  | _ -> false
+
+let parse src =
+  let p =
+    {
+      toks = tokenize src;
+      builder = Builder.create ();
+      regs = Hashtbl.create 16;
+      next_reg = Ast.tid_reg + 1;
+    }
+  in
+  while parse_decl p do
+    ()
+  done;
+  let threads = ref 0 in
+  while parse_thread p do
+    incr threads
+  done;
+  if (current p).tok <> EOF then fail p "trailing input after last thread";
+  if !threads = 0 then fail p "a program needs at least one thread";
+  Builder.program p.builder
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,37 @@
+(** Recursive-descent parser for [.vel] programs.
+
+    Produces a {!Velodrome_sim.Ast.program}. Shared variables may appear
+    directly in expressions and conditions for convenience; the parser
+    desugars each occurrence into an explicit [Read] into a fresh
+    register placed before the statement, and loop conditions re-read
+    their variables on every iteration (so a spin loop on a volatile is
+    written simply as [while (b != 1) { yield; }]).
+
+    Identifiers: names declared with [var]/[volatile] are shared
+    variables, names declared with [lock] are locks, anything else is a
+    thread-local register (created on first use; registers named [_rK]
+    map to register index [K], which is what the printer emits). The
+    keyword [tid] is the thread-id register.
+
+    Grammar sketch:
+    {v
+    program  := decl* thread+
+    decl     := ("var" | "volatile") ident ("=" int)? ";" | "lock" ident ";"
+    thread   := "thread" int? "{" stmt* "}"
+    stmt     := ident "=" expr ";" | ident "<-" ident ";"
+              | "acquire" ident ";" | "release" ident ";"
+              | "sync" ident block | "atomic" string block
+              | "if" "(" cond ")" block ("else" block)?
+              | "while" "(" cond ")" block
+              | "work" int ";" | "yield" ";" | "skip" ";"
+    v} *)
+
+exception Parse_error of string * int * int
+(** message, line, column *)
+
+val parse : string -> Velodrome_sim.Ast.program
+(** Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+
+val parse_file : string -> Velodrome_sim.Ast.program
+
+val pp_error : Format.formatter -> string * int * int -> unit

@@ -1,0 +1,75 @@
+open Velodrome_sim
+open Velodrome_trace
+open Velodrome_util
+
+let reg ppf r =
+  if r = Ast.tid_reg then Format.fprintf ppf "tid"
+  else Format.fprintf ppf "_r%d" r
+
+let rec expr ppf = function
+  | Ast.Int n ->
+    if n < 0 then Format.fprintf ppf "(0 - %d)" (-n)
+    else Format.fprintf ppf "%d" n
+  | Ast.Reg r -> reg ppf r
+  | Ast.Add (a, b) -> Format.fprintf ppf "(%a + %a)" expr a expr b
+  | Ast.Sub (a, b) -> Format.fprintf ppf "(%a - %a)" expr a expr b
+  | Ast.Mul (a, b) -> Format.fprintf ppf "(%a * %a)" expr a expr b
+  | Ast.Div (a, b) -> Format.fprintf ppf "(%a / %a)" expr a expr b
+  | Ast.Mod (a, b) -> Format.fprintf ppf "(%a %% %a)" expr a expr b
+
+let cmp_str = function
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+
+let cond ppf { Ast.lhs; cmp; rhs } =
+  Format.fprintf ppf "%a %s %a" expr lhs (cmp_str cmp) expr rhs
+
+let rec stmt names ppf = function
+  | Ast.Read (r0, x) ->
+    Format.fprintf ppf "%a <- %s;" reg r0 (Names.var_name names x)
+  | Ast.Write (x, e) ->
+    Format.fprintf ppf "%s = %a;" (Names.var_name names x) expr e
+  | Ast.Local (r0, e) -> Format.fprintf ppf "%a = %a;" reg r0 expr e
+  | Ast.Acquire m ->
+    Format.fprintf ppf "acquire %s;" (Names.lock_name names m)
+  | Ast.Release m ->
+    Format.fprintf ppf "release %s;" (Names.lock_name names m)
+  | Ast.Atomic (l, body) ->
+    Format.fprintf ppf "@[<v 2>atomic %S {%a@]@,}"
+      (Names.label_name names l) (items names) body
+  | Ast.If (c, a, []) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,}" cond c (items names) a
+  | Ast.If (c, a, b) ->
+    Format.fprintf ppf "@[<v 2>if (%a) {%a@]@,@[<v 2>} else {%a@]@,}" cond c
+      (items names) a (items names) b
+  | Ast.While (c, body) ->
+    Format.fprintf ppf "@[<v 2>while (%a) {%a@]@,}" cond c (items names) body
+  | Ast.Work n -> Format.fprintf ppf "work %d;" n
+  | Ast.Yield -> Format.fprintf ppf "yield;"
+
+and items names ppf body =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" (stmt names) s) body
+
+let program ppf (p : Ast.program) =
+  let names = p.Ast.names in
+  Format.fprintf ppf "@[<v>";
+  let inits = p.Ast.init in
+  Symtab.iter names.Names.vars (fun id name ->
+      let x = Ids.Var.of_int id in
+      let kw = if Names.is_volatile names x then "volatile" else "var" in
+      match List.assoc_opt x inits with
+      | Some v when v <> 0 -> Format.fprintf ppf "%s %s = %d;@," kw name v
+      | _ -> Format.fprintf ppf "%s %s;@," kw name);
+  Symtab.iter names.Names.locks (fun _ name ->
+      Format.fprintf ppf "lock %s;@," name);
+  Array.iter
+    (fun body ->
+      Format.fprintf ppf "@,@[<v 2>thread {%a@]@,}@," (items names) body)
+    p.Ast.threads;
+  Format.fprintf ppf "@]"
+
+let to_string p = Format.asprintf "%a" program p

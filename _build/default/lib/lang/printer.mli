@@ -1,0 +1,10 @@
+(** Pretty-printer for programs, emitting the core [.vel] form.
+
+    Reads print as [_rK <- x;], register assignments as [_rK = e;];
+    conditions and expressions range over registers only (the parser's
+    desugared form), so [parse (print p)] succeeds for every program and
+    [print (parse (print p)) = print p] — the round-trip property the
+    language tests check. *)
+
+val program : Format.formatter -> Velodrome_sim.Ast.program -> unit
+val to_string : Velodrome_sim.Ast.program -> string

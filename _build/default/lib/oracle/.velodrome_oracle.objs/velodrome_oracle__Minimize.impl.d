@@ -1,0 +1,1 @@
+lib/oracle/minimize.ml: Fun List Oracle Trace Velodrome_trace

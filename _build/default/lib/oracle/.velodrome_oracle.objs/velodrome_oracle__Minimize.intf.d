@@ -1,0 +1,1 @@
+lib/oracle/minimize.mli: Velodrome_trace

@@ -1,0 +1,1 @@
+lib/oracle/oracle.ml: Array Char Digraph Fun Hashtbl List Op Option Queue String Trace Txn Velodrome_trace Velodrome_util

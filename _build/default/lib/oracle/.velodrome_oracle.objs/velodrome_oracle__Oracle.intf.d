@@ -1,0 +1,1 @@
+lib/oracle/oracle.mli: Digraph Trace Txn Velodrome_trace Velodrome_util

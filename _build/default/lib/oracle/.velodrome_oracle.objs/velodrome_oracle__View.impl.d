@@ -1,0 +1,1 @@
+lib/oracle/view.ml: Array Hashtbl List Op Option Tid Trace Txn Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/oracle/view.mli: Velodrome_trace

@@ -1,0 +1,44 @@
+open Velodrome_trace
+
+let interesting ops =
+  let tr = Trace.of_ops ops in
+  Trace.is_well_formed tr && not (Oracle.serializable tr)
+
+let remove_chunk ops ~start ~len =
+  List.filteri (fun i _ -> i < start || i >= start + len) ops
+
+(* Greedy shrinking: repeatedly try to delete chunks, halving the chunk
+   size when no deletion applies, until single-op deletions all fail. *)
+let ddmin trace =
+  if Oracle.serializable trace then
+    invalid_arg "Minimize.ddmin: trace is serializable";
+  let ops = ref (Trace.to_list trace) in
+  let chunk = ref (max 1 (List.length !ops / 2)) in
+  let continue_ = ref true in
+  while !continue_ do
+    let n = List.length !ops in
+    let removed_any = ref false in
+    let start = ref 0 in
+    while !start < List.length !ops do
+      let candidate = remove_chunk !ops ~start:!start ~len:!chunk in
+      if List.length candidate < List.length !ops && interesting candidate
+      then begin
+        ops := candidate;
+        removed_any := true
+        (* keep [start]: the next chunk now sits at the same offset *)
+      end
+      else start := !start + !chunk
+    done;
+    ignore n;
+    if not !removed_any then begin
+      if !chunk = 1 then continue_ := false else chunk := max 1 (!chunk / 2)
+    end
+  done;
+  Trace.of_ops !ops
+
+let is_minimal trace =
+  let ops = Trace.to_list trace in
+  interesting ops
+  && List.for_all
+       (fun i -> not (interesting (remove_chunk ops ~start:i ~len:1)))
+       (List.init (List.length ops) Fun.id)

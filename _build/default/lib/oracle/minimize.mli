@@ -1,0 +1,22 @@
+(** Violation minimization.
+
+    Velodrome's soundness argument for uninstrumented code (Section 6)
+    rests on a projection property: if a {e subsequence} of the real
+    trace is non-serializable, so is the whole trace. The same property
+    makes delta debugging valid on violating traces: any well-formed
+    non-serializable subsequence of a witness is itself a witness, and a
+    1-minimal one is far easier to read than ten thousand events.
+
+    [ddmin] runs the classic delta-debugging loop over operation
+    subsequences, keeping only candidates that are still well-formed
+    ({!Velodrome_trace.Trace.check}) and still non-serializable
+    ({!Oracle.serializable}). *)
+
+val ddmin : Velodrome_trace.Trace.t -> Velodrome_trace.Trace.t
+(** Raises [Invalid_argument] if the input trace is serializable (there
+    is no violation to minimize). The result is 1-minimal: removing any
+    single remaining operation yields a trace that is ill-formed or
+    serializable. *)
+
+val is_minimal : Velodrome_trace.Trace.t -> bool
+(** Check 1-minimality (used by tests). *)

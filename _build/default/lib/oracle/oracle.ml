@@ -1,0 +1,109 @@
+open Velodrome_trace
+open Velodrome_util
+
+let conflict_graph trace =
+  let seg = Txn.segment trace in
+  let g = Digraph.create (Array.length seg.Txn.txns) in
+  let n = Trace.length trace in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = Trace.get trace i and b = Trace.get trace j in
+      if
+        seg.Txn.owner.(i) <> seg.Txn.owner.(j)
+        && Op.conflicts a b
+      then Digraph.add_edge g seg.Txn.owner.(i) seg.Txn.owner.(j)
+    done
+  done;
+  (seg, g)
+
+let serializable trace =
+  let _, g = conflict_graph trace in
+  not (Digraph.has_cycle g)
+
+let witness_cycle trace =
+  let seg, g = conflict_graph trace in
+  Option.map (List.map (fun id -> seg.Txn.txns.(id))) (Digraph.find_cycle g)
+
+(* --- Swap-based exploration ------------------------------------------- *)
+
+(* States are permutations of the original operation indices, encoded as
+   strings of bytes for the visited set (traces are capped well below 256
+   operations). *)
+
+let key perm =
+  String.init (Array.length perm) (fun i -> Char.chr perm.(i))
+
+let explore ?(max_ops = 10) trace ~accept =
+  let n = Trace.length trace in
+  if n > max_ops || n > 255 then None
+  else begin
+    let ops = Trace.ops trace in
+    let start = Array.init n Fun.id in
+    let visited = Hashtbl.create 1024 in
+    let queue = Queue.create () in
+    Hashtbl.replace visited (key start) ();
+    Queue.add start queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let perm = Queue.pop queue in
+      if accept perm then found := true
+      else
+        for i = 0 to n - 2 do
+          if not (Op.conflicts ops.(perm.(i)) ops.(perm.(i + 1))) then begin
+            let next = Array.copy perm in
+            next.(i) <- perm.(i + 1);
+            next.(i + 1) <- perm.(i);
+            let k = key next in
+            if not (Hashtbl.mem visited k) then begin
+              Hashtbl.replace visited k ();
+              Queue.add next queue
+            end
+          end
+        done
+    done;
+    Some !found
+  end
+
+let serializable_by_swaps ?max_ops trace =
+  let seg = Txn.segment trace in
+  (* Equivalence preserves per-thread order, and transaction membership is
+     determined by per-thread structure alone, so the original
+     segmentation's owner map remains valid under any reachable
+     permutation. A permuted trace is serial iff no transaction is revisited
+     after another one has intervened. *)
+  let accept perm =
+    let seen_complete = Hashtbl.create 8 in
+    let current = ref (-1) in
+    let ok = ref true in
+    Array.iter
+      (fun idx ->
+        let owner = seg.Txn.owner.(idx) in
+        if owner <> !current then begin
+          if Hashtbl.mem seen_complete owner then ok := false;
+          if !current >= 0 then Hashtbl.replace seen_complete !current ();
+          current := owner
+        end)
+      perm;
+    !ok
+  in
+  explore ?max_ops trace ~accept
+
+let self_serializable_by_swaps ?max_ops trace ~txn =
+  let seg = Txn.segment trace in
+  if txn < 0 || txn >= Array.length seg.Txn.txns then
+    invalid_arg "Oracle.self_serializable_by_swaps: bad transaction id";
+  let size = Array.length seg.Txn.txns.(txn).Txn.ops in
+  let accept perm =
+    (* The target transaction is contiguous iff the positions of its ops
+       form an interval. *)
+    let first = ref max_int and last = ref (-1) in
+    Array.iteri
+      (fun pos idx ->
+        if seg.Txn.owner.(idx) = txn then begin
+          if pos < !first then first := pos;
+          if pos > !last then last := pos
+        end)
+      perm;
+    !last - !first + 1 = size
+  in
+  explore ?max_ops trace ~accept

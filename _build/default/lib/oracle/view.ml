@@ -1,0 +1,79 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+(* The reads-from relation of an operation list: for the k-th read in
+   per-op order, the identity of the write it observes. Operations are
+   identified by a caller-supplied key so the relation can be compared
+   across reorderings of the same operations. *)
+let reads_from keyed_ops =
+  let last_write : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let rf = Hashtbl.create 16 in
+  List.iter
+    (fun (key, op) ->
+      match op with
+      | Op.Read (_, x) ->
+        let writer =
+          Option.value ~default:(-1)
+            (Hashtbl.find_opt last_write (Var.to_int x))
+        in
+        Hashtbl.replace rf key writer
+      | Op.Write (_, x) -> Hashtbl.replace last_write (Var.to_int x) key
+      | _ -> ())
+    keyed_ops;
+  (rf, last_write)
+
+let view_equivalent_keyed ops1 ops2 =
+  let rf1, fin1 = reads_from ops1 in
+  let rf2, fin2 = reads_from ops2 in
+  let same_tbl a b =
+    Hashtbl.length a = Hashtbl.length b
+    && Hashtbl.fold
+         (fun k v acc -> acc && Hashtbl.find_opt b k = Some v)
+         a true
+  in
+  same_tbl rf1 rf2 && same_tbl fin1 fin2
+
+let view_equivalent t1 t2 =
+  (* Key each op by (thread, per-thread occurrence index): stable across
+     the reorderings equivalence allows (per-thread order is preserved). *)
+  let keyed tr =
+    let counts = Hashtbl.create 8 in
+    List.map
+      (fun op ->
+        let ti = Tid.to_int (Op.tid op) in
+        let k = Option.value ~default:0 (Hashtbl.find_opt counts ti) in
+        Hashtbl.replace counts ti (k + 1);
+        ((ti * 1_000_000) + k, op))
+      (Trace.to_list tr)
+  in
+  view_equivalent_keyed (keyed t1) (keyed t2)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        List.map (fun p -> x :: p) (permutations (List.filter (( != ) x) l)))
+      l
+
+let view_serializable ?(max_txns = 7) trace =
+  let seg = Txn.segment trace in
+  let txns = Array.to_list seg.Txn.txns in
+  if List.length txns > max_txns then None
+  else begin
+    let keyed =
+      List.mapi (fun i op -> (i, op)) (Trace.to_list trace)
+    in
+    let serial_of order =
+      List.concat_map
+        (fun (tx : Txn.t) ->
+          List.map
+            (fun i -> (i, Trace.get trace i))
+            (Array.to_list tx.Txn.ops))
+        order
+    in
+    Some
+      (List.exists
+         (fun order -> view_equivalent_keyed keyed (serial_of order))
+         (permutations txns))
+  end

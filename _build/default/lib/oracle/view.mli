@@ -1,0 +1,25 @@
+(** View-serializability (Bernstein, Hadzilacos, Goodman — the other
+    classical serializability notion, which Wang and Stoller's
+    view-atomicity work targets; cited in the paper's Section 7).
+
+    A trace is view-serializable iff some serial arrangement of its
+    transactions is {e view-equivalent} to it: every read reads the same
+    write (or the same initial value), and the final write to each
+    variable is the same. Conflict-serializability implies
+    view-serializability; the converse fails in the presence of blind
+    writes — the property tests exercise both directions.
+
+    Deciding view-serializability is NP-complete; this implementation
+    enumerates transaction permutations and is intended for small traces
+    (tests, minimized witnesses). *)
+
+val view_serializable :
+  ?max_txns:int -> Velodrome_trace.Trace.t -> bool option
+(** [None] when the trace has more than [max_txns] (default 7)
+    transactions. *)
+
+val view_equivalent :
+  Velodrome_trace.Trace.t -> Velodrome_trace.Trace.t -> bool
+(** Same operation multiset is assumed (the second trace is a permutation
+    of the first, expressed as traces over the same ops); equivalence of
+    the reads-from relation and final writes. Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/sim/ast.ml: Array Label Lock Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/sim/ast.mli: Label Lock Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/sim/builder.ml: Ast List Names Symtab Var Vec Velodrome_trace Velodrome_util

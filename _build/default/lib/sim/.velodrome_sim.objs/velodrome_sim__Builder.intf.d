@@ -1,0 +1,1 @@
+lib/sim/builder.mli: Ast Label Lock Names Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Ast Hashtbl List Lock Op Option Printf Tid Var Velodrome_trace

@@ -1,0 +1,1 @@
+lib/sim/interp.mli: Ast Ids Op Velodrome_trace

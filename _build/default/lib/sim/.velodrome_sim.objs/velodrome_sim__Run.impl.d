@@ -1,0 +1,1 @@
+lib/sim/run.ml: Array Backend Event Hashtbl Interp List Op Option Rng Trace Vec Velodrome_analysis Velodrome_trace Velodrome_util Warning

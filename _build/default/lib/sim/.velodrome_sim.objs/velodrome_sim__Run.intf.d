@@ -1,0 +1,1 @@
+lib/sim/run.mli: Ast Backend Interp Trace Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,70 @@
+open Velodrome_trace.Ids
+
+type reg = int
+
+let tid_reg = 0
+
+type expr =
+  | Int of int
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr
+  | Mod of expr * expr
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond = { lhs : expr; cmp : cmp; rhs : expr }
+
+type stmt =
+  | Read of reg * Var.t
+  | Write of Var.t * expr
+  | Local of reg * expr
+  | Acquire of Lock.t
+  | Release of Lock.t
+  | Atomic of Label.t * stmt list
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Work of int
+  | Yield
+
+type program = {
+  names : Velodrome_trace.Names.t;
+  var_count : int;
+  init : (Var.t * int) list;
+  threads : stmt list array;
+}
+
+let rec eval regs = function
+  | Int n -> n
+  | Reg r -> if r < Array.length regs then regs.(r) else 0
+  | Add (a, b) -> eval regs a + eval regs b
+  | Sub (a, b) -> eval regs a - eval regs b
+  | Mul (a, b) -> eval regs a * eval regs b
+  | Div (a, b) ->
+    let d = eval regs b in
+    if d = 0 then 0 else eval regs a / d
+  | Mod (a, b) ->
+    let d = eval regs b in
+    if d = 0 then 0 else eval regs a mod d
+
+let eval_cond regs { lhs; cmp; rhs } =
+  let a = eval regs lhs and b = eval regs rhs in
+  match cmp with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let stmt_count p =
+  let rec count acc = function
+    | [] -> acc
+    | (Atomic (_, body)) :: rest -> count (count (acc + 1) body) rest
+    | (If (_, a, b)) :: rest -> count (count (count (acc + 1) a) b) rest
+    | (While (_, body)) :: rest -> count (count (acc + 1) body) rest
+    | _ :: rest -> count (acc + 1) rest
+  in
+  Array.fold_left (fun acc body -> count acc body) 0 p.threads

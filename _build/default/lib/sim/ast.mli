@@ -1,0 +1,63 @@
+(** The mini concurrent language.
+
+    This is the RoadRunner substitute: instead of instrumenting JVM
+    bytecode we interpret a small imperative language whose observable
+    actions are exactly the operations of the paper's Figure 1. Threads
+    share variables (optionally volatile) and locks; everything else —
+    registers, arithmetic, control flow — is thread-local and silent.
+
+    Shared-variable access is deliberately explicit ({!Read} moves a
+    shared variable into a register; expressions range over registers
+    only), so every event the analyses see corresponds to one AST node
+    and spin loops re-read their variable on every iteration, exactly as
+    the paper's volatile hand-off example requires. *)
+
+open Velodrome_trace.Ids
+
+type reg = int
+(** Thread-local register index. The register [tid_reg] is preloaded with
+    the thread's id so replicated thread bodies can differentiate. *)
+
+val tid_reg : reg
+(** Register 0 holds the thread id at start. *)
+
+type expr =
+  | Int of int
+  | Reg of reg
+  | Add of expr * expr
+  | Sub of expr * expr
+  | Mul of expr * expr
+  | Div of expr * expr  (** division by zero evaluates to 0 *)
+  | Mod of expr * expr  (** modulo by zero evaluates to 0 *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cond = { lhs : expr; cmp : cmp; rhs : expr }
+
+type stmt =
+  | Read of reg * Var.t  (** [r <- x]: emits [rd(t,x)] *)
+  | Write of Var.t * expr  (** [x := e]: emits [wr(t,x)] *)
+  | Local of reg * expr  (** [r := e]: silent *)
+  | Acquire of Lock.t
+  | Release of Lock.t
+  | Atomic of Label.t * stmt list  (** [begin_l ... end] *)
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+  | Work of int  (** [n] units of silent compute *)
+  | Yield  (** silent scheduling point *)
+
+type program = {
+  names : Velodrome_trace.Names.t;
+  var_count : int;
+  init : (Var.t * int) list;  (** initial values; unlisted vars start at 0 *)
+  threads : stmt list array;
+}
+
+val eval : int array -> expr -> int
+(** Evaluate an expression over a register file. *)
+
+val eval_cond : int array -> cond -> bool
+
+val stmt_count : program -> int
+(** Total AST statements, a rough program-size measure (the "lines"
+    column of Table 1). *)

@@ -1,0 +1,186 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type instr = S of Ast.stmt | End_atomic
+
+type status = Runnable | Blocked of Lock.t | Finished
+
+exception Runtime_error of string
+
+type thread = {
+  id : int;
+  regs : int array;
+  mutable pc : instr list;
+  mutable st : status;
+  mutable work_left : int;
+  held : (int, int) Hashtbl.t;  (** lock -> re-entrancy depth *)
+}
+
+type t = {
+  emit_reentrant : bool;
+  memory : int array;
+  owner : (int, int) Hashtbl.t;  (** lock -> owning thread *)
+  threads : thread array;
+}
+
+let silent_budget = 1024
+
+let create ?(emit_reentrant = false) (p : Ast.program) =
+  let memory = Array.make (max 1 p.Ast.var_count) 0 in
+  List.iter (fun (x, v) -> memory.(Var.to_int x) <- v) p.Ast.init;
+  let threads =
+    Array.mapi
+      (fun id body ->
+        let regs = Array.make 256 0 in
+        regs.(Ast.tid_reg) <- id;
+        {
+          id;
+          regs;
+          pc = List.map (fun s -> S s) body;
+          st = Runnable;
+          work_left = 0;
+          held = Hashtbl.create 4;
+        })
+      p.Ast.threads
+  in
+  { emit_reentrant; memory; owner = Hashtbl.create 8; threads }
+
+let thread_count t = Array.length t.threads
+let status t i = t.threads.(i).st
+
+let set_reg th r v = if r < Array.length th.regs then th.regs.(r) <- v
+
+let held_depth th m =
+  Option.value ~default:0 (Hashtbl.find_opt th.held (Lock.to_int m))
+
+(* Run silent instructions; stop at an event-producing head. *)
+let rec advance t th budget =
+  if budget <= 0 then `Working
+  else if th.work_left > 0 then begin
+    let spend = min th.work_left budget in
+    th.work_left <- th.work_left - spend;
+    advance t th (budget - spend)
+  end
+  else begin
+    match th.pc with
+    | [] ->
+      th.st <- Finished;
+      `Finished
+    | End_atomic :: _ -> `Op (Op.End (Tid.of_int th.id))
+    | S s :: rest -> (
+      match s with
+      | Ast.Read (_, x) -> `Op (Op.Read (Tid.of_int th.id, x))
+      | Ast.Write (x, _) -> `Op (Op.Write (Tid.of_int th.id, x))
+      | Ast.Acquire m ->
+        if held_depth th m > 0 && not t.emit_reentrant then begin
+          (* Re-entrant acquire: silent, as RoadRunner filters it. *)
+          Hashtbl.replace th.held (Lock.to_int m) (held_depth th m + 1);
+          th.pc <- rest;
+          advance t th (budget - 1)
+        end
+        else `Op (Op.Acquire (Tid.of_int th.id, m))
+      | Ast.Release m ->
+        let d = held_depth th m in
+        if d = 0 then
+          raise
+            (Runtime_error
+               (Printf.sprintf "thread %d releases unheld lock %d" th.id
+                  (Lock.to_int m)))
+        else if d > 1 && not t.emit_reentrant then begin
+          Hashtbl.replace th.held (Lock.to_int m) (d - 1);
+          th.pc <- rest;
+          advance t th (budget - 1)
+        end
+        else `Op (Op.Release (Tid.of_int th.id, m))
+      | Ast.Atomic (l, _) -> `Op (Op.Begin (Tid.of_int th.id, l))
+      | Ast.Local (r, e) ->
+        set_reg th r (Ast.eval th.regs e);
+        th.pc <- rest;
+        advance t th (budget - 1)
+      | Ast.If (c, a, b) ->
+        let branch = if Ast.eval_cond th.regs c then a else b in
+        th.pc <- List.map (fun s -> S s) branch @ rest;
+        advance t th (budget - 1)
+      | Ast.While (c, body) ->
+        if Ast.eval_cond th.regs c then
+          th.pc <- List.map (fun s -> S s) body @ th.pc
+        else th.pc <- rest;
+        advance t th (budget - 1)
+      | Ast.Work n ->
+        th.work_left <- max 0 n;
+        th.pc <- rest;
+        advance t th (budget - 1)
+      | Ast.Yield ->
+        th.pc <- rest;
+        `Working)
+  end
+
+let peek t i =
+  let th = t.threads.(i) in
+  match th.st with
+  | Finished -> `Finished
+  | Blocked m -> `Op (Op.Acquire (Tid.of_int th.id, m))
+  | Runnable -> advance t th silent_budget
+
+let commit t i =
+  let th = t.threads.(i) in
+  let emit op rest =
+    th.pc <- rest;
+    `Emitted op
+  in
+  match th.pc with
+  | [] -> raise (Runtime_error "commit on finished thread")
+  | End_atomic :: rest -> emit (Op.End (Tid.of_int th.id)) rest
+  | S s :: rest -> (
+    match s with
+    | Ast.Read (r, x) ->
+      set_reg th r t.memory.(Var.to_int x);
+      emit (Op.Read (Tid.of_int th.id, x)) rest
+    | Ast.Write (x, e) ->
+      t.memory.(Var.to_int x) <- Ast.eval th.regs e;
+      emit (Op.Write (Tid.of_int th.id, x)) rest
+    | Ast.Acquire m -> (
+      let key = Lock.to_int m in
+      match Hashtbl.find_opt t.owner key with
+      | Some o when o <> th.id ->
+        th.st <- Blocked m;
+        `Blocked
+      | Some _ ->
+        (* Re-entrant acquire reached commit only in emit_reentrant mode. *)
+        th.st <- Runnable;
+        Hashtbl.replace th.held key (held_depth th m + 1);
+        emit (Op.Acquire (Tid.of_int th.id, m)) rest
+      | None ->
+        th.st <- Runnable;
+        Hashtbl.replace t.owner key th.id;
+        Hashtbl.replace th.held key (held_depth th m + 1);
+        emit (Op.Acquire (Tid.of_int th.id, m)) rest)
+    | Ast.Release m ->
+      let key = Lock.to_int m in
+      let d = held_depth th m in
+      if d <= 1 then begin
+        Hashtbl.remove th.held key;
+        Hashtbl.remove t.owner key;
+        (* Wake every thread blocked on this lock. *)
+        Array.iter
+          (fun other ->
+            match other.st with
+            | Blocked m' when Lock.equal m' m -> other.st <- Runnable
+            | _ -> ())
+          t.threads
+      end
+      else Hashtbl.replace th.held key (d - 1);
+      emit (Op.Release (Tid.of_int th.id, m)) rest
+    | Ast.Atomic (l, body) ->
+      th.pc <- List.map (fun s -> S s) body @ (End_atomic :: rest);
+      `Emitted (Op.Begin (Tid.of_int th.id, l))
+    | Ast.Local _ | Ast.If _ | Ast.While _ | Ast.Work _ | Ast.Yield ->
+      raise (Runtime_error "commit on silent instruction"))
+
+let read_var t x = t.memory.(Var.to_int x)
+
+let all_finished t =
+  Array.for_all (fun th -> th.st = Finished) t.threads
+
+let runnable_exists t =
+  Array.exists (fun th -> th.st = Runnable) t.threads

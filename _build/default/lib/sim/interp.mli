@@ -1,0 +1,49 @@
+(** Thread-level interpreter.
+
+    The interpreter advances each thread through its statement list,
+    executing silent work (register ops, control flow, re-entrant lock
+    nesting) eagerly and stopping at instructions that would emit an
+    observable operation. The scheduler drives it in two phases:
+
+    + {!peek} runs silent steps and reports the operation the thread is
+      about to perform — this is where the adversarial scheduler consults
+      {!Velodrome_analysis.Backend.pause_hint} before letting it happen;
+    + {!commit} performs that operation, updating shared memory and lock
+      state; committing an [Acquire] of a held lock blocks the thread
+      instead (it re-runs when the lock is released).
+
+    Re-entrant acquires and releases are silent, mirroring RoadRunner's
+    filtering; set [emit_reentrant] to observe them (for filter tests). *)
+
+open Velodrome_trace
+
+type t
+
+type status =
+  | Runnable
+  | Blocked of Ids.Lock.t
+  | Finished
+
+exception Runtime_error of string
+(** Raised on impossible transitions, e.g. releasing an unheld lock. *)
+
+val create : ?emit_reentrant:bool -> Ast.program -> t
+val thread_count : t -> int
+val status : t -> int -> status
+
+val peek : t -> int -> [ `Op of Op.t | `Working | `Finished ]
+(** Advance silent steps (bounded) and report the pending operation.
+    [`Working] means the silent budget was consumed (compute-bound);
+    calling again continues. Idempotent once it reports [`Op]. *)
+
+val commit : t -> int -> [ `Emitted of Op.t | `Blocked ]
+(** Perform the pending operation of {!peek}. Must be called only after
+    [peek] returned [`Op]. *)
+
+val read_var : t -> Ids.Var.t -> int
+(** Current shared-memory value (for tests and examples). *)
+
+val all_finished : t -> bool
+
+val runnable_exists : t -> bool
+(** Some thread is [Runnable] (possibly compute-bound). *)

@@ -1,0 +1,208 @@
+open Velodrome_trace
+open Velodrome_analysis
+open Velodrome_util
+
+type policy = Round_robin | Random of int
+
+type pause_on = Pause_all | Pause_writes_only
+
+type config = {
+  policy : policy;
+  quantum : int;
+  adversarial : bool;
+  pause_slots : int;
+  pause_on : pause_on;
+  never_pause : int list;
+  max_steps : int;
+  record_trace : bool;
+  emit_reentrant : bool;
+}
+
+let default_config =
+  {
+    policy = Round_robin;
+    quantum = 1;
+    adversarial = false;
+    pause_slots = 20;
+    pause_on = Pause_all;
+    never_pause = [];
+    max_steps = 1_000_000;
+    record_trace = false;
+    emit_reentrant = false;
+  }
+
+type result = {
+  events : int;
+  trace : Trace.t option;
+  deadlocked : bool;
+  pauses : int;
+  warnings : Warning.t list;
+  final : Interp.t;
+}
+
+let run ?(config = default_config) program backends =
+  let interp = Interp.create ~emit_reentrant:config.emit_reentrant program in
+  let n = Interp.thread_count interp in
+  let rng =
+    match config.policy with
+    | Random seed -> Some (Rng.create seed)
+    | Round_robin -> None
+  in
+  let pause = Array.make (max n 1) 0 in
+  let immune = Array.make (max n 1) false in
+  let pause_sites :
+      (int * [ `Var of int | `Lock of int ], unit) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* The variable each paused thread is holding a window open on; a
+     conflicting write from another thread ends the pause immediately —
+     the witness it was waiting for has arrived. *)
+  let pause_var = Array.make (max n 1) (-1) in
+  let cursor = ref 0 in
+  let index = ref 0 in
+  let steps = ref 0 in
+  let pauses = ref 0 in
+  let deadlocked = ref false in
+  let ops = if config.record_trace then Some (Vec.create ()) else None in
+  let runnable () =
+    let acc = ref [] in
+    for i = n - 1 downto 0 do
+      if Interp.status interp i = Interp.Runnable then acc := i :: !acc
+    done;
+    !acc
+  in
+  (* Quantum bookkeeping: the thread chosen last keeps running until its
+     slice is spent or it stops being the best candidate. *)
+  let current = ref (-1) in
+  let slice = ref 0 in
+  let pick_fresh pool =
+    match rng with
+    | Some g -> List.nth pool (Rng.int g (List.length pool))
+    | None ->
+      (* Round-robin: first pool thread at or after the cursor. *)
+      let k = List.length pool in
+      let rec find j =
+        if j >= k then List.hd pool
+        else begin
+          let cand = List.nth pool j in
+          if cand >= !cursor then cand else find (j + 1)
+        end
+      in
+      let chosen = find 0 in
+      cursor := (chosen + 1) mod max n 1;
+      chosen
+  in
+  let pick candidates =
+    let unpaused = List.filter (fun i -> pause.(i) = 0) candidates in
+    let pool = if unpaused = [] then candidates else unpaused in
+    if !slice > 0 && List.mem !current pool then begin
+      slice := !slice - 1;
+      !current
+    end
+    else begin
+      let chosen = pick_fresh pool in
+      current := chosen;
+      slice := max 0 (config.quantum - 1);
+      chosen
+    end
+  in
+  let finished = ref false in
+  while (not !finished) && !steps < config.max_steps do
+    incr steps;
+    Array.iteri (fun i p -> if p > 0 then pause.(i) <- p - 1) pause;
+    match runnable () with
+    | [] ->
+      if Interp.all_finished interp then finished := true
+      else begin
+        deadlocked := true;
+        finished := true
+      end
+    | candidates -> (
+      let i = pick candidates in
+      match Interp.peek interp i with
+      | `Finished -> ()
+      | `Working ->
+        (* The thread yielded (or is compute-bound past its budget): a
+           real single-core scheduler would switch here, so end the
+           slice. *)
+        slice := 0
+      | `Op op ->
+        let ev = Event.make ~index:!index op in
+        (* Each (thread, variable-or-lock) site is paused at most once per
+           run: pausing the same hot site over and over would keep every
+           thread suspended at once, while the point of the pause is that
+           the others keep running full speed into the suspended thread's
+           window. The paper's 100 ms delay plays the same role in real
+           time. *)
+        let site =
+          match op with
+          | Op.Read (_, x) | Op.Write (_, x) ->
+            Some (i, `Var (Velodrome_trace.Ids.Var.to_int x))
+          | Op.Acquire (_, m) | Op.Release (_, m) ->
+            Some (i, `Lock (Velodrome_trace.Ids.Lock.to_int m))
+          | Op.Begin _ | Op.End _ -> None
+        in
+        let fresh_site =
+          match site with
+          | Some s -> not (Hashtbl.mem pause_sites s)
+          | None -> false
+        in
+        let policy_allows =
+          (match config.pause_on with
+          | Pause_all -> true
+          | Pause_writes_only -> (
+            match op with Op.Write _ -> true | _ -> false))
+          && not (List.mem i config.never_pause)
+        in
+        let want_pause =
+          config.adversarial && policy_allows && pause.(i) = 0
+          && (not immune.(i)) && fresh_site
+          && List.length candidates > 1
+          && List.exists (fun b -> Backend.pause_hint b ev) backends
+        in
+        if want_pause then
+          Option.iter (fun s -> Hashtbl.replace pause_sites s ()) site;
+        if want_pause then begin
+          pause.(i) <- config.pause_slots;
+          pause_var.(i) <-
+            (match site with Some (_, `Var x) -> x | _ -> -1);
+          immune.(i) <- true;
+          incr pauses
+        end
+        else begin
+          match Interp.commit interp i with
+          | `Blocked -> ()
+          | `Emitted op ->
+            immune.(i) <- false;
+            pause_var.(i) <- -1;
+            pause.(i) <- 0;
+            (match op with
+            | Op.Write (_, x) ->
+              let xv = Velodrome_trace.Ids.Var.to_int x in
+              Array.iteri
+                (fun j v -> if j <> i && v = xv then pause.(j) <- 0)
+                pause_var
+            | _ -> ());
+            let ev = Event.make ~index:!index op in
+            incr index;
+            List.iter (fun b -> Backend.on_event b ev) backends;
+            Option.iter (fun v -> Vec.push v op) ops
+        end)
+  done;
+  List.iter Backend.finish backends;
+  let warnings = List.concat_map Backend.warnings backends in
+  let warnings =
+    if !deadlocked then
+      Warning.make ~analysis:"scheduler" ~kind:Warning.Deadlock ~index:!index
+        "all unfinished threads are blocked"
+      :: warnings
+    else warnings
+  in
+  {
+    events = !index;
+    trace = Option.map (fun v -> Trace.of_array (Vec.to_array v)) ops;
+    deadlocked = !deadlocked;
+    pauses = !pauses;
+    warnings;
+    final = interp;
+  }

@@ -1,0 +1,59 @@
+(** Scheduling and execution.
+
+    Drives an {!Interp.t} under a scheduling policy, dispatching each
+    emitted event to the attached analysis back-ends — the moral
+    equivalent of RoadRunner running an instrumented program on the JVM.
+
+    The {b adversarial} mode implements Section 5's scheduler guidance:
+    before committing an operation, the runner asks every back-end for a
+    pause hint (the Atomizer flags racy accesses inside atomic blocks);
+    on a hint the thread is suspended for [pause_slots] scheduling
+    decisions — the analogue of the paper's 100 ms delay — so that other
+    threads may interpose a conflicting operation and turn a potential
+    violation into a real, Velodrome-checkable one. A thread is given one
+    un-pausable commit after each pause so hints cannot livelock it. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type policy =
+  | Round_robin
+  | Random of int  (** seed *)
+
+type pause_on =
+  | Pause_all  (** pause on any hinted operation *)
+  | Pause_writes_only
+      (** the paper's §5 alternative: "pausing writes but not reads" *)
+
+type config = {
+  policy : policy;
+  quantum : int;
+      (** events a chosen thread runs before the next scheduling
+          decision. 1 models free interleaving (a multiprocessor); larger
+          values model coarse single-core time slices. *)
+  adversarial : bool;
+  pause_slots : int;  (** suspension length, in scheduling decisions *)
+  pause_on : pause_on;
+  never_pause : int list;
+      (** thread ids exempt from pausing — §5's "allowing some threads to
+          never pause" *)
+  max_steps : int;  (** bound on scheduling iterations *)
+  record_trace : bool;
+  emit_reentrant : bool;
+}
+
+val default_config : config
+(** Round-robin, non-adversarial, 20 pause slots, 1_000_000 steps, no
+    trace recording. *)
+
+type result = {
+  events : int;  (** operations emitted *)
+  trace : Trace.t option;
+  deadlocked : bool;
+  pauses : int;  (** adversarial suspensions triggered *)
+  warnings : Warning.t list;
+      (** back-end warnings, plus a [Deadlock] warning if one occurred *)
+  final : Interp.t;  (** inspect final memory *)
+}
+
+val run : ?config:config -> Ast.program -> Backend.packed list -> result

@@ -1,0 +1,1 @@
+lib/trace/gen.ml: Array Fun Ids Label List Lock Op Rng Tid Trace Var Vec Velodrome_util

@@ -1,0 +1,1 @@
+lib/trace/names.ml: Format Hashtbl Ids Symtab Velodrome_util

@@ -1,0 +1,1 @@
+lib/trace/names.mli: Hashtbl Ids Symtab Velodrome_util

@@ -1,0 +1,1 @@
+lib/trace/op.ml: Format Ids Label Lock Names Stdlib Tid Var

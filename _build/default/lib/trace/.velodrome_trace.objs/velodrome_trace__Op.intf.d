@@ -1,0 +1,1 @@
+lib/trace/op.mli: Format Ids Label Lock Names Tid Var

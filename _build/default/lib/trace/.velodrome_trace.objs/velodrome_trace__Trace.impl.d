@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Format Hashtbl Ids Int List Lock Op Option Result Set Tid

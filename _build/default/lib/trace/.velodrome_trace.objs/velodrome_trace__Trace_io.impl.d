@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Buffer Fun Ids List Names Op Printf String Tid Trace

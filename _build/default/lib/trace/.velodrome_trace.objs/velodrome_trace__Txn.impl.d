@@ -1,0 +1,1 @@
+lib/trace/txn.ml: Array Format Hashtbl Ids Int Label List Op String Tid Trace Vec Velodrome_util

@@ -1,0 +1,1 @@
+lib/trace/txn.mli: Format Ids Label Tid Trace

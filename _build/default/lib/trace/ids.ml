@@ -1,0 +1,31 @@
+module type ID = sig
+  type t
+
+  val of_int : int -> t
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (P : sig
+  val prefix : string
+end) : ID = struct
+  type t = int
+
+  let of_int i =
+    if i < 0 then invalid_arg ("Ids: negative " ^ P.prefix ^ " id");
+    i
+
+  let to_int i = i
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash i = i
+  let pp ppf i = Format.fprintf ppf "%s%d" P.prefix i
+end
+
+module Tid = Make (struct let prefix = "t" end)
+module Var = Make (struct let prefix = "x" end)
+module Lock = Make (struct let prefix = "m" end)
+module Label = Make (struct let prefix = "L" end)

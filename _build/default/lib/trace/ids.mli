@@ -1,0 +1,28 @@
+(** Dense integer identifiers for threads, variables, locks and atomic-block
+    labels (the domains [Tid], [Var], [Lock], [Label] of the paper's
+    Figure 1).
+
+    Each identifier kind is a distinct nominal type so that a lock cannot be
+    passed where a variable is expected, yet each is represented as a dense
+    non-negative integer so per-identifier analysis state can live in
+    arrays. Human-readable names are kept separately in a {!Names.t}. *)
+
+module type ID = sig
+  type t
+
+  val of_int : int -> t
+  (** Raises [Invalid_argument] on negative input. *)
+
+  val to_int : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints with the kind's one-letter prefix, e.g. [t0], [x3], [m1]. *)
+end
+
+module Tid : ID
+module Var : ID
+module Lock : ID
+module Label : ID

@@ -1,0 +1,70 @@
+open Ids
+
+type t = Op.t array
+
+let of_ops ops = Array.of_list ops
+let of_array a = Array.copy a
+let ops t = t
+let to_list = Array.to_list
+let length = Array.length
+let get t i = t.(i)
+let append t op = Array.append t [| op |]
+let iteri = Array.iteri
+
+let threads t =
+  let module S = Set.Make (Int) in
+  let s =
+    Array.fold_left (fun acc op -> S.add (Tid.to_int (Op.tid op)) acc) S.empty t
+  in
+  List.map Tid.of_int (S.elements s)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri (fun i op -> Format.fprintf ppf "%3d: %a@," i Op.pp op) t;
+  Format.fprintf ppf "@]"
+
+type violation =
+  | Acquire_held of int * Lock.t
+  | Release_unheld of int * Lock.t
+  | End_without_begin of int * Tid.t
+
+let pp_violation ppf = function
+  | Acquire_held (i, m) ->
+    Format.fprintf ppf "op %d acquires %a while it is held" i Lock.pp m
+  | Release_unheld (i, m) ->
+    Format.fprintf ppf "op %d releases %a without holding it" i Lock.pp m
+  | End_without_begin (i, t) ->
+    Format.fprintf ppf "op %d: thread %a ends a block it never began" i Tid.pp
+      t
+
+let check t =
+  let holder : (int, Tid.t) Hashtbl.t = Hashtbl.create 8 in
+  let depth : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let get_depth tid = Option.value ~default:0 (Hashtbl.find_opt depth tid) in
+  let exception Bad of violation in
+  try
+    Array.iteri
+      (fun i op ->
+        match op with
+        | Op.Acquire (u, m) -> (
+          let key = Lock.to_int m in
+          match Hashtbl.find_opt holder key with
+          | Some _ -> raise (Bad (Acquire_held (i, m)))
+          | None -> Hashtbl.replace holder key u)
+        | Op.Release (u, m) -> (
+          let key = Lock.to_int m in
+          match Hashtbl.find_opt holder key with
+          | Some h when Tid.equal h u -> Hashtbl.remove holder key
+          | _ -> raise (Bad (Release_unheld (i, m))))
+        | Op.Begin (u, _) ->
+          Hashtbl.replace depth (Tid.to_int u) (get_depth (Tid.to_int u) + 1)
+        | Op.End u ->
+          let d = get_depth (Tid.to_int u) in
+          if d = 0 then raise (Bad (End_without_begin (i, u)))
+          else Hashtbl.replace depth (Tid.to_int u) (d - 1)
+        | Op.Read _ | Op.Write _ -> ())
+      t;
+    Ok ()
+  with Bad v -> Error v
+
+let is_well_formed t = Result.is_ok (check t)

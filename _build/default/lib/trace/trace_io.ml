@@ -1,0 +1,84 @@
+open Ids
+
+exception Syntax_error of int * string
+
+let op_line names op =
+  let tid t = Printf.sprintf "t%d" (Tid.to_int t) in
+  match op with
+  | Op.Read (t, x) ->
+    Printf.sprintf "%s rd %s" (tid t) (Names.var_name names x)
+  | Op.Write (t, x) ->
+    Printf.sprintf "%s wr %s" (tid t) (Names.var_name names x)
+  | Op.Acquire (t, m) ->
+    Printf.sprintf "%s acq %s" (tid t) (Names.lock_name names m)
+  | Op.Release (t, m) ->
+    Printf.sprintf "%s rel %s" (tid t) (Names.lock_name names m)
+  | Op.Begin (t, l) ->
+    Printf.sprintf "%s begin %s" (tid t) (Names.label_name names l)
+  | Op.End t -> Printf.sprintf "%s end" (tid t)
+
+let to_string names trace =
+  let buf = Buffer.create 1024 in
+  Trace.iteri
+    (fun _ op ->
+      Buffer.add_string buf (op_line names op);
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let write names trace oc = output_string oc (to_string names trace)
+
+let parse_tid lineno s =
+  if String.length s >= 2 && s.[0] = 't' then
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n when n >= 0 -> Tid.of_int n
+    | _ -> raise (Syntax_error (lineno, "bad thread id " ^ s))
+  else raise (Syntax_error (lineno, "expected thread id like t0, got " ^ s))
+
+let split_words s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let of_string src =
+  let names = Names.create () in
+  let ops = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some k -> String.sub line 0 k
+        | None -> line
+      in
+      match split_words line with
+      | [] -> ()
+      | [ t; "end" ] -> ops := Op.End (parse_tid lineno t) :: !ops
+      | [ t; kind; name ] ->
+        let t = parse_tid lineno t in
+        let op =
+          match kind with
+          | "rd" -> Op.Read (t, Names.var names name)
+          | "wr" -> Op.Write (t, Names.var names name)
+          | "acq" -> Op.Acquire (t, Names.lock names name)
+          | "rel" -> Op.Release (t, Names.lock names name)
+          | "begin" -> Op.Begin (t, Names.label names name)
+          | k -> raise (Syntax_error (lineno, "unknown operation " ^ k))
+        in
+        ops := op :: !ops
+      | _ -> raise (Syntax_error (lineno, "malformed line")))
+    lines;
+  (names, Trace.of_ops (List.rev !ops))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let write_file names trace path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> write names trace oc)

@@ -1,0 +1,34 @@
+(** Textual trace serialization.
+
+    RoadRunner-style tooling routinely records event streams and replays
+    them through analyses offline; this module gives traces a stable,
+    line-oriented, human-editable format:
+
+    {v
+    # comments and blank lines are ignored
+    t0 begin Set.add
+    t0 rd elems
+    t1 wr elems
+    t0 wr elems
+    t0 end
+    t2 acq vector
+    t2 rel vector
+    v}
+
+    Thread ids are [tN]; variables, locks and labels are free-form names
+    interned into the {!Names.t} produced alongside the trace. Writing
+    then reading a trace reproduces it exactly (up to the interning of
+    names, which is deterministic in first-use order). *)
+
+exception Syntax_error of int * string
+(** line number (1-based) and message *)
+
+val to_string : Names.t -> Trace.t -> string
+
+val write : Names.t -> Trace.t -> out_channel -> unit
+
+val of_string : string -> Names.t * Trace.t
+(** Raises {!Syntax_error} on malformed input. *)
+
+val read_file : string -> Names.t * Trace.t
+val write_file : Names.t -> Trace.t -> string -> unit

@@ -1,0 +1,102 @@
+open Ids
+open Velodrome_util
+
+type t = {
+  id : int;
+  tid : Tid.t;
+  label : Label.t option;
+  ops : int array;
+}
+
+type segmentation = { txns : t array; owner : int array }
+
+type open_txn = {
+  mutable depth : int;
+  txn_id : int;
+  txn_label : Label.t;
+  indices : int Vec.t;
+}
+
+let segment trace =
+  let n = Trace.length trace in
+  let owner = Array.make n (-1) in
+  let txns = Vec.create () in
+  let next_id = ref 0 in
+  let fresh () =
+    let id = !next_id in
+    incr next_id;
+    id
+  in
+  (* One open transaction per thread at most; keyed by tid. *)
+  let open_by_tid : (int, open_txn) Hashtbl.t = Hashtbl.create 8 in
+  let finish (o : open_txn) tid =
+    Vec.push txns
+      {
+        id = o.txn_id;
+        tid;
+        label = Some o.txn_label;
+        ops = Vec.to_array o.indices;
+      }
+  in
+  Trace.iteri
+    (fun i op ->
+      let tid = Op.tid op in
+      let key = Tid.to_int tid in
+      match (op, Hashtbl.find_opt open_by_tid key) with
+      | Op.Begin (_, l), None ->
+        let o =
+          { depth = 1; txn_id = fresh (); txn_label = l; indices = Vec.create () }
+        in
+        Vec.push o.indices i;
+        owner.(i) <- o.txn_id;
+        Hashtbl.replace open_by_tid key o
+      | Op.Begin _, Some o ->
+        o.depth <- o.depth + 1;
+        Vec.push o.indices i;
+        owner.(i) <- o.txn_id
+      | Op.End _, Some o ->
+        Vec.push o.indices i;
+        owner.(i) <- o.txn_id;
+        o.depth <- o.depth - 1;
+        if o.depth = 0 then begin
+          Hashtbl.remove open_by_tid key;
+          finish o tid
+        end
+      | Op.End _, None ->
+        (* Ill-formed; treat as a unary transaction so segmentation is
+           total. Well-formedness is checked separately by {!Trace.check}. *)
+        let id = fresh () in
+        owner.(i) <- id;
+        Vec.push txns { id; tid; label = None; ops = [| i |] }
+      | _, Some o ->
+        Vec.push o.indices i;
+        owner.(i) <- o.txn_id
+      | _, None ->
+        let id = fresh () in
+        owner.(i) <- id;
+        Vec.push txns { id; tid; label = None; ops = [| i |] })
+    trace;
+  (* Close transactions truncated by the end of the trace. *)
+  Hashtbl.iter (fun key o -> finish o (Tid.of_int key)) open_by_tid;
+  let arr = Vec.to_array txns in
+  Array.sort (fun a b -> Int.compare a.id b.id) arr;
+  { txns = arr; owner }
+
+let is_unary t = Array.length t.ops = 1 && t.label = None
+
+let serial trace =
+  let { txns; _ } = segment trace in
+  Array.for_all
+    (fun t ->
+      let n = Array.length t.ops in
+      n = 0 || t.ops.(n - 1) - t.ops.(0) = n - 1)
+    txns
+
+let pp ppf t =
+  let label =
+    match t.label with
+    | None -> "unary"
+    | Some l -> Format.asprintf "%a" Label.pp l
+  in
+  Format.fprintf ppf "txn#%d(%a,%s){%s}" t.id Tid.pp t.tid label
+    (String.concat "," (List.map string_of_int (Array.to_list t.ops)))

@@ -1,0 +1,33 @@
+(** Transaction segmentation (Section 2).
+
+    A transaction is the sequence of operations executed by a thread from an
+    outermost [Begin] up to and including the matching [End] — or up to the
+    end of the trace when the block is never closed. Nested [Begin]/[End]
+    pairs stay inside the enclosing transaction. An operation outside any
+    atomic block forms a unary transaction by itself, so every operation of
+    a trace belongs to exactly one transaction and every transaction is
+    non-empty. *)
+
+open Ids
+
+type t = {
+  id : int;  (** dense index into the segmentation, in order of first op *)
+  tid : Tid.t;
+  label : Label.t option;  (** [None] for unary transactions *)
+  ops : int array;  (** ascending indices into the trace *)
+}
+
+type segmentation = {
+  txns : t array;
+  owner : int array;  (** [owner.(i)] is the transaction id of trace op [i] *)
+}
+
+val segment : Trace.t -> segmentation
+
+val is_unary : t -> bool
+
+val serial : Trace.t -> bool
+(** True iff every transaction's operations are contiguous in the trace —
+    the paper's definition of a serial trace. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/twopl/twopl.ml: Backend Event Hashtbl Label List Names Op Printf Tid Velodrome_analysis Velodrome_trace Warning

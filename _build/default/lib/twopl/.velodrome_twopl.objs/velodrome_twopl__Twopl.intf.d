@@ -1,0 +1,1 @@
+lib/twopl/twopl.mli: Backend Event Names Velodrome_analysis Velodrome_trace Warning

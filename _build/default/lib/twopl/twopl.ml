@@ -1,0 +1,109 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_analysis
+
+type config = { strict : bool }
+
+let default_config = { strict = false }
+
+type thread_state = {
+  mutable blocks : int list;  (** open block labels, innermost first *)
+  mutable shrinking : bool;  (** a release has happened in this block *)
+  mutable held : int;  (** locks currently held (count) *)
+  mutable violated : bool;
+}
+
+type t = {
+  names : Names.t;
+  config : config;
+  threads : (int, thread_state) Hashtbl.t;
+  mutable warnings_rev : Warning.t list;
+  reported : (int, unit) Hashtbl.t;
+}
+
+let name = "2pl"
+
+let create ?(config = default_config) names =
+  {
+    names;
+    config;
+    threads = Hashtbl.create 8;
+    warnings_rev = [];
+    reported = Hashtbl.create 8;
+  }
+
+let thread t ti =
+  match Hashtbl.find_opt t.threads ti with
+  | Some st -> st
+  | None ->
+    let st = { blocks = []; shrinking = false; held = 0; violated = false } in
+    Hashtbl.replace t.threads ti st;
+    st
+
+let report t st (e : Event.t) reason =
+  if not st.violated then begin
+    st.violated <- true;
+    let label =
+      match List.rev st.blocks with
+      | l :: _ -> Some (Label.of_int l)
+      | [] -> None
+    in
+    let key = match label with Some l -> Label.to_int l | None -> -1 in
+    if not (Hashtbl.mem t.reported key) then begin
+      Hashtbl.replace t.reported key ();
+      t.warnings_rev <-
+        Warning.make ~analysis:name ~kind:Warning.Reduction_failure
+          ~tid:(Op.tid e.Event.op) ?label ~index:e.Event.index
+          (Printf.sprintf "two-phase locking violated: %s" reason)
+        :: t.warnings_rev
+    end
+  end
+
+let in_atomic st = st.blocks <> []
+
+let on_event t (e : Event.t) =
+  let ti = Tid.to_int (Op.tid e.Event.op) in
+  let st = thread t ti in
+  match e.Event.op with
+  | Op.Begin (_, l) ->
+    if st.blocks = [] then begin
+      st.shrinking <- false;
+      st.violated <- false
+    end;
+    st.blocks <- Label.to_int l :: st.blocks
+  | Op.End _ -> (
+    match st.blocks with
+    | _ :: rest ->
+      st.blocks <- rest;
+      if rest = [] then begin
+        st.shrinking <- false;
+        st.violated <- false
+      end
+    | [] -> ())
+  | Op.Acquire _ ->
+    if in_atomic st && st.shrinking then
+      report t st e "lock acquired after a release (shrinking phase)";
+    st.held <- st.held + 1
+  | Op.Release _ ->
+    if in_atomic st then st.shrinking <- true;
+    st.held <- max 0 (st.held - 1)
+  | Op.Read (_, x) | Op.Write (_, x) ->
+    if
+      t.config.strict && in_atomic st && st.held = 0
+      && not (Names.is_volatile t.names x)
+    then report t st e "shared access while holding no lock"
+
+let finish _ = ()
+let warnings t = List.rev t.warnings_rev
+
+let backend ?(config = default_config) () : (module Backend.S) =
+  (module struct
+    type nonrec t = t
+
+    let name = name
+    let create names = create ~config names
+    let on_event = on_event
+    let pause_hint _ _ = false
+    let finish = finish
+    let warnings = warnings
+  end)

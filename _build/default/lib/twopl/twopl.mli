@@ -1,0 +1,42 @@
+(** Two-phase-locking discipline checking.
+
+    The related-work baseline of Section 7: Xu, Bodík and Hill's
+    serializability violation detector enforces (a variant of) strict
+    two-phase locking — a {e sufficient but not necessary} condition for
+    serializability, so its violations "do not necessarily imply that the
+    observed trace is not serializable". This module implements that
+    style of checker over the paper's event alphabet, giving the
+    evaluation a third precision point between the Atomizer and
+    Velodrome:
+
+    - {b Two-phase rule}: within an atomic block, every lock acquire must
+      precede every lock release (a growing phase then a shrinking
+      phase). An acquire after any release is reported.
+    - {b Strict variant} ([strict = true]): additionally, every shared
+      variable access inside an atomic block must happen while at least
+      one lock is held — the analogue of strict 2PL's "hold locks to
+      commit" requirement for this lock model.
+
+    Like the Atomizer and unlike Velodrome, this checker generalizes over
+    schedules: it reports the discipline violation whether or not the
+    observed interleaving actually exhibits non-serializable behaviour —
+    all the precision caveats of Section 7 apply and are demonstrated in
+    the test suite (the volatile hand-off program is flagged despite
+    being serializable). *)
+
+open Velodrome_trace
+open Velodrome_analysis
+
+type config = { strict : bool }
+
+val default_config : config
+(** Two-phase rule only ([strict = false]). *)
+
+type t
+
+val create : ?config:config -> Names.t -> t
+val on_event : t -> Event.t -> unit
+val finish : t -> unit
+val warnings : t -> Warning.t list
+val name : string
+val backend : ?config:config -> unit -> (module Backend.S)

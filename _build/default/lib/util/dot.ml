@@ -1,0 +1,35 @@
+type node = { id : string; label : string; emphasized : bool }
+type edge = { src : string; dst : string; edge_label : string; dashed : bool }
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ~name nodes edges =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  node [shape=box, fontname=\"Helvetica\"];\n";
+  List.iter
+    (fun n ->
+      let style = if n.emphasized then ", peripheries=2, style=bold" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" [label=\"%s\"%s];\n" (escape n.id)
+           (escape n.label) style))
+    nodes;
+  List.iter
+    (fun e ->
+      let style = if e.dashed then ", style=dashed" else "" in
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s\"%s];\n" (escape e.src)
+           (escape e.dst) (escape e.edge_label) style))
+    edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,22 @@
+(** Minimal Graphviz dot emission.
+
+    Velodrome renders each atomicity-violation cycle as a dot graph (the
+    paper's error graphs, Section 5). This module only covers the subset
+    needed: digraphs with styled boxes and labeled, optionally dashed,
+    edges. *)
+
+type node = {
+  id : string;  (** dot identifier; escaped on output *)
+  label : string;
+  emphasized : bool;  (** drawn with a bold outline (the blamed node) *)
+}
+
+type edge = {
+  src : string;
+  dst : string;
+  edge_label : string;
+  dashed : bool;  (** the cycle-closing edge is rendered dashed *)
+}
+
+val render : name:string -> node list -> edge list -> string
+(** [render ~name nodes edges] is the textual dot digraph. *)

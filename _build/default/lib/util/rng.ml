@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy g = { state = g.state }
+
+let next_seed g =
+  g.state <- Int64.add g.state golden_gamma;
+  g.state
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 g = mix (next_seed g)
+
+let split g =
+  let s = int64 g in
+  { state = s }
+
+let bits g = Int64.to_int (Int64.shift_right_logical (int64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits g in
+    let v = r mod n in
+    if r - v > (max_int / 2 * 2) - n + 1 then go () else v
+  in
+  go ()
+
+let float g x =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 g) 11) in
+  x *. (r /. 9007199254740992.0)
+
+let bool g = Int64.logand (int64 g) 1L = 1L
+
+let choose g arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int g (Array.length arr))
+
+let shuffle g arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,44 @@
+(** Deterministic pseudo-random number generation.
+
+    Every source of randomness in this repository (schedulers, workload
+    generators, QCheck seeds for reproducibility studies) goes through this
+    module so that any run can be replayed exactly from its seed. The
+    generator is splitmix64: tiny state, good statistical quality, and
+    trivially splittable, which the simulator uses to give each thread an
+    independent stream. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator. Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Next non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Raises [Invalid_argument] if
+    [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a array -> 'a
+(** Uniform choice from a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,39 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable count : int;
+}
+
+let create () = { ids = Hashtbl.create 64; names = Array.make 16 ""; count = 0 }
+
+let grow t =
+  let cap = Array.length t.names in
+  if t.count >= cap then begin
+    let names = Array.make (2 * cap) "" in
+    Array.blit t.names 0 names 0 cap;
+    t.names <- names
+  end
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+    let id = t.count in
+    grow t;
+    t.names.(id) <- s;
+    t.count <- t.count + 1;
+    Hashtbl.add t.ids s id;
+    id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Symtab.name: unknown id";
+  t.names.(id)
+
+let size t = t.count
+
+let iter t f =
+  for id = 0 to t.count - 1 do
+    f id t.names.(id)
+  done

@@ -1,0 +1,1 @@
+lib/workloads/patterns.mli: Ast Builder Lock Var Velodrome_sim Velodrome_trace

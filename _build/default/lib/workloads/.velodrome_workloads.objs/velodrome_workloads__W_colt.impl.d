@@ -1,0 +1,1 @@
+lib/workloads/w_colt.ml: Array Builder List Patterns Printf Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_colt.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_elevator.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_hedc.ml: Builder Patterns Sizes Stdlib Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_hedc.mli: Sizes Velodrome_sim

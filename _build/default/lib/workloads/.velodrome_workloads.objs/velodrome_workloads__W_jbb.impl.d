@@ -1,0 +1,1 @@
+lib/workloads/w_jbb.ml: Array Builder List Patterns Printf Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_jbb.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_jigsaw.ml: Array Builder List Patterns Printf Sizes Stdlib Velodrome_sim

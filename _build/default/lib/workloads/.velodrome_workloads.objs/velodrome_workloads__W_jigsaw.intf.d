@@ -1,0 +1,1 @@
+lib/workloads/w_jigsaw.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_moldyn.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_montecarlo.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_mtrt.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_multiset.ml: Builder Patterns Sizes Velodrome_sim

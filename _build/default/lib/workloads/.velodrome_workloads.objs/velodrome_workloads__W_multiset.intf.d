@@ -1,0 +1,1 @@
+lib/workloads/w_multiset.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_philo.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_raja.ml: Builder Patterns Sizes Velodrome_sim

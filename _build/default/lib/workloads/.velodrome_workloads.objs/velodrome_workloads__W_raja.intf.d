@@ -1,0 +1,1 @@
+lib/workloads/w_raja.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_raytracer.ml: Builder Patterns Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_raytracer.mli: Sizes Velodrome_sim

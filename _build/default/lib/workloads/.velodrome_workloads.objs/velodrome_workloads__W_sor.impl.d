@@ -1,0 +1,1 @@
+lib/workloads/w_sor.ml: Builder Patterns Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_sor.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_tsp.ml: Builder Patterns Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_tsp.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_webl.ml: Array Builder List Patterns Printf Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/w_webl.mli: Sizes Velodrome_sim

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: List Sizes Velodrome_sim W_colt W_elevator W_hedc W_jbb W_jigsaw W_moldyn W_montecarlo W_mtrt W_multiset W_philo W_raja W_raytracer W_sor W_tsp W_webl

@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Velodrome_sim

@@ -1,0 +1,7 @@
+(* Shared size-scaling knobs. [scale size (s, m, l)] picks the component
+   matching the requested size. *)
+
+type size = Small | Medium | Large
+
+let scale size (s, m, l) =
+  match size with Small -> s | Medium -> m | Large -> l

@@ -1,0 +1,6 @@
+(** Workload size scaling. *)
+
+type size = Small | Medium | Large
+
+val scale : size -> int * int * int -> int
+(** [scale size (small, medium, large)] picks the matching component. *)

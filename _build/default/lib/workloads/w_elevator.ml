@@ -1,0 +1,88 @@
+(* elevator — a discrete event simulator for elevators (von Praun &
+   Gross). Lift threads poll a controller's shared call board. The
+   controller's own state is lock-protected, but several methods
+   read-modify-write board counters without holding the lock — the real
+   violations. One method reads the lift configuration (written during
+   setup only) inside an atomic block, which the Atomizer flags
+   spuriously. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "elevator"
+let description = "discrete-event elevator simulator (lift worker pool)"
+
+let methods =
+  [
+    ("Lift.pickup", false, false);
+    ("Lift.dropoff", false, false);
+    ("Lift.claimCall", false, false);
+    ("Controller.postCall", false, false);
+    ("Stats.record", false, false);
+    ("Lift.readConfig", true, false);  (* Atomizer false alarm *)
+    ("Controller.tick", true, false);
+    ("Board.update", true, false);
+    ("Board.scan", true, false);
+    ("Board.sweep", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let lifts = Sizes.scale size (2, 3, 4) in
+  let iters = Sizes.scale size (8, 40, 120) in
+  let board = lock b "board" in
+  let calls = var b "calls" in
+  let riders = var b "riders" in
+  let stats = var b "stats" in
+  let cfg_floors = var b ~init:8 "cfg.floors" in
+  let cfg_speed = var b ~init:3 "cfg.speed" in
+  let ticks = var b "ticks" in
+  let board_state = var b "board.state" in
+  let board_queue = var b "board.queue" in
+  let board_log = var b "board.log" in
+  (* Controller thread: posts calls and ticks the lock-protected clock. *)
+  thread b
+    (let k = fresh_reg b in
+     [
+       local k (i 0);
+       while_ (r k <: i iters)
+         [
+           Patterns.racy_rmw b ~label:"Controller.postCall" ~var:calls;
+           Patterns.locked_rmw b ~label:"Controller.tick" ~lock:board
+             ~var:ticks;
+           work 20;
+           local k (r k +: i 1);
+         ];
+     ]);
+  (* Lift threads: claim calls, move riders, update shared stats. *)
+  threads b lifts (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          [
+            Patterns.racy_rmw b ~label:"Lift.claimCall" ~var:calls;
+            Patterns.double_read b ~label:"Lift.pickup" ~var:riders;
+            Patterns.racy_rmw b ~label:"Lift.dropoff" ~var:riders;
+            Patterns.config_reader b ~label:"Lift.readConfig" ~a:cfg_floors
+              ~b:cfg_speed ~sink:None;
+            Patterns.racy_rmw b ~label:"Stats.record" ~var:stats;
+            (* Correctly synchronized board operations, contended across
+               lifts — the defect-injection study removes these locks.
+               Lifts visit the board on alternating iterations, so the
+               stripped-lock mutants have windows that only sometimes
+               overlap (the paper's ~30 % single-run detection regime). *)
+            Patterns.staggered ~period:3 ~iter:k
+              (Patterns.locked_rmw b ~label:"Board.update" ~lock:board
+                 ~var:board_state);
+            Patterns.staggered ~period:3 ~iter:k
+              (Patterns.locked_rmw b ~label:"Board.scan" ~lock:board
+                 ~var:board_queue);
+            Patterns.staggered ~period:3 ~iter:k
+              (Patterns.locked_rmw b ~label:"Board.sweep" ~lock:board
+                 ~var:board_log);
+            work 10;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

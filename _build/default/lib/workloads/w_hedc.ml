@@ -1,0 +1,83 @@
+(* hedc — a tool that fetches astrophysics data from several web sources
+   through a pool of worker tasks (von Praun & Gross). A lock-protected
+   task queue feeds the workers; result aggregation is under-synchronized
+   (the real violations). The "done" protocol reads two volatile flags in
+   one atomic method — an Atomizer false alarm. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "hedc"
+let description = "web metadata fetcher with a synchronized task queue"
+
+let methods =
+  [
+    ("Task.completeCount", false, false);
+    ("Task.bytesFetched", false, false);
+    ("Task.errorCount", false, false);
+    ("MetaSearch.mergeResult", false, false);
+    ("MetaSearch.dedup", false, false);
+    ("Cache.touch", false, false);
+    ("Pool.checkDone", true, false);  (* volatile pair: false alarm *)
+    ("Pool.readLimits", true, false);  (* config pair: false alarm *)
+    ("Queue.take", true, false);
+    ("Queue.put", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let workers = Sizes.scale size (2, 4, 6) in
+  let iters = Sizes.scale size (6, 30, 90) in
+  let qlock = lock b "queue" in
+  let queue_size = var b "queue.size" in
+  let completed = var b "completed" in
+  let bytes = var b "bytes" in
+  let errors = var b "errors" in
+  let results = var b "results" in
+  let dedup = var b "dedupTable" in
+  let cache = var b "cacheClock" in
+  let cfg_limit = var b ~init:64 "cfg.limit" in
+  let cfg_hosts = var b ~init:4 "cfg.hosts" in
+  let done_flag = volatile b "done" in
+  (* Never written after initialization: reading it twice in one atomic
+     block is serializable in every schedule, yet the Atomizer flags it
+     (volatile accesses are non-movers) — a guaranteed false alarm. *)
+  let cancelled = volatile b "cancelled" in
+  (* Producer: fills the queue, then signals completion. *)
+  thread b
+    (let k = fresh_reg b in
+     [
+       local k (i 0);
+       while_ (r k <: i (Stdlib.( * ) iters workers))
+         [
+           Patterns.locked_rmw b ~label:"Queue.put" ~lock:qlock ~var:queue_size;
+           work 5;
+           local k (r k +: i 1);
+         ];
+       write done_flag (i 1);
+     ]);
+  threads b workers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          [
+            Patterns.locked_rmw b ~label:"Queue.take" ~lock:qlock
+              ~var:queue_size;
+            work 15;
+            Patterns.racy_rmw b ~label:"Task.completeCount" ~var:completed;
+            Patterns.racy_rmw b ~label:"Task.bytesFetched" ~var:bytes;
+            Patterns.racy_rmw b ~label:"Task.errorCount" ~var:errors;
+            Patterns.double_read b ~label:"MetaSearch.mergeResult" ~var:results;
+            Patterns.racy_rmw b ~label:"MetaSearch.dedup" ~var:dedup;
+            Patterns.racy_rmw b ~label:"Cache.touch" ~var:cache;
+            Patterns.volatile_pair_reader b ~label:"Pool.checkDone"
+              ~flag:cancelled;
+            Patterns.config_reader b ~label:"Pool.readLimits" ~a:cfg_limit
+              ~b:cfg_hosts ~sink:None;
+            local k (r k +: i 1);
+          ];
+      ]);
+  (* The merge methods need writers on their variables from a second
+     party: workers already contend with each other on all of them. *)
+  program b

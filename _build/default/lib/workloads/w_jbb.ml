@@ -1,0 +1,74 @@
+(* jbb — modelled on SPEC JBB2000: warehouse worker threads running
+   business transactions against per-warehouse locked state. The paper
+   reports 42 Atomizer false alarms on jbb, caused by imprecise race
+   reasoning on data initialized before the workers fork; we reproduce
+   that with a family of transaction methods that read two fork-time
+   configuration fields each inside an atomic block. The 5 real
+   violations are under-locked global counters. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "jbb"
+let description = "business-object transaction simulator (SPEC JBB style)"
+
+let fa_family = 42
+
+let methods =
+  List.init fa_family (fun k ->
+      (Printf.sprintf "Company.readProps%02d" k, true, false))
+  @ [
+      ("District.nextOrderId", false, false);
+      ("Company.totalOrders", false, false);
+      ("Company.totalPayments", false, false);
+      ("Warehouse.ytd", false, false);
+      ("Stock.level", false, false);
+      ("Warehouse.newOrder", true, false);
+      ("Warehouse.payment", true, false);
+    ]
+
+let build size =
+  let b = create () in
+  let warehouses = Sizes.scale size (2, 3, 4) in
+  let iters = Sizes.scale size (4, 12, 30) in
+  let wh_lock = Array.init warehouses (fun k -> lock b (Printf.sprintf "wh%d" k)) in
+  let wh_state =
+    Array.init warehouses (fun k -> var b (Printf.sprintf "wh%d.state" k))
+  in
+  let order_id = var b "district.orderId" in
+  let total_orders = var b "company.orders" in
+  let total_payments = var b "company.payments" in
+  let ytd = var b "warehouse.ytd" in
+  let stock = var b "stock.level" in
+  let props =
+    Array.init (fa_family * 2) (fun k ->
+        var b ~init:(k + 1) (Printf.sprintf "props.%02d" k))
+  in
+  threads b warehouses (fun w ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          ([
+             Patterns.locked_rmw b ~label:"Warehouse.newOrder"
+               ~lock:wh_lock.(w) ~var:wh_state.(w);
+             Patterns.racy_rmw b ~label:"District.nextOrderId" ~var:order_id;
+             Patterns.racy_rmw b ~label:"Company.totalOrders"
+               ~var:total_orders;
+             Patterns.racy_rmw b ~label:"Company.totalPayments"
+               ~var:total_payments;
+             Patterns.racy_rmw b ~label:"Warehouse.ytd" ~var:ytd;
+             Patterns.racy_rmw b ~label:"Stock.level" ~var:stock;
+             Patterns.locked_rmw b ~label:"Warehouse.payment"
+               ~lock:wh_lock.(w) ~var:wh_state.(w);
+             work 30;
+           ]
+          @ List.init fa_family (fun f ->
+                Patterns.config_reader b
+                  ~label:(Printf.sprintf "Company.readProps%02d" f)
+                  ~a:props.(2 * f)
+                  ~b:props.((2 * f) + 1)
+                  ~sink:None)
+          @ [ local k (r k +: i 1) ]);
+      ]);
+  program b

@@ -1,0 +1,77 @@
+(* jigsaw — the W3C web server serving a fixed number of pages to a
+   crawler. Many request-handler methods touch per-resource counters and
+   the resource store without the store's lock: the paper counts 55
+   non-atomic methods, 11 of which Velodrome missed in its five runs
+   (one mischaracterized method accounts for 6 of them); 5 Atomizer
+   false alarms come from server configuration reads. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "jigsaw"
+let description = "web server: acceptor plus handler worker pool"
+
+let common = 44
+let rare = 11
+let fa = 5
+
+let methods =
+  List.init common (fun k ->
+      (Printf.sprintf "Handler.serve%02d" k, false, false))
+  @ List.init rare (fun k ->
+        (Printf.sprintf "Handler.once%02d" k, false, true))
+  @ List.init fa (fun k ->
+        (Printf.sprintf "Config.read%d" k, true, false))
+  @ [ ("Store.lockedLookup", true, false) ]
+
+let build size =
+  let b = create () in
+  let handlers = Sizes.scale size (3, 4, 6) in
+  let requests = Sizes.scale size (3, 10, 30) in
+  let store_lock = lock b "store" in
+  let store = var b "store.entries" in
+  let counters =
+    Array.init common (fun k -> var b (Printf.sprintf "res.%02d" k))
+  in
+  let onces =
+    Array.init rare (fun k -> var b (Printf.sprintf "once.%02d" k))
+  in
+  let cfg =
+    Array.init (fa * 2) (fun k -> var b ~init:(k + 41) (Printf.sprintf "srv.%02d" k))
+  in
+  (* Acceptor: hands out work by bumping the store under its lock. *)
+  thread b
+    (let k = fresh_reg b in
+     [
+       local k (i 0);
+       while_ (r k <: i (Stdlib.( * ) requests handlers))
+         [
+           Patterns.locked_rmw b ~label:"Store.lockedLookup" ~lock:store_lock
+             ~var:store;
+           work 10;
+           local k (r k +: i 1);
+         ];
+     ]);
+  threads b handlers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i requests)
+          (List.init common (fun f ->
+               Patterns.racy_rmw b
+                 ~label:(Printf.sprintf "Handler.serve%02d" f)
+                 ~var:counters.(f))
+          @ List.init rare (fun f ->
+                Patterns.staggered ~period:4 ~iter:k
+                  (Patterns.rare_rmw b
+                     ~label:(Printf.sprintf "Handler.once%02d" f)
+                     ~var:onces.(f)))
+          @ List.init fa (fun f ->
+                Patterns.config_reader b
+                  ~label:(Printf.sprintf "Config.read%d" f)
+                  ~a:cfg.(2 * f)
+                  ~b:cfg.((2 * f) + 1)
+                  ~sink:None)
+          @ [ work 20; local k (r k +: i 1) ]);
+      ]);
+  program b

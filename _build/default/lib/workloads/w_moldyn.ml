@@ -1,0 +1,51 @@
+(* moldyn — molecular dynamics from the Java Grande suite: barrier-phased
+   force computation with global reductions. The reductions that skip the
+   reduction lock are the 4 real violations. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "moldyn"
+let description = "barrier-phased molecular dynamics with global reductions"
+
+let methods =
+  [
+    ("Moldyn.forceX", false, false);
+    ("Moldyn.forceY", false, false);
+    ("Moldyn.kineticEnergy", false, false);
+    ("Moldyn.virial", false, false);
+    ("Moldyn.reduceTemp", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let parties = Sizes.scale size (2, 3, 4) in
+  let steps = Sizes.scale size (4, 14, 36) in
+  let red_lock = lock b "reduction" in
+  let fx = var b "force.x" in
+  let fy = var b "force.y" in
+  let ke = var b "kinetic" in
+  let virial = var b "virial" in
+  let temp = var b "temperature" in
+  threads b parties (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i steps)
+          ([
+             work 150;
+             Patterns.racy_rmw b ~label:"Moldyn.forceX" ~var:fx;
+             Patterns.racy_rmw b ~label:"Moldyn.forceY" ~var:fy;
+           ]
+          @ Patterns.barrier b ~prefix:"moldyn.b1" ~parties
+          @ [
+              Patterns.racy_rmw b ~label:"Moldyn.kineticEnergy" ~var:ke;
+              Patterns.double_read b ~label:"Moldyn.virial" ~var:virial;
+              Patterns.racy_rmw b ~label:"Moldyn.virial" ~var:virial;
+              Patterns.locked_rmw b ~label:"Moldyn.reduceTemp" ~lock:red_lock
+                ~var:temp;
+            ]
+          @ Patterns.barrier b ~prefix:"moldyn.b2" ~parties
+          @ [ local k (r k +: i 1) ]);
+      ]);
+  program b

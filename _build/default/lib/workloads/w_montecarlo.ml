@@ -1,0 +1,58 @@
+(* montecarlo — Java Grande Monte Carlo pricing: embarrassingly parallel
+   simulations whose results land in a synchronized vector, plus a group
+   of global statistics methods that skip the vector's lock — the 6 real
+   violations. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "montecarlo"
+let description = "Monte Carlo simulation with a synchronized results vector"
+
+let methods =
+  [
+    ("MC.sumPrice", false, false);
+    ("MC.sumSquares", false, false);
+    ("MC.minPrice", false, false);
+    ("MC.maxPrice", false, false);
+    ("MC.pathCount", false, false);
+    ("MC.seedTick", false, false);
+    ("Results.append", true, false);
+    ("Results.size", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let workers = Sizes.scale size (2, 4, 6) in
+  let paths = Sizes.scale size (5, 25, 70) in
+  let vec_lock = lock b "results" in
+  let vec = var b "results.data" in
+  let sum = var b "stat.sum" in
+  let squares = var b "stat.squares" in
+  let minp = var b "stat.min" in
+  let maxp = var b "stat.max" in
+  let count = var b "stat.count" in
+  let seed = var b "stat.seed" in
+  threads b workers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i paths)
+          [
+            work 100;
+            Patterns.locked_rmw b ~label:"Results.append" ~lock:vec_lock
+              ~var:vec;
+            Patterns.locked_rmw b ~label:"Results.size" ~lock:vec_lock
+              ~var:vec;
+            Patterns.racy_rmw b ~label:"MC.sumPrice" ~var:sum;
+            Patterns.racy_rmw b ~label:"MC.sumSquares" ~var:squares;
+            Patterns.double_read b ~label:"MC.minPrice" ~var:minp;
+            Patterns.racy_rmw b ~label:"MC.minPrice" ~var:minp;
+            Patterns.double_read b ~label:"MC.maxPrice" ~var:maxp;
+            Patterns.racy_rmw b ~label:"MC.maxPrice" ~var:maxp;
+            Patterns.racy_rmw b ~label:"MC.pathCount" ~var:count;
+            Patterns.racy_rmw b ~label:"MC.seedTick" ~var:seed;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

@@ -1,0 +1,56 @@
+(* mtrt — the SPEC JVM98 multithreaded ray tracer. Render threads share a
+   read-only scene built before they start; the paper attributes mtrt's 27
+   Atomizer false alarms to exactly this fork-join idiom (plus
+   uninstrumented-library effects), reproduced here as a family of scene
+   accessors. The 2 real violations are shared render counters. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "mtrt"
+let description = "multithreaded ray tracer over a fork-time scene"
+
+let fa_family = 27
+
+let methods =
+  List.init fa_family (fun k ->
+      (Printf.sprintf "Scene.node%02d" k, true, false))
+  @ [
+      ("RayTracer.pixelCount", false, false);
+      ("RayTracer.checksum", false, false);
+      ("Canvas.commitRow", true, false);
+    ]
+
+let build size =
+  let b = create () in
+  let renderers = Sizes.scale size (2, 3, 4) in
+  let rows = Sizes.scale size (4, 12, 32) in
+  let canvas_lock = lock b "canvas" in
+  let canvas = var b "canvas.rows" in
+  let pixels = var b "pixels" in
+  let checksum = var b "checksum" in
+  let scene =
+    Array.init (fa_family * 2) (fun k ->
+        var b ~init:(k * 7) (Printf.sprintf "scene.%02d" k))
+  in
+  threads b renderers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i rows)
+          ([ work 120 ]
+          @ List.init fa_family (fun f ->
+                Patterns.config_reader b
+                  ~label:(Printf.sprintf "Scene.node%02d" f)
+                  ~a:scene.(2 * f)
+                  ~b:scene.((2 * f) + 1)
+                  ~sink:None)
+          @ [
+              Patterns.racy_rmw b ~label:"RayTracer.pixelCount" ~var:pixels;
+              Patterns.racy_rmw b ~label:"RayTracer.checksum" ~var:checksum;
+              Patterns.locked_rmw b ~label:"Canvas.commitRow"
+                ~lock:canvas_lock ~var:canvas;
+              local k (r k +: i 1);
+            ]);
+      ]);
+  program b

@@ -1,0 +1,58 @@
+(* multiset — the paper's running example (Section 1): a Set built on a
+   synchronized Vector. Each Vector operation takes the vector's monitor,
+   but the Set-level methods compose two of them, leaving a window — the
+   contains/add pattern of Set.add. All five composite methods are real
+   violations; the underlying Vector operations are atomic. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "multiset"
+let description = "Set over a synchronized Vector (the paper's Section 1 bug)"
+
+let methods =
+  [
+    ("Set.add", false, false);
+    ("Set.remove", false, false);
+    ("Set.addAll", false, false);
+    ("Set.retain", false, false);
+    ("Set.sizeSum", false, false);
+    ("Vector.add", true, false);
+    ("Vector.contains", true, false);
+  ]
+
+(* A composite method: two lock-protected vector operations inside one
+   atomic block, with nothing protecting the gap between them. *)
+let composite b ~label:l ~lock:m ~var:x =
+  let t1 = fresh_reg b in
+  let t2 = fresh_reg b in
+  atomic (label b l)
+    (sync m [ read t1 x ]
+    @ [ yield ]
+    @ sync m [ read t2 x; write x (r t2 +: i 1) ])
+
+let build size =
+  let b = create () in
+  let adders = Sizes.scale size (2, 3, 4) in
+  let iters = Sizes.scale size (8, 40, 110) in
+  let vec = lock b "vector" in
+  let elems = var b "elems" in
+  let other = var b "elems2" in
+  threads b adders (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          [
+            composite b ~label:"Set.add" ~lock:vec ~var:elems;
+            composite b ~label:"Set.remove" ~lock:vec ~var:elems;
+            composite b ~label:"Set.addAll" ~lock:vec ~var:other;
+            composite b ~label:"Set.retain" ~lock:vec ~var:other;
+            composite b ~label:"Set.sizeSum" ~lock:vec ~var:elems;
+            Patterns.locked_rmw b ~label:"Vector.add" ~lock:vec ~var:elems;
+            atomic (label b "Vector.contains")
+              (sync vec [ read (fresh_reg b) elems ]);
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

@@ -1,0 +1,43 @@
+(* philo — dining philosophers over a single monitor (Elmas et al.'s
+   benchmark). Fork ownership is guarded by the table lock; the hungry
+   bookkeeping skips it — the 2 real violations. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "philo"
+let description = "dining philosophers over one table monitor"
+
+let methods =
+  [
+    ("Philo.hungry", false, false);
+    ("Philo.meals", false, false);
+    ("Table.pickForks", true, false);
+    ("Table.dropForks", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let philos = Sizes.scale size (2, 4, 5) in
+  let rounds = Sizes.scale size (6, 30, 90) in
+  let table = lock b "table" in
+  let forks = var b "forks" in
+  let hungry = var b "hungry" in
+  let meals = var b "meals" in
+  threads b philos (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i rounds)
+          [
+            Patterns.racy_rmw b ~label:"Philo.hungry" ~var:hungry;
+            Patterns.locked_rmw b ~label:"Table.pickForks" ~lock:table
+              ~var:forks;
+            work 25;
+            Patterns.locked_rmw b ~label:"Table.dropForks" ~lock:table
+              ~var:forks;
+            Patterns.racy_rmw b ~label:"Philo.meals" ~var:meals;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

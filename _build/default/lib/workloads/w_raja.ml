@@ -1,0 +1,44 @@
+(* raja — a small, correctly synchronized ray tracer. Table 2 reports
+   zero warnings from either tool: every shared access is consistently
+   locked, so the program is the suite's clean control. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "raja"
+let description = "fully synchronized ray tracer (the clean control)"
+
+let methods =
+  [
+    ("Raja.shade", true, false);
+    ("Raja.intersect", true, false);
+    ("Raja.accumulate", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let renderers = Sizes.scale size (2, 3, 4) in
+  let rays = Sizes.scale size (8, 40, 120) in
+  let scene_lock = lock b "scene" in
+  let acc_lock = lock b "accumulator" in
+  let hits = var b "hits" in
+  let shades = var b "shades" in
+  let image = var b "image" in
+  let weights = var b "weights" in
+  threads b renderers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i rays)
+          [
+            work 60;
+            Patterns.locked_rmw b ~label:"Raja.intersect" ~lock:scene_lock
+              ~var:hits;
+            Patterns.locked_rmw b ~label:"Raja.shade" ~lock:scene_lock
+              ~var:shades;
+            Patterns.locked_pair_update b ~label:"Raja.accumulate"
+              ~lock:acc_lock ~a:image ~b:weights;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

@@ -1,0 +1,62 @@
+(* raytracer — Java Grande ray tracer. Two real violations: a frequently
+   contended pixel counter, and the famous checksum defect whose window
+   is a single adjacent read/write — Velodrome catches it only when the
+   scheduler happens to interpose the conflicting update, which is
+   exactly the method the paper's adversarial scheduling recovered. Three
+   Atomizer false alarms come from fork-time scene reads and a volatile
+   frame flag. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "raytracer"
+let description = "Java Grande ray tracer with the checksum defect"
+
+let methods =
+  [
+    ("JGFRay.pixelCounter", false, false);
+    ("JGFRay.checksum", false, true);  (* rare: needs a lucky schedule *)
+    ("Scene.lights", true, false);
+    ("Scene.objects", true, false);
+    ("Frame.flags", true, false);
+    ("Row.commit", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let renderers = Sizes.scale size (2, 3, 4) in
+  let rows = Sizes.scale size (6, 30, 80) in
+  let row_lock = lock b "rows" in
+  let row_state = var b "row.state" in
+  let pixel_count = var b "pixelCount" in
+  let checksum = var b "checksum" in
+  let lights_a = var b ~init:3 "lights.a" in
+  let lights_b = var b ~init:5 "lights.b" in
+  let objs_a = var b ~init:11 "objects.a" in
+  let objs_b = var b ~init:13 "objects.b" in
+  let frame_flag = volatile b "frame.ready" in
+  threads b renderers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i rows)
+          [
+            work 200;
+            Patterns.config_reader b ~label:"Scene.lights" ~a:lights_a
+              ~b:lights_b ~sink:None;
+            Patterns.config_reader b ~label:"Scene.objects" ~a:objs_a
+              ~b:objs_b ~sink:None;
+            Patterns.volatile_pair_reader b ~label:"Frame.flags"
+              ~flag:frame_flag;
+            Patterns.racy_rmw b ~label:"JGFRay.pixelCounter" ~var:pixel_count;
+            (* The checksum update: no scheduling point inside the
+               window, and threads reach it on different iterations, so
+               the violation rarely manifests. *)
+            Patterns.staggered ~period:3 ~iter:k
+              (Patterns.rare_rmw b ~label:"JGFRay.checksum" ~var:checksum);
+            Patterns.locked_rmw b ~label:"Row.commit" ~lock:row_lock
+              ~var:row_state;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

@@ -1,0 +1,48 @@
+(* sor — successive over-relaxation (von Praun & Gross): a barrier-phased
+   stencil over a shared grid. Each thread owns a band of rows; border
+   rows are exchanged between phases. The barriers synchronize correctly
+   (and invisibly to locksets, but they sit outside atomic methods so the
+   Atomizer stays quiet); the real violations are the border updates that
+   skip the row locks. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "sor"
+let description = "barrier-phased successive over-relaxation stencil"
+
+let methods =
+  [
+    ("Sor.updateNorth", false, false);
+    ("Sor.updateSouth", false, false);
+    ("Sor.residual", false, false);
+    ("Sor.updateInterior", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let bands = Sizes.scale size (2, 3, 4) in
+  let phases = Sizes.scale size (4, 16, 40) in
+  let row_lock = lock b "rows" in
+  let north = var b "north" in
+  let south = var b "south" in
+  let interior = var b "interior" in
+  let resid = var b "residual" in
+  threads b bands (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i phases)
+          ([
+             work 80;
+             Patterns.racy_rmw b ~label:"Sor.updateNorth" ~var:north;
+             Patterns.racy_rmw b ~label:"Sor.updateSouth" ~var:south;
+             Patterns.locked_rmw b ~label:"Sor.updateInterior" ~lock:row_lock
+               ~var:interior;
+             Patterns.double_read b ~label:"Sor.residual" ~var:resid;
+             Patterns.racy_rmw b ~label:"Sor.residual" ~var:resid;
+           ]
+          @ Patterns.barrier b ~prefix:"sor" ~parties:bands
+          @ [ local k (r k +: i 1) ]);
+      ]);
+  program b

@@ -1,0 +1,62 @@
+(* tsp — a branch-and-bound Traveling Salesman solver (von Praun &
+   Gross). Workers take subproblems from a locked pool and prune against
+   a shared best-tour bound. The classic tsp defects: the bound and the
+   statistics are read and updated without consistent locking. tsp is the
+   compute-bound outlier of Table 1, hence the heavy [work] blocks. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "tsp"
+let description = "branch-and-bound TSP solver with a shared tour bound"
+
+let methods =
+  [
+    ("Tsp.getMinTour", false, false);
+    ("Tsp.setMinTour", false, false);
+    ("Tsp.prune", false, false);
+    ("Tsp.splitJob", false, false);
+    ("Tsp.stealJob", false, false);
+    ("Stats.nodes", false, false);
+    ("Stats.prunes", false, false);
+    ("Stats.depth", false, false);
+    ("Pool.take", true, false);
+    ("Pool.put", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let workers = Sizes.scale size (2, 4, 6) in
+  let iters = Sizes.scale size (6, 30, 80) in
+  let pool_lock = lock b "pool" in
+  let pool_size = var b "pool.size" in
+  let min_tour = var b "minTour" in
+  let jobs = var b "jobs" in
+  let nodes = var b "nodes" in
+  let prunes = var b "prunes" in
+  let depth = var b "depth" in
+  threads b workers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          [
+            Patterns.locked_rmw b ~label:"Pool.take" ~lock:pool_lock
+              ~var:pool_size;
+            (* The search itself: pure compute. *)
+            work 400;
+            Patterns.double_read b ~label:"Tsp.getMinTour" ~var:min_tour;
+            Patterns.racy_rmw b ~label:"Tsp.prune" ~var:prunes;
+            work 200;
+            Patterns.racy_rmw b ~label:"Tsp.setMinTour" ~var:min_tour;
+            Patterns.racy_rmw b ~label:"Tsp.splitJob" ~var:jobs;
+            Patterns.double_read b ~label:"Tsp.stealJob" ~var:jobs;
+            Patterns.racy_rmw b ~label:"Stats.nodes" ~var:nodes;
+            Patterns.racy_rmw b ~label:"Stats.prunes" ~var:prunes;
+            Patterns.racy_rmw b ~label:"Stats.depth" ~var:depth;
+            Patterns.locked_rmw b ~label:"Pool.put" ~lock:pool_lock
+              ~var:pool_size;
+            local k (r k +: i 1);
+          ];
+      ]);
+  program b

@@ -1,0 +1,68 @@
+(* webl — a scripting-language interpreter running a small web crawler.
+   Interpreter service methods share a page cache and interpreter
+   globals with little synchronization: the paper counts 24 non-atomic
+   methods, of which Velodrome missed 2 (schedule-dependent), plus 2
+   Atomizer false alarms on fork-time interpreter configuration. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "webl"
+let description = "scripting interpreter running a web crawler"
+
+let common = 22
+let rare = 2
+
+let methods =
+  List.init common (fun k ->
+      (Printf.sprintf "Webl.service%02d" k, false, false))
+  @ List.init rare (fun k ->
+        (Printf.sprintf "Webl.lazyInit%02d" k, false, true))
+  @ [
+      ("Machine.globals", true, false);
+      ("Machine.builtins", true, false);
+      ("PageCache.lockedGet", true, false);
+    ]
+
+let build size =
+  let b = create () in
+  let crawlers = Sizes.scale size (2, 3, 4) in
+  let iters = Sizes.scale size (4, 14, 40) in
+  let cache_lock = lock b "pageCache" in
+  let cache = var b "cache.entries" in
+  let svc =
+    Array.init common (fun k -> var b (Printf.sprintf "svc.%02d" k))
+  in
+  let lazies =
+    Array.init rare (fun k -> var b (Printf.sprintf "weblLazy.%02d" k))
+  in
+  let g_a = var b ~init:17 "globals.a" in
+  let g_b = var b ~init:23 "globals.b" in
+  let bi_a = var b ~init:29 "builtins.a" in
+  let bi_b = var b ~init:31 "builtins.b" in
+  threads b crawlers (fun _ ->
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          (List.init common (fun f ->
+               Patterns.racy_rmw b
+                 ~label:(Printf.sprintf "Webl.service%02d" f)
+                 ~var:svc.(f))
+          @ List.init rare (fun f ->
+                Patterns.staggered ~period:4 ~iter:k
+                  (Patterns.rare_rmw b
+                     ~label:(Printf.sprintf "Webl.lazyInit%02d" f)
+                     ~var:lazies.(f)))
+          @ [
+              Patterns.config_reader b ~label:"Machine.globals" ~a:g_a ~b:g_b
+                ~sink:None;
+              Patterns.config_reader b ~label:"Machine.builtins" ~a:bi_a
+                ~b:bi_b ~sink:None;
+              Patterns.locked_rmw b ~label:"PageCache.lockedGet"
+                ~lock:cache_lock ~var:cache;
+              work 30;
+              local k (r k +: i 1);
+            ]);
+      ]);
+  program b

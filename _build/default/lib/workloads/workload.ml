@@ -1,0 +1,47 @@
+type size = Sizes.size = Small | Medium | Large
+
+type ground_truth = { label : string; atomic : bool; rare : bool }
+
+type t = {
+  name : string;
+  description : string;
+  build : size -> Velodrome_sim.Ast.program;
+  methods : ground_truth list;
+}
+
+let lift name description build methods =
+  {
+    name;
+    description;
+    build;
+    methods =
+      List.map (fun (label, atomic, rare) -> { label; atomic; rare }) methods;
+  }
+
+let all =
+  [
+    lift W_elevator.name W_elevator.description W_elevator.build
+      W_elevator.methods;
+    lift W_hedc.name W_hedc.description W_hedc.build W_hedc.methods;
+    lift W_tsp.name W_tsp.description W_tsp.build W_tsp.methods;
+    lift W_sor.name W_sor.description W_sor.build W_sor.methods;
+    lift W_jbb.name W_jbb.description W_jbb.build W_jbb.methods;
+    lift W_mtrt.name W_mtrt.description W_mtrt.build W_mtrt.methods;
+    lift W_moldyn.name W_moldyn.description W_moldyn.build W_moldyn.methods;
+    lift W_montecarlo.name W_montecarlo.description W_montecarlo.build
+      W_montecarlo.methods;
+    lift W_raytracer.name W_raytracer.description W_raytracer.build
+      W_raytracer.methods;
+    lift W_colt.name W_colt.description W_colt.build W_colt.methods;
+    lift W_philo.name W_philo.description W_philo.build W_philo.methods;
+    lift W_raja.name W_raja.description W_raja.build W_raja.methods;
+    lift W_multiset.name W_multiset.description W_multiset.build
+      W_multiset.methods;
+    lift W_webl.name W_webl.description W_webl.build W_webl.methods;
+    lift W_jigsaw.name W_jigsaw.description W_jigsaw.build W_jigsaw.methods;
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let non_atomic_count w =
+  List.length (List.filter (fun g -> not g.atomic) w.methods)

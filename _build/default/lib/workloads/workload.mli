@@ -1,0 +1,39 @@
+(** Benchmark workloads.
+
+    Fifteen programs mirroring the synchronization skeletons of the
+    paper's benchmark suite (Section 6). Each declares its {e methods}
+    (atomic-block labels) together with ground truth: whether the method
+    is genuinely atomic (so any warning against it is a false alarm) or
+    has a real atomicity violation. The evaluation harness uses this to
+    classify warnings mechanically, where the authors classified by hand.
+
+    The [size] knob scales thread counts and iteration counts; [Medium]
+    is what the tables use. *)
+
+type size = Small | Medium | Large
+
+type ground_truth = {
+  label : string;
+  atomic : bool;
+      (** true: serializable under every schedule — warnings are false
+          alarms. false: a real atomicity violation exists. *)
+  rare : bool;
+      (** true when the violation manifests only under few schedules —
+          the methods Velodrome tends to miss without adversarial
+          scheduling *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  build : size -> Velodrome_sim.Ast.program;
+  methods : ground_truth list;
+}
+
+val all : t list
+(** In the paper's Table 1 order. *)
+
+val find : string -> t option
+
+val non_atomic_count : t -> int
+(** Methods with a real violation. *)

@@ -1,0 +1,13 @@
+  $ velodrome list | head -4
+  $ velodrome run multiset --seed 3 2>&1 | head -3
+  $ velodrome check ../examples/account.vel --seed 9 2>&1 | tail -3
+  $ cat > spec.txt <<'SPEC'
+  > atomic *
+  > notatomic Teller.deposit
+  > SPEC
+  $ velodrome check ../examples/account.vel --seed 9 --spec spec.txt 2>&1 | tail -1
+  $ velodrome print raja | head -8
+  $ velodrome record multiset ms.trace --size small --seed 1
+  $ velodrome check-trace ms.trace -a velodrome 2>&1 | head -2
+  $ velodrome minimize ms.trace 2>&1 | head -1
+  $ velodrome fuzz -n 50 --seed 7

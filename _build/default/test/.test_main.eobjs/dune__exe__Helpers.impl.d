@@ -1,0 +1,1 @@
+test/helpers.ml: Event Format Gen Label List Lock Names Op QCheck QCheck_alcotest Rng Tid Trace Var Velodrome_core Velodrome_trace Velodrome_util

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Backend Empty Event Filters Format Helpers List Names String Trace Velodrome_analysis Velodrome_trace Warning

@@ -1,0 +1,1 @@
+test/test_inject.ml: Alcotest Array Ast Inject List Option Run Velodrome_inject Velodrome_lang Velodrome_sim Velodrome_trace Velodrome_workloads Workload

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Array Ast Check Interp Lexer List Names Option Parser Printer Result Run Velodrome_lang Velodrome_sim Velodrome_trace Velodrome_workloads

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_backends Test_core Test_harness Test_inject Test_lang Test_oracle Test_sim Test_trace Test_util Test_workloads

@@ -1,0 +1,1 @@
+test/test_oracle.ml: Alcotest Array Fun Gen Helpers Ids List Printf QCheck QCheck_alcotest Trace Txn Velodrome_oracle Velodrome_trace Velodrome_util

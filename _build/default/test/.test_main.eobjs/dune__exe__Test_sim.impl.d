@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ast Backend Builder Event Fun Ids Interp List Op Option Printf Run Trace Velodrome_analysis Velodrome_atomizer Velodrome_core Velodrome_sim Velodrome_trace Warning

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Filename Fun Gen Helpers List Names Op Printf QCheck QCheck_alcotest Sys Tid Trace Trace_io Txn Velodrome_trace Velodrome_util

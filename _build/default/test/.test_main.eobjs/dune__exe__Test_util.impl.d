@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Digraph Dot Fun List Rng Stats String Symtab Vec Velodrome_util

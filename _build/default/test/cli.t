@@ -1,0 +1,57 @@
+The workload registry:
+
+  $ velodrome list | head -4
+  elevator    discrete-event elevator simulator (lift worker pool)
+              methods: 10 (5 with real violations)
+  hedc        web metadata fetcher with a synchronized task queue
+              methods: 10 (6 with real violations)
+
+A deterministic workload run (seeded random scheduler):
+
+  $ velodrome run multiset --seed 3 2>&1 | head -3
+  multiset: 6720 events, 0 pauses
+  10 warning(s):
+    velodrome: atomicity-violation [Set.add] at #13: not self-serializable (refuted blocks: Set.add); cycle: Set.add(t2) -> Set.add(t1) -> Set.add(t2)
+
+Checking a textual program:
+
+  $ velodrome check ../examples/account.vel --seed 9 2>&1 | tail -3
+  2 warning(s):
+    velodrome: atomicity-violation [Teller.deposit] at #6: not self-serializable (refuted blocks: Teller.deposit); cycle: Teller.deposit(t0) -> Teller.deposit(t1) -> Teller.deposit(t0)
+    atomizer: reduction-failure [Teller.deposit] at #24: block is not reducible: second non-mover access after commit point
+
+An atomicity spec can silence methods:
+
+  $ cat > spec.txt <<'SPEC'
+  > atomic *
+  > notatomic Teller.deposit
+  > SPEC
+  $ velodrome check ../examples/account.vel --seed 9 --spec spec.txt 2>&1 | tail -1
+  No warnings.
+
+Printing a workload as .vel source:
+
+  $ velodrome print raja | head -8
+  var hits;
+  var shades;
+  var image;
+  var weights;
+  lock scene;
+  lock accumulator;
+  
+  thread {
+
+Record, replay and minimize a trace:
+
+  $ velodrome record multiset ms.trace --size small --seed 1
+  recorded 896 operations to ms.trace
+  $ velodrome check-trace ms.trace -a velodrome 2>&1 | head -2
+  ms.trace: 896 operations
+  5 warning(s):
+  $ velodrome minimize ms.trace 2>&1 | head -1
+  minimized 896 operations to 6:
+
+Differential fuzzing of the engines against the oracle:
+
+  $ velodrome fuzz -n 50 --seed 7
+  fuzz: 50 random traces, engine = basic = oracle on all of them

@@ -1,0 +1,54 @@
+(* Shared helpers for the test suites: compact trace construction and
+   QCheck arbitraries over well-formed traces. *)
+
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_util
+
+let t0 = Tid.of_int 0
+let t1 = Tid.of_int 1
+let t2 = Tid.of_int 2
+let x = Var.of_int 0
+let y = Var.of_int 1
+let z = Var.of_int 2
+let m = Lock.of_int 0
+let n = Lock.of_int 1
+let l0 = Label.of_int 0
+let l1 = Label.of_int 1
+let l2 = Label.of_int 2
+
+let rd t v = Op.Read (t, v)
+let wr t v = Op.Write (t, v)
+let acq t l = Op.Acquire (t, l)
+let rel t l = Op.Release (t, l)
+let bg t l = Op.Begin (t, l)
+let en t = Op.End t
+
+(* QCheck generator of well-formed traces driven by Gen.run; the QCheck
+   shrinker is not useful on whole traces, so we rely on small sizes. *)
+let trace_arbitrary cfg =
+  QCheck.make
+    ~print:(fun tr -> Format.asprintf "%a" Trace.pp tr)
+    (QCheck.Gen.map
+       (fun seed -> Gen.run (Rng.create seed) cfg)
+       (QCheck.Gen.int_bound 1_000_000))
+
+let qsuite name cells =
+  (name, List.map (QCheck_alcotest.to_alcotest ~long:false) cells)
+
+(* Run a trace through the optimized engine and return it. *)
+let run_engine ?config trace =
+  let names = Names.create () in
+  let eng = Velodrome_core.Engine.create ?config names in
+  List.iter (Velodrome_core.Engine.on_event eng)
+    (Event.of_ops (Trace.to_list trace));
+  Velodrome_core.Engine.finish eng;
+  eng
+
+let run_basic ?config trace =
+  let names = Names.create () in
+  let eng = Velodrome_core.Basic.create ?config names in
+  List.iter (Velodrome_core.Basic.on_event eng)
+    (Event.of_ops (Trace.to_list trace));
+  Velodrome_core.Basic.finish eng;
+  eng

@@ -1,0 +1,410 @@
+(* Tests for the baseline analyses: Eraser, the happens-before detector
+   (with its vector clocks), and the Atomizer. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+open Helpers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let feed (module B : Backend.S) ?(names = Names.create ()) ops =
+  let state = B.create names in
+  List.iter (B.on_event state) (Event.of_ops ops);
+  B.finish state;
+  B.warnings state
+
+(* --- Eraser ----------------------------------------------------------------- *)
+
+let eraser = Velodrome_eraser.Eraser.backend ()
+
+let test_eraser_detects_race () =
+  let ws = feed eraser [ wr t0 x; wr t1 x ] in
+  check int "one race" 1 (List.length ws);
+  match ws with
+  | [ w ] ->
+    check bool "race kind" true (w.Warning.kind = Warning.Race);
+    check bool "names x" true (w.Warning.var = Some x)
+  | _ -> assert false
+
+let test_eraser_locked_clean () =
+  let ws =
+    feed eraser
+      [
+        acq t0 m; wr t0 x; rel t0 m;
+        acq t1 m; rd t1 x; wr t1 x; rel t1 m;
+      ]
+  in
+  check int "no warnings" 0 (List.length ws)
+
+let test_eraser_read_shared_clean () =
+  (* Write by one thread then reads everywhere: Shared but never
+     Shared-Modified, so no warning. *)
+  let ws = feed eraser [ wr t0 x; rd t1 x; rd t2 x; rd t1 x ] in
+  check int "read-only sharing ok" 0 (List.length ws)
+
+let test_eraser_exclusive_then_shared_modified () =
+  (* The classic initialization pattern Eraser tolerates: one thread
+     initializes without locks, then all threads use a lock. *)
+  let ws =
+    feed eraser
+      [ wr t0 x; wr t0 x; acq t1 m; wr t1 x; rel t1 m; acq t0 m; wr t0 x; rel t0 m ]
+  in
+  check int "lockset survives" 0 (List.length ws)
+
+let test_eraser_lockset_intersection () =
+  (* Accesses under different locks: the candidate lockset intersects to
+     empty on the third access. *)
+  let ws =
+    feed eraser
+      [
+        acq t0 m; wr t0 x; rel t0 m;
+        acq t1 n; wr t1 x; rel t1 n;
+        acq t0 m; wr t0 x; rel t0 m;
+      ]
+  in
+  check int "different locks race" 1 (List.length ws)
+
+let test_eraser_volatile_exempt () =
+  let names = Names.create () in
+  let v = Names.var names "flag" in
+  Names.set_volatile names v;
+  let ws = feed eraser ~names [ Op.Write (t0, v); Op.Write (t1, v) ] in
+  check int "volatiles exempt" 0 (List.length ws)
+
+let test_eraser_dedup_per_var () =
+  let ws = feed eraser [ wr t0 x; wr t1 x; wr t0 x; wr t1 x ] in
+  check int "one warning per variable" 1 (List.length ws)
+
+(* --- Vector clocks ------------------------------------------------------------ *)
+
+let test_vclock_basics () =
+  let open Velodrome_hbrace.Vclock in
+  let a = create () and b = create () in
+  set a 0 3;
+  set b 1 2;
+  check bool "incomparable" false (leq a b || leq b a);
+  join a b;
+  check bool "join dominates" true (leq b a);
+  check int "kept own" 3 (get a 0);
+  check int "absent reads zero" 0 (get a 7);
+  incr a 7;
+  check int "incr" 1 (get a 7);
+  let c = copy a in
+  incr a 7;
+  check int "copy is independent" 1 (get c 7);
+  check (Alcotest.option int) "first_exceeding" (Some 7) (first_exceeding a c);
+  check (Alcotest.option int) "none when leq" None (first_exceeding c a)
+
+(* --- Happens-before race detector ----------------------------------------------- *)
+
+let hb = Velodrome_hbrace.Hbrace.backend ()
+
+let test_hb_detects_unordered () =
+  let ws = feed hb [ wr t0 x; wr t1 x ] in
+  check int "race" 1 (List.length ws)
+
+let test_hb_lock_orders () =
+  let ws =
+    feed hb
+      [ acq t0 m; wr t0 x; rel t0 m; acq t1 m; wr t1 x; rel t1 m ]
+  in
+  check int "release/acquire edge orders accesses" 0 (List.length ws)
+
+let test_hb_transitive () =
+  (* t0 -> t1 through m, t1 -> t2 through n: t2's access is ordered
+     after t0's even though they share no lock. *)
+  let ws =
+    feed hb
+      [
+        wr t0 x; acq t0 m; rel t0 m;
+        acq t1 m; rel t1 m; acq t1 n; rel t1 n;
+        acq t2 n; rel t2 n; wr t2 x;
+      ]
+  in
+  check int "transitive ordering" 0 (List.length ws)
+
+let test_hb_read_write_race () =
+  let ws = feed hb [ rd t0 x; wr t1 x ] in
+  check int "read-write race" 1 (List.length ws)
+
+let test_hb_not_fooled_by_unrelated_lock () =
+  let ws =
+    feed hb [ acq t0 m; wr t0 x; rel t0 m; acq t1 n; wr t1 x; rel t1 n ]
+  in
+  check int "different locks do not order" 1 (List.length ws)
+
+let test_hb_program_order_clean () =
+  let ws = feed hb [ wr t0 x; rd t0 x; wr t0 x ] in
+  check int "single thread clean" 0 (List.length ws)
+
+(* --- Epochs and FastTrack -------------------------------------------------------- *)
+
+let test_epoch_pack () =
+  let open Velodrome_hbrace.Epoch in
+  let e = make ~tid:5 ~clock:1234 in
+  check int "tid" 5 (tid e);
+  check int "clock" 1234 (clock e);
+  check bool "none is none" true (is_none none);
+  check bool "made is not none" false (is_none e);
+  let c = Velodrome_hbrace.Vclock.create () in
+  check bool "none leq everything" true (leq_vc none c);
+  check bool "not leq empty clock" false (leq_vc e c);
+  Velodrome_hbrace.Vclock.set c 5 1234;
+  check bool "leq at exactly its clock" true (leq_vc e c)
+
+let fasttrack = Velodrome_hbrace.Fasttrack.backend ()
+
+let test_fasttrack_detects_race () =
+  let ws = feed fasttrack [ wr t0 x; wr t1 x ] in
+  check int "race" 1 (List.length ws)
+
+let test_fasttrack_lock_clean () =
+  let ws =
+    feed fasttrack
+      [ acq t0 m; wr t0 x; rel t0 m; acq t1 m; rd t1 x; wr t1 x; rel t1 m ]
+  in
+  check int "clean" 0 (List.length ws)
+
+let test_fasttrack_read_share_then_write () =
+  (* Concurrent reads force the read-vector inflation; a later write must
+     still see both. *)
+  let ws =
+    feed fasttrack
+      [ acq t0 m; wr t0 x; rel t0 m; acq t1 m; rel t1 m;
+        rd t0 x; rd t1 x;  (* concurrent reads: inflate *)
+        wr t2 x  (* races with both *) ]
+  in
+  check int "read-write race caught after inflation" 1 (List.length ws)
+
+(* The headline differential property: FastTrack and the full-vector
+   detector flag exactly the same set of racy variables on every trace. *)
+let racy_vars (module B : Backend.S) tr =
+  let state = B.create (Names.create ()) in
+  List.iter (B.on_event state)
+    (Event.of_ops (Velodrome_trace.Trace.to_list tr));
+  B.finish state;
+  List.sort_uniq compare
+    (List.filter_map
+       (fun w -> Option.map Ids.Var.to_int w.Warning.var)
+       (B.warnings state))
+
+let prop_fasttrack_equals_full_vc =
+  QCheck.Test.make ~count:400
+    ~name:"fasttrack = full vector clocks (racy variable sets)"
+    (trace_arbitrary
+       {
+         Velodrome_trace.Gen.default with
+         threads = 4;
+         vars = 3;
+         locks = 2;
+         steps = 50;
+       })
+    (fun tr -> racy_vars hb tr = racy_vars fasttrack tr)
+
+(* --- Atomizer ----------------------------------------------------------------- *)
+
+let atomizer = Velodrome_atomizer.Atomizer.backend ()
+
+let test_atomizer_reducible_clean () =
+  (* acquire; accesses; release = right-mover, both-movers, left-mover. *)
+  let ws =
+    feed atomizer
+      [
+        bg t0 l0; acq t0 m; rd t0 x; wr t0 x; rel t0 m; en t0;
+        bg t1 l0; acq t1 m; rd t1 x; wr t1 x; rel t1 m; en t1;
+      ]
+  in
+  check int "reducible" 0 (List.length ws)
+
+let test_atomizer_two_locks_nested_clean () =
+  let ws =
+    feed atomizer
+      [ bg t0 l0; acq t0 m; acq t0 n; wr t0 x; rel t0 n; rel t0 m; en t0 ]
+  in
+  check int "nested locks reducible" 0 (List.length ws)
+
+let test_atomizer_acquire_after_release () =
+  (* Two back-to-back synchronized blocks in one atomic method: the
+     acquire after the first release breaks the pattern. *)
+  let ops =
+    [
+      (* Make x and y shared first so the lockset machinery is active. *)
+      acq t1 m; rd t1 x; rd t1 y; rel t1 m;
+      bg t0 l0; acq t0 m; rd t0 x; rel t0 m; acq t0 m; wr t0 y; rel t0 m;
+      en t0;
+    ]
+  in
+  let ws = feed atomizer ops in
+  check int "flagged" 1 (List.length ws)
+
+let test_atomizer_racy_rmw_flagged () =
+  let ops =
+    [
+      wr t1 x;  (* x becomes shared with an empty lockset *)
+      rd t0 x;
+      bg t0 l0; rd t0 x; wr t0 x; en t0;
+    ]
+  in
+  let ws = feed atomizer ops in
+  check int "two non-movers flagged" 1 (List.length ws);
+  match ws with
+  | [ w ] -> check bool "attributed to block" true (w.Warning.label = Some l0)
+  | _ -> assert false
+
+let test_atomizer_single_racy_access_ok () =
+  let ops = [ wr t1 x; rd t0 x; bg t0 l0; wr t0 x; en t0 ] in
+  let ws = feed atomizer ops in
+  check int "one commit point is fine" 0 (List.length ws)
+
+let test_atomizer_volatile_false_alarm () =
+  (* The Section 2 pattern: two volatile reads inside an atomic block are
+     non-movers even though the trace is serializable. *)
+  let names = Names.create () in
+  let v = Names.var names "baton" in
+  let ops = [ bg t0 l0; Op.Read (t0, v); Op.Read (t0, v); en t0 ] in
+  Names.set_volatile names v;
+  let ws = feed atomizer ~names ops in
+  check int "false alarm produced" 1 (List.length ws)
+
+let test_atomizer_outside_blocks_ignored () =
+  let ws = feed atomizer [ wr t0 x; wr t1 x; rd t0 x; wr t0 x ] in
+  check int "no atomic block, no warning" 0 (List.length ws)
+
+let test_atomizer_pause_hint () =
+  let names = Names.create () in
+  let state = Velodrome_atomizer.Atomizer.create names in
+  let idx = ref 0 in
+  let step op =
+    Velodrome_atomizer.Atomizer.on_event state
+      (Event.make ~index:!idx op);
+    incr idx
+  in
+  (* Make x racy, then enter a block and commit via a racy read. *)
+  List.iter step [ wr t1 x; rd t0 x; bg t0 l0 ];
+  let hint op =
+    Velodrome_atomizer.Atomizer.pause_hint state (Event.make ~index:!idx op)
+  in
+  check bool "no hint before commit point" false (hint (wr t0 x));
+  step (rd t0 x);
+  check bool "hint at second non-mover" true (hint (wr t0 x));
+  check bool "no hint for other thread" false (hint (wr t1 x));
+  step (en t0);
+  check bool "no hint outside block" false (hint (wr t0 x))
+
+(* --- Two-phase locking ----------------------------------------------------------- *)
+
+let twopl = Velodrome_twopl.Twopl.backend ()
+
+let twopl_strict =
+  Velodrome_twopl.Twopl.backend
+    ~config:{ Velodrome_twopl.Twopl.strict = true } ()
+
+let test_twopl_clean () =
+  let ws =
+    feed twopl
+      [ bg t0 l0; acq t0 m; acq t0 n; rd t0 x; rel t0 n; rel t0 m; en t0 ]
+  in
+  check int "two-phase pattern ok" 0 (List.length ws)
+
+let test_twopl_violation () =
+  let ws =
+    feed twopl
+      [ bg t0 l0; acq t0 m; rel t0 m; acq t0 n; rel t0 n; en t0 ]
+  in
+  check int "acquire in shrinking phase" 1 (List.length ws);
+  match ws with
+  | [ w ] -> check bool "labelled" true (w.Warning.label = Some l0)
+  | _ -> assert false
+
+let test_twopl_resets_between_blocks () =
+  (* The shrinking phase ends with the block: two separate well-formed
+     blocks are each fine. *)
+  let ws =
+    feed twopl
+      [
+        bg t0 l0; acq t0 m; rel t0 m; en t0;
+        bg t0 l1; acq t0 n; rel t0 n; en t0;
+      ]
+  in
+  check int "per-block phases" 0 (List.length ws)
+
+let test_twopl_outside_blocks_free () =
+  let ws = feed twopl [ acq t0 m; rel t0 m; acq t0 n; rel t0 n ] in
+  check int "no blocks, no discipline" 0 (List.length ws)
+
+let test_twopl_strict_unprotected_access () =
+  let ws = feed twopl_strict [ bg t0 l0; rd t0 x; en t0 ] in
+  check int "unprotected access flagged" 1 (List.length ws)
+
+let test_twopl_strict_volatile_exempt () =
+  let names = Names.create () in
+  let v = Names.var names "flag" in
+  Names.set_volatile names v;
+  let ws = feed twopl_strict ~names [ bg t0 l0; Op.Read (t0, v); en t0 ] in
+  check int "volatile exempt" 0 (List.length ws)
+
+let test_twopl_false_alarm_on_serializable () =
+  (* 2PL is sufficient, not necessary: two back-to-back locked reads are
+     serializable here (no interleaved writer) yet flagged. *)
+  let tr =
+    [ bg t0 l0; acq t0 m; rd t0 x; rel t0 m; acq t0 m; rd t0 x; rel t0 m; en t0 ]
+  in
+  check bool "trace is serializable" true
+    (Velodrome_oracle.Oracle.serializable (Velodrome_trace.Trace.of_ops tr));
+  let ws = feed twopl tr in
+  check int "2pl still warns (false alarm)" 1 (List.length ws)
+
+let suite =
+  ( "backends",
+    [
+      Alcotest.test_case "eraser race" `Quick test_eraser_detects_race;
+      Alcotest.test_case "eraser locked" `Quick test_eraser_locked_clean;
+      Alcotest.test_case "eraser read-shared" `Quick test_eraser_read_shared_clean;
+      Alcotest.test_case "eraser init pattern" `Quick
+        test_eraser_exclusive_then_shared_modified;
+      Alcotest.test_case "eraser intersection" `Quick
+        test_eraser_lockset_intersection;
+      Alcotest.test_case "eraser volatile" `Quick test_eraser_volatile_exempt;
+      Alcotest.test_case "eraser dedup" `Quick test_eraser_dedup_per_var;
+      Alcotest.test_case "vclock basics" `Quick test_vclock_basics;
+      Alcotest.test_case "hb unordered" `Quick test_hb_detects_unordered;
+      Alcotest.test_case "hb lock orders" `Quick test_hb_lock_orders;
+      Alcotest.test_case "hb transitive" `Quick test_hb_transitive;
+      Alcotest.test_case "hb read-write" `Quick test_hb_read_write_race;
+      Alcotest.test_case "hb unrelated lock" `Quick
+        test_hb_not_fooled_by_unrelated_lock;
+      Alcotest.test_case "hb program order" `Quick test_hb_program_order_clean;
+      Alcotest.test_case "epoch pack" `Quick test_epoch_pack;
+      Alcotest.test_case "fasttrack race" `Quick test_fasttrack_detects_race;
+      Alcotest.test_case "fasttrack locked" `Quick test_fasttrack_lock_clean;
+      Alcotest.test_case "fasttrack inflation" `Quick
+        test_fasttrack_read_share_then_write;
+      QCheck_alcotest.to_alcotest prop_fasttrack_equals_full_vc;
+      Alcotest.test_case "atomizer reducible" `Quick test_atomizer_reducible_clean;
+      Alcotest.test_case "atomizer nested locks" `Quick
+        test_atomizer_two_locks_nested_clean;
+      Alcotest.test_case "atomizer acq after rel" `Quick
+        test_atomizer_acquire_after_release;
+      Alcotest.test_case "atomizer racy rmw" `Quick test_atomizer_racy_rmw_flagged;
+      Alcotest.test_case "atomizer single racy ok" `Quick
+        test_atomizer_single_racy_access_ok;
+      Alcotest.test_case "atomizer volatile FA" `Quick
+        test_atomizer_volatile_false_alarm;
+      Alcotest.test_case "atomizer outside" `Quick
+        test_atomizer_outside_blocks_ignored;
+      Alcotest.test_case "atomizer pause hint" `Quick test_atomizer_pause_hint;
+      Alcotest.test_case "2pl clean" `Quick test_twopl_clean;
+      Alcotest.test_case "2pl violation" `Quick test_twopl_violation;
+      Alcotest.test_case "2pl per-block reset" `Quick
+        test_twopl_resets_between_blocks;
+      Alcotest.test_case "2pl outside blocks" `Quick
+        test_twopl_outside_blocks_free;
+      Alcotest.test_case "2pl strict unprotected" `Quick
+        test_twopl_strict_unprotected_access;
+      Alcotest.test_case "2pl strict volatile" `Quick
+        test_twopl_strict_volatile_exempt;
+      Alcotest.test_case "2pl false alarm" `Quick
+        test_twopl_false_alarm_on_serializable;
+    ] )

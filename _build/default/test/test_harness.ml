@@ -1,0 +1,191 @@
+open Velodrome_trace
+open Velodrome_analysis
+open Helpers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+module Common = Velodrome_harness.Common
+
+(* --- method exclusion -------------------------------------------------------- *)
+
+let excluded_l0 l = Ids.Label.equal l l0
+
+let test_filter_ops_drops_begin_end () =
+  let ops = [ bg t0 l0; rd t0 x; en t0; bg t0 l1; rd t0 y; en t0 ] in
+  let kept = Velodrome_harness.Exclude.filter_ops ~excluded:excluded_l0 ops in
+  check int "dropped one begin/end pair" 4 (List.length kept);
+  check bool "l1 block survives" true
+    (List.exists (function Op.Begin (_, l) -> l = l1 | _ -> false) kept);
+  check bool "l0 begin gone" false
+    (List.exists (function Op.Begin (_, l) -> l = l0 | _ -> false) kept)
+
+let test_filter_ops_nested () =
+  (* Excluding the outer block keeps the inner one. *)
+  let ops = [ bg t0 l0; bg t0 l1; rd t0 x; en t0; en t0 ] in
+  let kept = Velodrome_harness.Exclude.filter_ops ~excluded:excluded_l0 ops in
+  check int "outer pair dropped" 3 (List.length kept);
+  match kept with
+  | [ Op.Begin (_, l); Op.Read _; Op.End _ ] ->
+    check bool "inner label" true (l = l1)
+  | _ -> Alcotest.fail "unexpected structure"
+
+let test_filter_ops_keeps_result_well_formed () =
+  let tr = Gen.run (Velodrome_util.Rng.create 77) Gen.default in
+  let kept =
+    Velodrome_harness.Exclude.filter_ops ~excluded:excluded_l0
+      (Trace.to_list tr)
+  in
+  check bool "filtered trace well-formed" true
+    (Trace.is_well_formed (Trace.of_ops kept))
+
+let test_exclude_backend_matches_filter_ops () =
+  (* The online filter and the offline pure function agree. *)
+  let tr = Gen.run (Velodrome_util.Rng.create 123) Gen.default in
+  let ops = Trace.to_list tr in
+  let seen = ref [] in
+  let module Probe = struct
+    type t = unit
+
+    let name = "probe"
+    let create _ = ()
+    let on_event () e = seen := e.Event.op :: !seen
+    let pause_hint _ _ = false
+    let finish _ = ()
+    let warnings _ = []
+  end in
+  let packed =
+    Velodrome_harness.Exclude.methods ~excluded:excluded_l0
+      (Backend.make (module Probe) (Names.create ()))
+  in
+  List.iter (Backend.on_event packed) (Event.of_ops ops);
+  let online = List.rev !seen in
+  let offline = Velodrome_harness.Exclude.filter_ops ~excluded:excluded_l0 ops in
+  check bool "same stream" true (online = offline)
+
+(* --- specs ------------------------------------------------------------------- *)
+
+let test_spec_default_checks_all () =
+  check bool "default" true
+    (Velodrome_harness.Spec.is_checked Velodrome_harness.Spec.default "Set.add")
+
+let test_spec_rules () =
+  let spec =
+    Result.get_ok
+      (Velodrome_harness.Spec.parse
+         "# comment\natomic *\nnotatomic Thread.run*\nnotatomic Set.add\natomic Set.addAll\n")
+  in
+  let checked = Velodrome_harness.Spec.is_checked spec in
+  check bool "wildcard keeps" true (checked "Vector.contains");
+  check bool "glob excludes" false (checked "Thread.run17");
+  check bool "exact excludes" false (checked "Set.add");
+  check bool "later rule wins" true (checked "Set.addAll")
+
+let test_spec_parse_error () =
+  check bool "malformed rejected" true
+    (Result.is_error (Velodrome_harness.Spec.parse "frobnicate Set.add\n"))
+
+let test_spec_excluded_predicate () =
+  let spec =
+    Result.get_ok (Velodrome_harness.Spec.parse "notatomic M1\n")
+  in
+  let names = Names.create () in
+  let m1 = Names.label names "M1" in
+  let m2 = Names.label names "M2" in
+  let ex = Velodrome_harness.Spec.excluded spec names in
+  check bool "M1 excluded" true (ex m1);
+  check bool "M2 checked" false (ex m2)
+
+let test_spec_silences_velodrome () =
+  (* Excluding Set.add turns its body into unary transactions: the
+     composite violation disappears from the reports. *)
+  let w = Option.get (Velodrome_workloads.Workload.find "multiset") in
+  let program = w.Velodrome_workloads.Workload.build Velodrome_workloads.Workload.Small in
+  let names = program.Velodrome_sim.Ast.names in
+  let spec = Result.get_ok (Velodrome_harness.Spec.parse "notatomic Set.*\n") in
+  let backend =
+    Velodrome_harness.Exclude.methods
+      ~excluded:(Velodrome_harness.Spec.excluded spec names)
+      (Backend.make (Velodrome_core.Engine.backend ()) names)
+  in
+  let config =
+    {
+      Velodrome_sim.Run.default_config with
+      policy = Velodrome_sim.Run.Random 3;
+    }
+  in
+  let res = Velodrome_sim.Run.run ~config program [ backend ] in
+  check int "no Set.* warnings" 0
+    (List.length
+       (List.filter
+          (fun (w : Warning.t) ->
+            match Common.label_of_warning names w with
+            | Some l -> String.length l >= 4 && String.sub l 0 4 = "Set."
+            | None -> false)
+          res.Velodrome_sim.Run.warnings))
+
+(* --- table plumbing ------------------------------------------------------------ *)
+
+let test_table2_totals () =
+  let mk workload atomizer_real atomizer_fa velodrome_real velodrome_fa
+      missed =
+    {
+      Velodrome_harness.Table2.workload;
+      atomizer_real;
+      atomizer_fa;
+      velodrome_real;
+      velodrome_fa;
+      missed;
+      velodrome_warnings = 10;
+      velodrome_blamed = 9;
+    }
+  in
+  let rows = [ mk "a" 3 1 2 0 1; mk "b" 4 0 4 0 0 ] in
+  let t = Velodrome_harness.Table2.totals rows in
+  check int "real" 7 t.Velodrome_harness.Table2.atomizer_real;
+  check int "fa" 1 t.Velodrome_harness.Table2.atomizer_fa;
+  check int "vel real" 6 t.Velodrome_harness.Table2.velodrome_real;
+  check int "missed" 1 t.Velodrome_harness.Table2.missed
+
+let test_time_stable_positive () =
+  let t =
+    Velodrome_harness.Common.time_stable ~min_total:0.01 3 (fun () ->
+        ignore (Array.init 1000 Fun.id))
+  in
+  check bool "positive" true (t > 0.0)
+
+(* A cut-down Table 2 on one workload: the totals must match what Table 2
+   claims for it (multiset: 5 real, 0 FA for both tools). *)
+let test_table2_multiset_row () =
+  let w = Option.get (Velodrome_workloads.Workload.find "multiset") in
+  let r =
+    Velodrome_harness.Table2.row_for ~size:Velodrome_workloads.Workload.Small
+      ~seeds:[ 1; 2; 3 ] w
+  in
+  check int "atomizer real" 5 r.Velodrome_harness.Table2.atomizer_real;
+  check int "atomizer fa" 0 r.Velodrome_harness.Table2.atomizer_fa;
+  check int "velodrome fa" 0 r.Velodrome_harness.Table2.velodrome_fa;
+  check bool "velodrome finds most" true
+    (r.Velodrome_harness.Table2.velodrome_real >= 4)
+
+let suite =
+  ( "harness",
+    [
+      Alcotest.test_case "filter_ops drops" `Quick test_filter_ops_drops_begin_end;
+      Alcotest.test_case "filter_ops nested" `Quick test_filter_ops_nested;
+      Alcotest.test_case "filter_ops well-formed" `Quick
+        test_filter_ops_keeps_result_well_formed;
+      Alcotest.test_case "online = offline filter" `Quick
+        test_exclude_backend_matches_filter_ops;
+      Alcotest.test_case "spec default" `Quick test_spec_default_checks_all;
+      Alcotest.test_case "spec rules" `Quick test_spec_rules;
+      Alcotest.test_case "spec parse error" `Quick test_spec_parse_error;
+      Alcotest.test_case "spec excluded predicate" `Quick
+        test_spec_excluded_predicate;
+      Alcotest.test_case "spec silences velodrome" `Quick
+        test_spec_silences_velodrome;
+      Alcotest.test_case "table2 totals" `Quick test_table2_totals;
+      Alcotest.test_case "time_stable" `Quick test_time_stable_positive;
+      Alcotest.test_case "table2 multiset row" `Slow test_table2_multiset_row;
+    ] )

@@ -1,0 +1,124 @@
+open Velodrome_sim
+open Velodrome_workloads
+open Velodrome_inject
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let count_ops pred (p : Ast.program) =
+  let rec go acc = function
+    | [] -> acc
+    | s :: rest ->
+      let acc = if pred s then acc + 1 else acc in
+      let acc =
+        match s with
+        | Ast.Atomic (_, body) -> go acc body
+        | Ast.If (_, a, b) -> go (go acc a) b
+        | Ast.While (_, body) -> go acc body
+        | _ -> acc
+      in
+      go acc rest
+  in
+  Array.fold_left (fun acc body -> go acc body) 0 p.Ast.threads
+
+let is_acq = function Ast.Acquire _ -> true | _ -> false
+let is_rel = function Ast.Release _ -> true | _ -> false
+
+let test_strip_removes_only_target () =
+  let w = Option.get (Workload.find "elevator") in
+  let p = w.Workload.build Workload.Small in
+  let target =
+    Velodrome_trace.Names.label p.Ast.names "Board.update"
+  in
+  let stripped = Inject.strip_sync_in_label p target in
+  let acq_before = count_ops is_acq p in
+  let acq_after = count_ops is_acq stripped in
+  let rel_before = count_ops is_rel p in
+  let rel_after = count_ops is_rel stripped in
+  check bool "some acquires removed" true (acq_after < acq_before);
+  check int "acquires and releases removed in pairs"
+    (acq_before - acq_after) (rel_before - rel_after);
+  (* The stripped program is still statically lock-clean: whole pairs were
+     removed. *)
+  check bool "still lock-clean" true
+    (Velodrome_lang.Check.check_program stripped = Ok ())
+
+let test_strip_is_identity_elsewhere () =
+  let w = Option.get (Workload.find "colt") in
+  let p = w.Workload.build Workload.Small in
+  let bogus = Velodrome_trace.Ids.Label.of_int 9999 in
+  let stripped = Inject.strip_sync_in_label p bogus in
+  check int "no acquires removed" (count_ops is_acq p)
+    (count_ops is_acq stripped)
+
+let test_mutants_only_contended_atomic_methods () =
+  List.iter
+    (fun name ->
+      let w = Option.get (Workload.find name) in
+      let ms = Inject.mutants w Workload.Small in
+      check bool (name ^ " has mutants") true (List.length ms > 0);
+      List.iter
+        (fun (m : Inject.mutant) ->
+          let g =
+            List.find
+              (fun g -> g.Workload.label = m.Inject.method_label)
+              w.Workload.methods
+          in
+          check bool
+            (m.Inject.method_label ^ " was atomic before mutation")
+            true g.Workload.atomic)
+        ms)
+    [ "elevator"; "colt" ]
+
+let test_mutants_expected_for_elevator () =
+  let w = Option.get (Workload.find "elevator") in
+  let ms = Inject.mutants w Workload.Medium in
+  let labels = List.map (fun m -> m.Inject.method_label) ms in
+  (* The three Board methods are contended across lifts; Controller.tick
+     is single-threaded on its lock... but the board lock is shared with
+     the lifts, so it also qualifies as contended. *)
+  List.iter
+    (fun l ->
+      check bool (l ^ " mutated") true (List.mem l labels))
+    [ "Board.update"; "Board.scan"; "Board.sweep" ]
+
+let test_mutants_run_and_may_violate () =
+  let w = Option.get (Workload.find "elevator") in
+  match Inject.mutants w Workload.Small with
+  | [] -> Alcotest.fail "expected mutants"
+  | m :: _ ->
+    let config =
+      {
+        Run.default_config with
+        policy = Run.Random 1;
+        record_trace = true;
+      }
+    in
+    let res = Run.run ~config m.Inject.program [] in
+    check bool "mutant runs" false res.Run.deadlocked;
+    check bool "trace still well-formed" true
+      (Velodrome_trace.Trace.is_well_formed (Option.get res.Run.trace))
+
+let test_raja_has_no_mutants_without_contention () =
+  (* philo's table lock is contended, so it yields mutants; a workload
+     whose locked methods are not declared atomic-true yields none. *)
+  let w = Option.get (Workload.find "philo") in
+  let ms = Inject.mutants w Workload.Small in
+  check bool "philo has contended locked methods" true (List.length ms > 0)
+
+let suite =
+  ( "inject",
+    [
+      Alcotest.test_case "strip removes only target" `Quick
+        test_strip_removes_only_target;
+      Alcotest.test_case "strip identity elsewhere" `Quick
+        test_strip_is_identity_elsewhere;
+      Alcotest.test_case "mutants contended+atomic" `Quick
+        test_mutants_only_contended_atomic_methods;
+      Alcotest.test_case "elevator mutants" `Quick
+        test_mutants_expected_for_elevator;
+      Alcotest.test_case "mutants run" `Quick test_mutants_run_and_may_violate;
+      Alcotest.test_case "philo mutants" `Quick
+        test_raja_has_no_mutants_without_contention;
+    ] )

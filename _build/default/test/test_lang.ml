@@ -1,0 +1,234 @@
+open Velodrome_lang
+open Velodrome_sim
+open Velodrome_trace
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- lexer ----------------------------------------------------------------- *)
+
+let toks src = List.map (fun s -> s.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  check int "token count" 9 (List.length (toks "var x = 42 ; { } <-"));
+  match toks "x <= 3 != y == tid" with
+  | [ IDENT "x"; LE; INT 3; NEQ; IDENT "y"; EQEQ; KW "tid"; EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_comments () =
+  match toks "x // line comment\n /* block /* nested */ still */ y" with
+  | [ IDENT "x"; IDENT "y"; EOF ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lex_string () =
+  match toks {|atomic "Set.add"|} with
+  | [ KW "atomic"; STRING "Set.add"; EOF ] -> ()
+  | _ -> Alcotest.fail "string literal"
+
+let test_lex_positions () =
+  let spanned = Lexer.tokenize "x\n  y" in
+  let y = List.nth spanned 1 in
+  check int "line" 2 y.Lexer.line;
+  check int "col" 3 y.Lexer.col
+
+let test_lex_errors () =
+  let fails s =
+    match Lexer.tokenize s with
+    | exception Lexer.Lex_error _ -> true
+    | _ -> false
+  in
+  check bool "bad char" true (fails "x # y");
+  check bool "unterminated string" true (fails "\"abc");
+  check bool "unterminated comment" true (fails "/* abc");
+  check bool "lone bang" true (fails "x ! y")
+
+(* --- parser ----------------------------------------------------------------- *)
+
+let test_parse_minimal () =
+  let p = Parser.parse "var x; thread { x = 1; }" in
+  check int "one thread" 1 (Array.length p.Ast.threads);
+  match p.Ast.threads.(0) with
+  | [ Ast.Write (_, Ast.Int 1) ] -> ()
+  | _ -> Alcotest.fail "expected a single write"
+
+let test_parse_replication () =
+  let p = Parser.parse "var x; thread 3 { x = tid; }" in
+  check int "three threads" 3 (Array.length p.Ast.threads)
+
+let test_parse_desugar_read () =
+  (* x in an expression becomes an explicit Read before the statement. *)
+  let p = Parser.parse "var x; var y; thread { y = x + 1; }" in
+  match p.Ast.threads.(0) with
+  | [ Ast.Read (r, _); Ast.Write (_, Ast.Add (Ast.Reg r', Ast.Int 1)) ] ->
+    check int "same temp" r r'
+  | _ -> Alcotest.fail "expected read-then-write desugaring"
+
+let test_parse_while_rereads () =
+  (* Loop conditions over shared variables re-read on every iteration. *)
+  let p = Parser.parse "volatile b; thread { while (b != 1) { yield; } }" in
+  match p.Ast.threads.(0) with
+  | [ Ast.Read _; Ast.While (_, body) ] ->
+    check bool "body re-reads the variable" true
+      (List.exists (function Ast.Read _ -> true | _ -> false) body)
+  | _ -> Alcotest.fail "expected prelude read and re-reading loop"
+
+let test_parse_sync_sugar () =
+  let p = Parser.parse "var x; lock m; thread { sync m { x = 1; } }" in
+  match p.Ast.threads.(0) with
+  | [ Ast.Acquire _; Ast.Write _; Ast.Release _ ] -> ()
+  | _ -> Alcotest.fail "sync sugar"
+
+let test_parse_initial_values () =
+  let p = Parser.parse "var x = 5; var y = -3; thread { x = y; }" in
+  let init_of name =
+    let x = Names.var p.Ast.names name in
+    Option.value ~default:0 (List.assoc_opt x p.Ast.init)
+  in
+  check int "x init" 5 (init_of "x");
+  check int "y init" (-3) (init_of "y")
+
+let test_parse_volatile_flag () =
+  let p = Parser.parse "volatile b; var x; thread { x = b; }" in
+  check bool "b volatile" true
+    (Names.is_volatile p.Ast.names (Names.var p.Ast.names "b"));
+  check bool "x not volatile" false
+    (Names.is_volatile p.Ast.names (Names.var p.Ast.names "x"))
+
+let test_parse_explicit_reg () =
+  let p = Parser.parse "var x; thread { _r7 <- x; _r8 = _r7 + 1; }" in
+  match p.Ast.threads.(0) with
+  | [ Ast.Read (7, _); Ast.Local (8, _) ] -> ()
+  | _ -> Alcotest.fail "_rK registers must map to index K"
+
+let test_parse_errors () =
+  let fails s =
+    match Parser.parse s with
+    | exception Parser.Parse_error _ -> true
+    | _ -> false
+  in
+  check bool "no threads" true (fails "var x;");
+  check bool "missing semi" true (fails "var x thread { }");
+  check bool "read from register" true (fails "var x; thread { a <- b; }");
+  check bool "arrow into shared variable" true
+    (fails "var x; var y; thread { x <- y; }");
+  check bool "trailing garbage" true (fails "var x; thread { } zzz")
+
+let test_parse_error_position () =
+  match Parser.parse "var x;\nthread {\n  x = ;\n}" with
+  | exception Parser.Parse_error (_, line, _) -> check int "error line" 3 line
+  | _ -> Alcotest.fail "expected parse error"
+
+(* --- printer round-trip ------------------------------------------------------ *)
+
+let reprint p = Printer.to_string p
+
+let test_roundtrip_fixed () =
+  let src =
+    "var x = 2;\nvolatile b;\nlock m;\nthread 2 { atomic \"M.inc\" { sync m \
+     { x = x + tid; } } while (b != 1) { yield; } work 3; }"
+  in
+  let p1 = Parser.parse src in
+  let s1 = reprint p1 in
+  let p2 = Parser.parse s1 in
+  let s2 = reprint p2 in
+  check Alcotest.string "print . parse . print = print" s1 s2
+
+let test_roundtrip_workloads () =
+  (* Every workload program must survive the print/parse cycle. *)
+  List.iter
+    (fun w ->
+      let p = w.Velodrome_workloads.Workload.build Velodrome_workloads.Workload.Small in
+      let s1 = reprint p in
+      match Parser.parse s1 with
+      | p2 ->
+        check Alcotest.string
+          (w.Velodrome_workloads.Workload.name ^ " round-trips")
+          s1 (reprint p2)
+      | exception Parser.Parse_error (m, l, c) ->
+        Alcotest.failf "%s: parse error %s at %d:%d"
+          w.Velodrome_workloads.Workload.name m l c)
+    Velodrome_workloads.Workload.all
+
+let test_parsed_program_runs () =
+  let p =
+    Parser.parse
+      "var x; lock m; thread 2 { k = 0; while (k < 5) { sync m { x = x + 1; \
+       } k = k + 1; } }"
+  in
+  let res =
+    Run.run
+      ~config:{ Run.default_config with policy = Run.Random 1 }
+      p []
+  in
+  check bool "finishes" false res.Run.deadlocked;
+  check int "counter" 10 (Interp.read_var res.Run.final (Names.var p.Ast.names "x"))
+
+(* --- static checker ------------------------------------------------------------ *)
+
+let test_check_ok () =
+  let p =
+    Parser.parse
+      "var x; lock m; thread { sync m { x = 1; } if (1 == 1) { sync m { x = \
+       2; } } }"
+  in
+  check bool "clean" true (Check.check_program p = Ok ())
+
+let test_check_release_without_acquire () =
+  let p = Parser.parse "lock m; thread { release m; }" in
+  match Check.check_program p with
+  | Error [ e ] -> check int "thread 0" 0 e.Check.thread
+  | _ -> Alcotest.fail "expected one error"
+
+let test_check_unbalanced_if () =
+  let p =
+    Parser.parse
+      "lock m; thread { if (1 == 1) { acquire m; } else { } release m; }"
+  in
+  check bool "flagged" true (Result.is_error (Check.check_program p))
+
+let test_check_loop_not_neutral () =
+  let p = Parser.parse "lock m; thread { while (1 == 1) { acquire m; } }" in
+  check bool "flagged" true (Result.is_error (Check.check_program p))
+
+let test_check_holds_at_exit () =
+  let p = Parser.parse "lock m; thread { acquire m; }" in
+  check bool "flagged" true (Result.is_error (Check.check_program p))
+
+let test_check_workloads_clean () =
+  List.iter
+    (fun w ->
+      let p = w.Velodrome_workloads.Workload.build Velodrome_workloads.Workload.Small in
+      check bool (w.Velodrome_workloads.Workload.name ^ " lock-clean") true
+        (Check.check_program p = Ok ()))
+    Velodrome_workloads.Workload.all
+
+let suite =
+  ( "lang",
+    [
+      Alcotest.test_case "lex basic" `Quick test_lex_basic;
+      Alcotest.test_case "lex comments" `Quick test_lex_comments;
+      Alcotest.test_case "lex string" `Quick test_lex_string;
+      Alcotest.test_case "lex positions" `Quick test_lex_positions;
+      Alcotest.test_case "lex errors" `Quick test_lex_errors;
+      Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+      Alcotest.test_case "parse replication" `Quick test_parse_replication;
+      Alcotest.test_case "parse desugar read" `Quick test_parse_desugar_read;
+      Alcotest.test_case "parse while rereads" `Quick test_parse_while_rereads;
+      Alcotest.test_case "parse sync sugar" `Quick test_parse_sync_sugar;
+      Alcotest.test_case "parse initial values" `Quick test_parse_initial_values;
+      Alcotest.test_case "parse volatile" `Quick test_parse_volatile_flag;
+      Alcotest.test_case "parse explicit regs" `Quick test_parse_explicit_reg;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "parse error position" `Quick test_parse_error_position;
+      Alcotest.test_case "roundtrip fixed" `Quick test_roundtrip_fixed;
+      Alcotest.test_case "roundtrip workloads" `Quick test_roundtrip_workloads;
+      Alcotest.test_case "parsed program runs" `Quick test_parsed_program_runs;
+      Alcotest.test_case "check ok" `Quick test_check_ok;
+      Alcotest.test_case "check release w/o acquire" `Quick
+        test_check_release_without_acquire;
+      Alcotest.test_case "check unbalanced if" `Quick test_check_unbalanced_if;
+      Alcotest.test_case "check loop" `Quick test_check_loop_not_neutral;
+      Alcotest.test_case "check exit" `Quick test_check_holds_at_exit;
+      Alcotest.test_case "check workloads" `Quick test_check_workloads_clean;
+    ] )

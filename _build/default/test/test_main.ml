@@ -1,0 +1,15 @@
+let () =
+  Alcotest.run "velodrome"
+    [
+      Test_util.suite;
+      Test_trace.suite;
+      Test_oracle.suite;
+      Test_analysis.suite;
+      Test_core.suite;
+      Test_sim.suite;
+      Test_lang.suite;
+      Test_backends.suite;
+      Test_workloads.suite;
+      Test_inject.suite;
+      Test_harness.suite;
+    ]

@@ -1,0 +1,285 @@
+open Velodrome_trace
+open Velodrome_oracle.Oracle
+open Helpers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* The unsynchronized read-modify-write from Section 2: not serializable. *)
+let rmw_violation =
+  Trace.of_ops [ bg t0 l0; rd t0 x; wr t1 x; wr t0 x; en t0 ]
+
+(* The same interleaving where the interposed write touches another
+   variable: serializable. *)
+let rmw_benign = Trace.of_ops [ bg t0 l0; rd t0 x; wr t1 y; wr t0 x; en t0 ]
+
+(* The introduction's three-thread cycle A => B' => C' => A, rendered as
+   operations. Thread 1 runs A (rel m then reads x and z); thread 2 runs B
+   then B' (acquire m, write y); thread 3 runs C then C' (write x after
+   reading y). *)
+let intro_cycle =
+  Trace.of_ops
+    [
+      bg t2 l2;
+      (* C: z = x *)
+      rd t2 x;
+      wr t2 z;
+      bg t0 l0;
+      (* A begins *)
+      rel t0 m;
+      (* A: rel(m), lock acquired before trace start is modelled by
+         acquiring it first *)
+      wr t0 z;
+      en t2;
+      bg t1 l1;
+      acq t1 m;
+      (* B': acq(m) after A's release: A => B' *)
+      wr t1 y;
+      en t1;
+      bg t2 l2;
+      rd t2 y;
+      (* C': reads B's y: B' => C' *)
+      wr t2 x;
+      en t2;
+      rd t0 x;
+      (* A reads C''s x: C' => A, closing the cycle *)
+      en t0;
+    ]
+
+let fix_intro =
+  (* The lock m must be held by t0 before it can release it; prepend. *)
+  Trace.of_ops (acq t0 m :: Trace.to_list intro_cycle)
+
+let test_rmw_not_serializable () =
+  check bool "rmw violation" false (serializable rmw_violation);
+  match witness_cycle rmw_violation with
+  | Some cyc -> check bool "cycle length >= 2" true (List.length cyc >= 2)
+  | None -> Alcotest.fail "expected witness cycle"
+
+let test_rmw_benign_serializable () =
+  check bool "benign rmw" true (serializable rmw_benign)
+
+let test_intro_cycle () =
+  check bool "well formed" true (Trace.is_well_formed fix_intro);
+  check bool "intro example not serializable" false (serializable fix_intro)
+
+let test_serial_is_serializable () =
+  let tr = Trace.of_ops [ bg t0 l0; rd t0 x; wr t0 x; en t0; wr t1 x ] in
+  check bool "serial trace" true (serializable tr)
+
+let test_empty_trace () =
+  check bool "empty trace serializable" true (serializable (Trace.of_ops []))
+
+let test_lock_protected_serializable () =
+  (* Two threads doing locked read-modify-writes interleaved at the
+     transaction level only. *)
+  let tr =
+    Trace.of_ops
+      [
+        bg t0 l0; acq t0 m; rd t0 x; wr t0 x; rel t0 m; en t0;
+        bg t1 l0; acq t1 m; rd t1 x; wr t1 x; rel t1 m; en t1;
+      ]
+  in
+  check bool "locked rmw serializable" true (serializable tr)
+
+let test_swaps_agrees_on_examples () =
+  check (Alcotest.option bool) "rmw violation by swaps" (Some false)
+    (serializable_by_swaps rmw_violation);
+  check (Alcotest.option bool) "benign by swaps" (Some true)
+    (serializable_by_swaps rmw_benign)
+
+let test_swaps_refuses_large () =
+  let tr = Gen.run (Velodrome_util.Rng.create 5) Gen.default in
+  check (Alcotest.option bool) "too large" None
+    (serializable_by_swaps ~max_ops:5 tr)
+
+let test_self_serializable () =
+  (* In the rmw violation, t0's transaction is not self-serializable but
+     t1's unary write trivially is. *)
+  let seg = Txn.segment rmw_violation in
+  let t0_txn =
+    (Array.to_list seg.Txn.txns
+    |> List.find (fun tx -> tx.Txn.label <> None))
+      .Txn.id
+  in
+  let t1_txn =
+    (Array.to_list seg.Txn.txns |> List.find (fun tx -> tx.Txn.label = None))
+      .Txn.id
+  in
+  check (Alcotest.option bool) "atomic block blamed" (Some false)
+    (self_serializable_by_swaps rmw_violation ~txn:t0_txn);
+  check (Alcotest.option bool) "unary always self-serializable" (Some true)
+    (self_serializable_by_swaps rmw_violation ~txn:t1_txn)
+
+(* The paper's Section 4.3 example: a non-serializable trace in which every
+   transaction is nonetheless self-serializable, so no single transaction
+   can be blamed. D' = begin; x=0; u=y; end on thread 1, E' = begin; y=0;
+   v=x; end on thread 2, fully interleaved. *)
+let test_all_self_serializable_but_cycle () =
+  let v = z in
+  let tr =
+    Trace.of_ops
+      [
+        bg t0 l0; (* D' *)
+        bg t1 l1; (* E' *)
+        wr t0 x;
+        wr t1 y;
+        rd t0 y;  (* D' reads y after E' wrote it: E' => D' *)
+        rd t1 x;  (* E' reads x after D' wrote it: D' => E' *)
+        wr t0 v;
+        en t0;
+        en t1;
+      ]
+  in
+  check bool "not serializable" false (serializable tr);
+  let seg = Txn.segment tr in
+  Array.iter
+    (fun tx ->
+      check (Alcotest.option bool)
+        (Printf.sprintf "txn %d self-serializable" tx.Txn.id) (Some true)
+        (self_serializable_by_swaps tr ~txn:tx.Txn.id))
+    seg.Txn.txns
+
+(* --- minimization ----------------------------------------------------------- *)
+
+module Minimize = Velodrome_oracle.Minimize
+
+let test_minimize_rmw () =
+  let small = Minimize.ddmin rmw_violation in
+  check bool "still non-serializable" false (serializable small);
+  check bool "minimal" true (Minimize.is_minimal small);
+  check bool "not longer than input" true
+    (Trace.length small <= Trace.length rmw_violation)
+
+let test_minimize_rejects_serializable () =
+  Alcotest.check_raises "refuses serializable input"
+    (Invalid_argument "Minimize.ddmin: trace is serializable") (fun () ->
+      ignore (Minimize.ddmin rmw_benign))
+
+let test_minimize_big_trace () =
+  (* A violating core surrounded by noise shrinks substantially. *)
+  let noise t k =
+    List.concat_map
+      (fun i -> [ wr t (Ids.Var.of_int (3 + (i mod 4))) ])
+      (List.init k Fun.id)
+  in
+  let ops =
+    noise t2 20
+    @ [ bg t0 l0; rd t0 x ]
+    @ noise t2 10
+    @ [ wr t1 x; wr t0 x; en t0 ]
+    @ noise t1 20
+  in
+  let tr = Trace.of_ops ops in
+  check bool "input non-serializable" false (serializable tr);
+  let small = Minimize.ddmin tr in
+  check bool "shrunk well below input" true (Trace.length small <= 8);
+  check bool "minimal" true (Minimize.is_minimal small)
+
+let prop_minimize_sound =
+  QCheck.Test.make ~count:100
+    ~name:"ddmin output is a minimal non-serializable well-formed trace"
+    (trace_arbitrary { Gen.default with threads = 3; vars = 2; steps = 25 })
+    (fun tr ->
+      QCheck.assume (not (serializable tr));
+      let small = Minimize.ddmin tr in
+      Trace.is_well_formed small
+      && (not (serializable small))
+      && Minimize.is_minimal small)
+
+(* --- view-serializability ----------------------------------------------------- *)
+
+module View = Velodrome_oracle.View
+
+let test_view_conflict_serializable_trace () =
+  check (Alcotest.option bool) "benign is view-serializable" (Some true)
+    (View.view_serializable rmw_benign)
+
+let test_view_rmw_violation () =
+  (* The rmw violation changes the reads-from relation under every serial
+     order, so it is not even view-serializable. *)
+  check (Alcotest.option bool) "rmw not view-serializable" (Some false)
+    (View.view_serializable rmw_violation)
+
+let test_view_but_not_conflict () =
+  (* The classical blind-write example: T1 and T2 interleave writes to x
+     and y (conflict cycle), but T3's final writes to both make every
+     serial order view-equivalent. *)
+  let tr =
+    Trace.of_ops
+      [
+        bg t0 l0; wr t0 x;
+        bg t1 l1; wr t1 x; wr t1 y;
+        wr t0 y; en t0; en t1;
+        bg t2 l2; wr t2 x; wr t2 y; en t2;
+      ]
+  in
+  check bool "not conflict-serializable" false (serializable tr);
+  check (Alcotest.option bool) "but view-serializable" (Some true)
+    (View.view_serializable tr)
+
+let test_view_refuses_large () =
+  let tr = Gen.run (Velodrome_util.Rng.create 5) Gen.default in
+  check (Alcotest.option bool) "too many transactions" None
+    (View.view_serializable ~max_txns:2 tr)
+
+let test_view_equivalent_reflexive () =
+  check bool "trace view-equivalent to itself" true
+    (View.view_equivalent rmw_violation rmw_violation)
+
+let prop_conflict_implies_view =
+  QCheck.Test.make ~count:200
+    ~name:"conflict-serializable ⇒ view-serializable (small traces)"
+    (trace_arbitrary { Gen.small with steps = 10 })
+    (fun tr ->
+      match View.view_serializable ~max_txns:6 tr with
+      | None -> QCheck.assume_fail ()
+      | Some view -> (not (serializable tr)) || view)
+
+(* The headline differential property: the polynomial conflict-graph oracle
+   agrees with literal swap-based exploration on small traces. *)
+let prop_conflict_graph_matches_swaps =
+  QCheck.Test.make ~count:300
+    ~name:"conflict-graph oracle = swap exploration (small traces)"
+    (trace_arbitrary Gen.small) (fun tr ->
+      match serializable_by_swaps ~max_ops:9 tr with
+      | None -> QCheck.assume_fail ()
+      | Some by_swaps -> serializable tr = by_swaps)
+
+let prop_serial_traces_serializable =
+  QCheck.Test.make ~count:200 ~name:"serial traces are serializable"
+    (trace_arbitrary { Gen.default with threads = 1 }) (fun tr ->
+      (* Single-threaded traces are trivially serial. *)
+      Txn.serial tr && serializable tr)
+
+let suite =
+  ( "oracle",
+    [
+      Alcotest.test_case "rmw not serializable" `Quick test_rmw_not_serializable;
+      Alcotest.test_case "rmw benign" `Quick test_rmw_benign_serializable;
+      Alcotest.test_case "intro cycle" `Quick test_intro_cycle;
+      Alcotest.test_case "serial serializable" `Quick test_serial_is_serializable;
+      Alcotest.test_case "empty trace" `Quick test_empty_trace;
+      Alcotest.test_case "locked rmw" `Quick test_lock_protected_serializable;
+      Alcotest.test_case "swaps on examples" `Quick test_swaps_agrees_on_examples;
+      Alcotest.test_case "swaps refuses large" `Quick test_swaps_refuses_large;
+      Alcotest.test_case "self-serializable" `Quick test_self_serializable;
+      Alcotest.test_case "all self-serializable cycle" `Quick
+        test_all_self_serializable_but_cycle;
+      Alcotest.test_case "view conflict-serializable" `Quick
+        test_view_conflict_serializable_trace;
+      Alcotest.test_case "view rmw violation" `Quick test_view_rmw_violation;
+      Alcotest.test_case "view but not conflict" `Quick
+        test_view_but_not_conflict;
+      Alcotest.test_case "view refuses large" `Quick test_view_refuses_large;
+      Alcotest.test_case "view equivalent reflexive" `Quick
+        test_view_equivalent_reflexive;
+      QCheck_alcotest.to_alcotest prop_conflict_implies_view;
+      Alcotest.test_case "minimize rmw" `Quick test_minimize_rmw;
+      Alcotest.test_case "minimize rejects serializable" `Quick
+        test_minimize_rejects_serializable;
+      Alcotest.test_case "minimize big trace" `Quick test_minimize_big_trace;
+      QCheck_alcotest.to_alcotest prop_minimize_sound;
+      QCheck_alcotest.to_alcotest prop_conflict_graph_matches_swaps;
+      QCheck_alcotest.to_alcotest prop_serial_traces_serializable;
+    ] )

@@ -1,0 +1,406 @@
+open Velodrome_sim
+open Velodrome_trace
+open Velodrome_analysis
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let run ?(policy = Run.Round_robin) ?(adversarial = false) ?backends program =
+  let config =
+    { Run.default_config with policy; adversarial; record_trace = true }
+  in
+  let backends =
+    match backends with
+    | Some mk -> mk program.Ast.names
+    | None -> []
+  in
+  Run.run ~config program backends
+
+(* --- expression evaluation ------------------------------------------------ *)
+
+let test_eval () =
+  let regs = [| 7; 3 |] in
+  check int "add" 10 (Ast.eval regs (Ast.Add (Ast.Reg 0, Ast.Reg 1)));
+  check int "sub" 4 (Ast.eval regs (Ast.Sub (Ast.Reg 0, Ast.Reg 1)));
+  check int "mul" 21 (Ast.eval regs (Ast.Mul (Ast.Reg 0, Ast.Reg 1)));
+  check int "div" 2 (Ast.eval regs (Ast.Div (Ast.Reg 0, Ast.Reg 1)));
+  check int "mod" 1 (Ast.eval regs (Ast.Mod (Ast.Reg 0, Ast.Reg 1)));
+  check int "div by zero" 0 (Ast.eval regs (Ast.Div (Ast.Reg 0, Ast.Int 0)));
+  check int "mod by zero" 0 (Ast.eval regs (Ast.Mod (Ast.Reg 0, Ast.Int 0)));
+  check int "out-of-range reg reads 0" 0 (Ast.eval regs (Ast.Reg 99))
+
+let test_eval_cond () =
+  let regs = [| 5 |] in
+  let c cmp rhs = { Ast.lhs = Ast.Reg 0; cmp; rhs = Ast.Int rhs } in
+  check bool "eq" true (Ast.eval_cond regs (c Ast.Eq 5));
+  check bool "ne" true (Ast.eval_cond regs (c Ast.Ne 4));
+  check bool "lt" false (Ast.eval_cond regs (c Ast.Lt 5));
+  check bool "le" true (Ast.eval_cond regs (c Ast.Le 5));
+  check bool "gt" true (Ast.eval_cond regs (c Ast.Gt 4));
+  check bool "ge" false (Ast.eval_cond regs (c Ast.Ge 6))
+
+(* --- basic execution ------------------------------------------------------- *)
+
+let counter_program n_threads iters =
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  let m = Builder.lock b "m" in
+  Builder.threads b n_threads (fun _ ->
+      let open Builder in
+      let tmp = fresh_reg b in
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i iters)
+          (sync m [ read tmp x; write x (r tmp +: i 1) ]
+          @ [ local k (r k +: i 1) ]);
+      ]);
+  (Builder.program b, x)
+
+let test_locked_counter_exact () =
+  (* Mutual exclusion must make the final count exact under any seed. *)
+  List.iter
+    (fun seed ->
+      let program, x = counter_program 3 10 in
+      let res = run ~policy:(Run.Random seed) program in
+      check bool "no deadlock" false res.Run.deadlocked;
+      check int
+        (Printf.sprintf "count (seed %d)" seed)
+        30
+        (Interp.read_var res.Run.final x))
+    [ 1; 2; 3; 4 ]
+
+let test_determinism () =
+  let trace_of seed =
+    let program, _ = counter_program 3 5 in
+    let res = run ~policy:(Run.Random seed) program in
+    Trace.to_list (Option.get res.Run.trace)
+  in
+  check bool "same seed, same trace" true (trace_of 5 = trace_of 5);
+  check bool "different seeds differ" true (trace_of 5 <> trace_of 6)
+
+let test_emitted_traces_well_formed () =
+  List.iter
+    (fun seed ->
+      let program, _ = counter_program 4 6 in
+      let res = run ~policy:(Run.Random seed) program in
+      check bool "well-formed" true
+        (Trace.is_well_formed (Option.get res.Run.trace)))
+    [ 10; 11; 12 ]
+
+let test_lock_blocking () =
+  (* Thread 0 takes m and loops for a while; thread 1 must wait, so its
+     acquire event lands after thread 0's release. *)
+  let b = Builder.create () in
+  let m = Builder.lock b "m" in
+  let x = Builder.var b "x" in
+  let open Builder in
+  thread b ([ acquire m; work 50; write x (i 1) ] @ [ release m ]);
+  thread b (sync m [ write x (i 2) ]);
+  let program = Builder.program b in
+  let res = run program in
+  check bool "no deadlock" false res.Run.deadlocked;
+  let ops = Trace.to_list (Option.get res.Run.trace) in
+  let pos p = Option.get (List.find_index p ops) in
+  let rel0 =
+    pos (function Op.Release (t, _) -> Ids.Tid.to_int t = 0 | _ -> false)
+  in
+  let acq1 =
+    pos (function Op.Acquire (t, _) -> Ids.Tid.to_int t = 1 | _ -> false)
+  in
+  check bool "blocked until release" true (rel0 < acq1)
+
+let test_deadlock_detected () =
+  let b = Builder.create () in
+  let m = Builder.lock b "m" in
+  let n = Builder.lock b "n" in
+  let open Builder in
+  thread b [ acquire m; yield; yield; acquire n; release n; release m ];
+  thread b [ acquire n; yield; yield; acquire m; release m; release n ];
+  let program = Builder.program b in
+  (* Round-robin interleaves the two acquires: deadlock. *)
+  let res = run program in
+  check bool "deadlock" true res.Run.deadlocked;
+  check bool "deadlock warning emitted" true
+    (List.exists
+       (fun w -> w.Warning.kind = Warning.Deadlock)
+       res.Run.warnings)
+
+let test_reentrant_silent () =
+  let b = Builder.create () in
+  let m = Builder.lock b "m" in
+  let x = Builder.var b "x" in
+  let open Builder in
+  thread b
+    [ acquire m; acquire m; write x (i 1); release m; release m ];
+  let program = Builder.program b in
+  let res = run program in
+  let ops = Trace.to_list (Option.get res.Run.trace) in
+  let count p = List.length (List.filter p ops) in
+  check int "one acquire" 1
+    (count (function Op.Acquire _ -> true | _ -> false));
+  check int "one release" 1
+    (count (function Op.Release _ -> true | _ -> false))
+
+let test_release_unheld_raises () =
+  let b = Builder.create () in
+  let m = Builder.lock b "m" in
+  Builder.thread b [ Builder.release m ];
+  let program = Builder.program b in
+  Alcotest.check_raises "runtime error"
+    (Interp.Runtime_error "thread 0 releases unheld lock 0") (fun () ->
+      ignore (run program))
+
+let test_atomic_events () =
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  let l = Builder.label b "m1" in
+  let open Builder in
+  thread b [ atomic l [ write x (i 1); atomic l [ write x (i 2) ] ] ];
+  let program = Builder.program b in
+  let res = run program in
+  let ops = Trace.to_list (Option.get res.Run.trace) in
+  check
+    (Alcotest.list Alcotest.string)
+    "begin/end structure"
+    [ "t0:begin(L0)"; "t0:wr(x0)"; "t0:begin(L0)"; "t0:wr(x0)"; "t0:end";
+      "t0:end" ]
+    (List.map Op.to_string ops)
+
+let test_spin_handoff () =
+  (* The Section 2 baton program terminates and alternates correctly. *)
+  let b = Builder.create () in
+  let baton = Builder.volatile b ~init:0 "b" in
+  let x = Builder.var b "x" in
+  let open Builder in
+  threads b 2 (fun idx ->
+      let tmp = fresh_reg b in
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i 5)
+          (Builder.spin_until b baton (i idx)
+          @ [
+              read tmp x;
+              write x (r tmp +: i 1);
+              write baton (i (1 - idx));
+              local k (r k +: i 1);
+            ]);
+      ]);
+  let program = Builder.program b in
+  let res = run ~policy:(Run.Random 42) program in
+  check bool "terminates" false res.Run.deadlocked;
+  check int "all increments happened" 10 (Interp.read_var res.Run.final x)
+
+let test_adversarial_pauses () =
+  (* A racy rmw program under adversarial scheduling must record pauses
+     and manufacture the violation deterministically. *)
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  let l = Builder.label b "inc" in
+  let open Builder in
+  threads b 2 (fun _ ->
+      let tmp = fresh_reg b in
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i 10)
+          [
+            atomic l [ read tmp x; write x (r tmp +: i 1) ];
+            local k (r k +: i 1);
+          ];
+      ]);
+  let program = Builder.program b in
+  let res =
+    run ~policy:(Run.Random 1) ~adversarial:true
+      ~backends:(fun n ->
+        [
+          Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+          Backend.make (Velodrome_core.Engine.backend ()) n;
+        ])
+      program
+  in
+  check bool "paused at least once" true (res.Run.pauses > 0);
+  check bool "velodrome confirmed the violation" true
+    (List.exists
+       (fun w ->
+         w.Warning.analysis = "velodrome" && w.Warning.blamed)
+       res.Run.warnings)
+
+let adversarial_result ~pause_on ~never_pause seed =
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  let l = Builder.label b "inc" in
+  let open Builder in
+  threads b 2 (fun _ ->
+      let tmp = fresh_reg b in
+      let k = fresh_reg b in
+      [
+        local k (i 0);
+        while_ (r k <: i 10)
+          [
+            atomic l [ read tmp x; write x (r tmp +: i 1) ];
+            local k (r k +: i 1);
+          ];
+      ]);
+  let program = Builder.program b in
+  let config =
+    {
+      Run.default_config with
+      policy = Run.Random seed;
+      adversarial = true;
+      pause_slots = 500;
+      pause_on;
+      never_pause;
+    }
+  in
+  Run.run ~config program
+    [
+      Backend.make (Velodrome_atomizer.Atomizer.backend ()) program.Ast.names;
+    ]
+
+let test_pause_policy_writes_only () =
+  (* With hints firing only at the write (this program's only post-commit
+     op is the write anyway), the writes-only policy still pauses; a
+     never-pause list covering every thread disables pausing entirely. *)
+  let r1 = adversarial_result ~pause_on:Run.Pause_writes_only ~never_pause:[] 1 in
+  check bool "writes-only policy pauses" true (r1.Run.pauses > 0);
+  let r2 =
+    adversarial_result ~pause_on:Run.Pause_all ~never_pause:[ 0; 1 ] 1
+  in
+  check int "never_pause disables pausing" 0 r2.Run.pauses
+
+let test_never_pause_partial () =
+  let r = adversarial_result ~pause_on:Run.Pause_all ~never_pause:[ 0 ] 2 in
+  (* Thread 1 can still pause. *)
+  check bool "other threads still pause" true (r.Run.pauses > 0)
+
+let test_emit_reentrant_with_filter () =
+  (* With [emit_reentrant] the simulator emits raw nested acquires; the
+     re-entrant filter must reduce the stream a back-end sees to exactly
+     what the default (self-filtering) simulator produces. *)
+  let build () =
+    let b = Builder.create () in
+    let m = Builder.lock b "m" in
+    let x = Builder.var b "x" in
+    let open Builder in
+    threads b 2 (fun _ ->
+        [
+          acquire m; acquire m; write x (i 1); release m;
+          read 1 x; release m;
+        ]);
+    Builder.program b
+  in
+  let seen_through emit_reentrant wrap =
+    let program = build () in
+    let log = ref [] in
+    let module Probe = struct
+      type t = unit
+
+      let name = "probe"
+      let create _ = ()
+      let on_event () e = log := e.Event.op :: !log
+      let pause_hint _ _ = false
+      let finish _ = ()
+      let warnings _ = []
+    end in
+    let backend = wrap (Backend.make (module Probe) program.Ast.names) in
+    let config =
+      { Run.default_config with policy = Run.Random 8; emit_reentrant }
+    in
+    ignore (Run.run ~config program [ backend ]);
+    List.rev_map Op.to_string !log
+  in
+  let default_stream = seen_through false Fun.id in
+  let raw_filtered =
+    seen_through true Velodrome_analysis.Filters.reentrant_locks
+  in
+  check (Alcotest.list Alcotest.string) "filter recovers the default stream"
+    default_stream raw_filtered;
+  (* And the raw stream really does contain the extra events. *)
+  let raw = seen_through true Fun.id in
+  check bool "raw stream is longer" true
+    (List.length raw > List.length default_stream)
+
+let test_peek_idempotent () =
+  (* Once peek reports an operation, peeking again must report the same
+     operation without advancing anything — the contract the adversarial
+     scheduler relies on when it pauses a thread mid-decision. *)
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  Builder.thread b
+    [ Builder.local 1 (Builder.i 7); Builder.write x (Builder.r 1) ];
+  let interp = Interp.create (Builder.program b) in
+  let p1 = Interp.peek interp 0 in
+  let p2 = Interp.peek interp 0 in
+  check bool "same pending op" true (p1 = p2);
+  (match p1 with
+  | `Op (Op.Write _) -> ()
+  | _ -> Alcotest.fail "expected pending write");
+  (match Interp.commit interp 0 with
+  | `Emitted (Op.Write _) -> ()
+  | _ -> Alcotest.fail "expected committed write");
+  check int "write landed" 7 (Interp.read_var interp x)
+
+let test_quantum_keeps_thread () =
+  (* With a large quantum, a thread's consecutive events stay clustered. *)
+  let program, _ = counter_program 3 6 in
+  let config =
+    {
+      Run.default_config with
+      policy = Run.Random 4;
+      quantum = 100;
+      record_trace = true;
+    }
+  in
+  let res = Run.run ~config program [] in
+  let ops = Trace.to_list (Option.get res.Run.trace) in
+  let switches =
+    fst
+      (List.fold_left
+         (fun (acc, prev) op ->
+           let t = Ids.Tid.to_int (Op.tid op) in
+           ((if prev >= 0 && prev <> t then acc + 1 else acc), t))
+         (0, -1) ops)
+  in
+  (* 3 threads × 6 locked iterations each; with free interleaving there
+     would be hundreds of switches. Lock hand-offs force some. *)
+  check bool
+    (Printf.sprintf "few context switches (%d)" switches)
+    true (switches < 60)
+
+let test_work_counts_no_events () =
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  Builder.thread b [ Builder.work 5000; Builder.write x (Builder.i 1) ];
+  let program = Builder.program b in
+  let res = run program in
+  check int "only the write is observable" 1 res.Run.events
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "eval" `Quick test_eval;
+      Alcotest.test_case "eval cond" `Quick test_eval_cond;
+      Alcotest.test_case "locked counter exact" `Quick test_locked_counter_exact;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "traces well-formed" `Quick
+        test_emitted_traces_well_formed;
+      Alcotest.test_case "lock blocking" `Quick test_lock_blocking;
+      Alcotest.test_case "deadlock detected" `Quick test_deadlock_detected;
+      Alcotest.test_case "reentrant silent" `Quick test_reentrant_silent;
+      Alcotest.test_case "release unheld raises" `Quick
+        test_release_unheld_raises;
+      Alcotest.test_case "atomic events" `Quick test_atomic_events;
+      Alcotest.test_case "spin handoff" `Quick test_spin_handoff;
+      Alcotest.test_case "adversarial pauses" `Quick test_adversarial_pauses;
+      Alcotest.test_case "pause policy writes-only" `Quick
+        test_pause_policy_writes_only;
+      Alcotest.test_case "never-pause partial" `Quick test_never_pause_partial;
+      Alcotest.test_case "emit_reentrant + filter" `Quick
+        test_emit_reentrant_with_filter;
+      Alcotest.test_case "peek idempotent" `Quick test_peek_idempotent;
+      Alcotest.test_case "quantum clustering" `Quick test_quantum_keeps_thread;
+      Alcotest.test_case "work is silent" `Quick test_work_counts_no_events;
+    ] )

@@ -1,0 +1,226 @@
+open Velodrome_util
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- Rng ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let g = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 13 in
+    check bool "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_split_independent () =
+  let g = Rng.create 1 in
+  let h = Rng.split g in
+  let xs = List.init 20 (fun _ -> Rng.int g 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int h 1000) in
+  check bool "streams differ" true (xs <> ys)
+
+let test_rng_shuffle_permutes () =
+  let g = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check bool "is a permutation" true (sorted = Array.init 50 Fun.id);
+  check bool "actually moved something" true (a <> Array.init 50 Fun.id)
+
+let test_rng_float_range () =
+  let g = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let f = Rng.float g 2.5 in
+    check bool "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+(* --- Symtab --------------------------------------------------------------- *)
+
+let test_symtab_roundtrip () =
+  let t = Symtab.create () in
+  let a = Symtab.intern t "alpha" in
+  let b = Symtab.intern t "beta" in
+  check int "dense ids" 0 a;
+  check int "dense ids" 1 b;
+  check int "stable" a (Symtab.intern t "alpha");
+  check Alcotest.string "name back" "beta" (Symtab.name t b);
+  check int "size" 2 (Symtab.size t)
+
+let test_symtab_find () =
+  let t = Symtab.create () in
+  ignore (Symtab.intern t "x");
+  check (Alcotest.option int) "present" (Some 0) (Symtab.find t "x");
+  check (Alcotest.option int) "absent" None (Symtab.find t "y")
+
+let test_symtab_many () =
+  let t = Symtab.create () in
+  for i = 0 to 999 do
+    ignore (Symtab.intern t (string_of_int i))
+  done;
+  check int "all distinct" 1000 (Symtab.size t);
+  check Alcotest.string "spot check" "517" (Symtab.name t 517)
+
+(* --- Vec ----------------------------------------------------------------- *)
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check int "length" 100 (Vec.length v);
+  check int "get" 49 (Vec.get v 7);
+  Vec.set v 7 (-1);
+  check int "set" (-1) (Vec.get v 7)
+
+let test_vec_pop_last () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check (Alcotest.option int) "last" (Some 3) (Vec.last v);
+  check (Alcotest.option int) "pop" (Some 3) (Vec.pop v);
+  check int "shrunk" 2 (Vec.length v);
+  Vec.clear v;
+  check (Alcotest.option int) "empty pop" None (Vec.pop v)
+
+let test_vec_bounds () =
+  let v = Vec.of_list [ 0 ] in
+  Alcotest.check_raises "get oob" (Invalid_argument "Vec.get: index out of bounds")
+    (fun () -> ignore (Vec.get v 1))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  check int "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  check int "iteri count" 4 (List.length !acc);
+  check bool "exists" true (Vec.exists (fun x -> x = 3) v);
+  check bool "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+(* --- Digraph --------------------------------------------------------------- *)
+
+let test_digraph_acyclic () =
+  let g = Digraph.create 4 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 0 2;
+  Digraph.add_edge g 2 3;
+  check bool "no cycle" false (Digraph.has_cycle g);
+  check bool "reachable" true (Digraph.reachable g 0 3);
+  check bool "not reachable" false (Digraph.reachable g 3 0);
+  match Digraph.topological_order g with
+  | None -> Alcotest.fail "expected topological order"
+  | Some order ->
+    check int "all nodes" 4 (List.length order);
+    let pos = Array.make 4 0 in
+    List.iteri (fun i n -> pos.(n) <- i) order;
+    Digraph.iter_edges g (fun u v ->
+        check bool "topo respects edges" true (pos.(u) < pos.(v)))
+
+let test_digraph_cycle_found () =
+  let g = Digraph.create 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  Digraph.add_edge g 2 0;
+  check bool "cycle" true (Digraph.has_cycle g);
+  (match Digraph.find_cycle g with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some cyc ->
+    check bool "nontrivial" true (List.length cyc >= 2);
+    (* Consecutive cycle nodes must be joined by edges, wrapping around. *)
+    let arr = Array.of_list cyc in
+    let k = Array.length arr in
+    for i = 0 to k - 1 do
+      check bool "cycle edge exists" true
+        (Digraph.mem_edge g arr.(i) arr.((i + 1) mod k))
+    done);
+  check (Alcotest.option (Alcotest.list int)) "no topo order" None
+    (Digraph.topological_order g)
+
+let test_digraph_self_edge_ignored () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 0;
+  check int "self edge filtered" 0 (Digraph.edge_count g);
+  check bool "still acyclic" false (Digraph.has_cycle g)
+
+let test_digraph_duplicate_edges () =
+  let g = Digraph.create 2 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 0 1;
+  check int "deduplicated" 1 (Digraph.edge_count g)
+
+(* --- Stats ----------------------------------------------------------------- *)
+
+let test_stats_basics () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean a);
+  check (Alcotest.float 1e-9) "median" 2.5 (Stats.median a);
+  let lo, hi = Stats.min_max a in
+  check (Alcotest.float 1e-9) "min" 1.0 lo;
+  check (Alcotest.float 1e-9) "max" 4.0 hi;
+  check (Alcotest.float 1e-9) "ratio zero den" 0.0 (Stats.ratio 1.0 0.0)
+
+let test_stats_counter () =
+  let c = Stats.counter () in
+  Stats.incr c;
+  Stats.incr c;
+  Stats.decr c;
+  Stats.incr c;
+  check int "current" 2 (Stats.value c);
+  check int "total" 3 (Stats.total_increments c);
+  check int "high water" 2 (Stats.high_water c);
+  Stats.reset c;
+  check int "reset" 0 (Stats.total_increments c)
+
+(* --- Dot ----------------------------------------------------------------- *)
+
+let test_dot_render () =
+  let nodes =
+    [
+      { Dot.id = "a"; label = "Thread 1: add"; emphasized = true };
+      { Dot.id = "b"; label = "say \"hi\""; emphasized = false };
+    ]
+  in
+  let edges =
+    [ { Dot.src = "a"; dst = "b"; edge_label = "wr(x)"; dashed = true } ]
+  in
+  let s = Dot.render ~name:"g" nodes edges in
+  check bool "digraph header" true
+    (String.length s > 0 && String.sub s 0 7 = "digraph");
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check bool "escapes quotes" true (contains s "say \\\"hi\\\"");
+  check bool "dashed edge" true (contains s "style=dashed");
+  check bool "emphasized node" true (contains s "peripheries=2")
+
+let suite =
+  ( "util",
+    [
+      Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+      Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+      Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+      Alcotest.test_case "rng shuffle" `Quick test_rng_shuffle_permutes;
+      Alcotest.test_case "rng float" `Quick test_rng_float_range;
+      Alcotest.test_case "symtab roundtrip" `Quick test_symtab_roundtrip;
+      Alcotest.test_case "symtab find" `Quick test_symtab_find;
+      Alcotest.test_case "symtab many" `Quick test_symtab_many;
+      Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+      Alcotest.test_case "vec pop/last" `Quick test_vec_pop_last;
+      Alcotest.test_case "vec bounds" `Quick test_vec_bounds;
+      Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
+      Alcotest.test_case "digraph acyclic" `Quick test_digraph_acyclic;
+      Alcotest.test_case "digraph cycle" `Quick test_digraph_cycle_found;
+      Alcotest.test_case "digraph self edge" `Quick test_digraph_self_edge_ignored;
+      Alcotest.test_case "digraph duplicates" `Quick test_digraph_duplicate_edges;
+      Alcotest.test_case "stats basics" `Quick test_stats_basics;
+      Alcotest.test_case "stats counter" `Quick test_stats_counter;
+      Alcotest.test_case "dot render" `Quick test_dot_render;
+    ] )

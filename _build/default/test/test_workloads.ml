@@ -1,0 +1,197 @@
+(* Workload integration tests: every benchmark must build, run to
+   completion under several schedules without deadlock or runtime error,
+   emit well-formed traces, declare accurate ground truth, and — the
+   repository-level completeness invariant — never draw a blamed
+   Velodrome warning on a method whose ground truth says atomic. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+open Velodrome_workloads
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let run_workload ?(seed = 1) ?(record = false) (w : Workload.t) size backends =
+  let program = w.Workload.build size in
+  let names = program.Velodrome_sim.Ast.names in
+  let config =
+    {
+      Velodrome_sim.Run.default_config with
+      policy = Velodrome_sim.Run.Random seed;
+      record_trace = record;
+    }
+  in
+  (names, Velodrome_sim.Run.run ~config program (backends names))
+
+let test_all_build_all_sizes () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun size ->
+          let p = w.Workload.build size in
+          check bool
+            (w.Workload.name ^ " has threads")
+            true
+            (Array.length p.Velodrome_sim.Ast.threads > 0))
+        [ Workload.Small; Workload.Medium; Workload.Large ])
+    Workload.all
+
+let test_all_run_clean () =
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun seed ->
+          let _, res = run_workload ~seed w Workload.Small (fun _ -> []) in
+          check bool
+            (Printf.sprintf "%s seed %d finishes" w.Workload.name seed)
+            false res.Velodrome_sim.Run.deadlocked)
+        [ 1; 2 ])
+    Workload.all
+
+let test_traces_well_formed () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let _, res =
+        run_workload ~record:true w Workload.Small (fun _ -> [])
+      in
+      check bool
+        (w.Workload.name ^ " trace well-formed")
+        true
+        (Trace.is_well_formed (Option.get res.Velodrome_sim.Run.trace)))
+    Workload.all
+
+let test_ground_truth_labels_exist () =
+  (* Every declared method label must actually occur in the program. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = w.Workload.build Workload.Small in
+      let names = p.Velodrome_sim.Ast.names in
+      List.iter
+        (fun g ->
+          check bool
+            (Printf.sprintf "%s: %s declared" w.Workload.name g.Workload.label)
+            true
+            (Velodrome_util.Symtab.find names.Names.labels g.Workload.label
+            <> None))
+        w.Workload.methods)
+    Workload.all
+
+let test_program_labels_covered () =
+  (* Conversely, every atomic label in the program must have ground
+     truth, or Table 2 classification would silently miscount. *)
+  List.iter
+    (fun (w : Workload.t) ->
+      let p = w.Workload.build Workload.Small in
+      let names = p.Velodrome_sim.Ast.names in
+      let declared =
+        List.map (fun g -> g.Workload.label) w.Workload.methods
+      in
+      Velodrome_util.Symtab.iter names.Names.labels (fun _ label ->
+          check bool
+            (Printf.sprintf "%s: %s has ground truth" w.Workload.name label)
+            true (List.mem label declared)))
+    Workload.all
+
+(* The repository-wide zero-false-alarm invariant: across seeds, a blamed
+   Velodrome warning never lands on a method with atomic ground truth. *)
+let test_velodrome_never_blames_atomic_methods () =
+  List.iter
+    (fun (w : Workload.t) ->
+      let truth = Hashtbl.create 16 in
+      List.iter
+        (fun g -> Hashtbl.replace truth g.Workload.label g.Workload.atomic)
+        w.Workload.methods;
+      List.iter
+        (fun seed ->
+          let names, res =
+            run_workload ~seed w Workload.Small (fun n ->
+                [ Backend.make (Velodrome_core.Engine.backend ()) n ])
+          in
+          List.iter
+            (fun (warning : Warning.t) ->
+              if warning.Warning.blamed then
+                match warning.Warning.label with
+                | Some l ->
+                  let name = Names.label_name names l in
+                  check bool
+                    (Printf.sprintf "%s: blamed %s is non-atomic"
+                       w.Workload.name name)
+                    false
+                    (Option.value ~default:false (Hashtbl.find_opt truth name))
+                | None -> ())
+            res.Velodrome_sim.Run.warnings)
+        [ 1; 2; 3 ])
+    Workload.all
+
+let test_raja_fully_clean () =
+  let w = Option.get (Workload.find "raja") in
+  List.iter
+    (fun seed ->
+      let _, res =
+        run_workload ~seed w Workload.Medium (fun n ->
+            [
+              Backend.make (Velodrome_core.Engine.backend ()) n;
+              Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+              Backend.make (Velodrome_eraser.Eraser.backend ()) n;
+            ])
+      in
+      check bool
+        (Printf.sprintf "raja clean (seed %d)" seed)
+        true
+        (res.Velodrome_sim.Run.warnings = []))
+    [ 1; 2; 3 ]
+
+let test_multiset_detects_set_add () =
+  let w = Option.get (Workload.find "multiset") in
+  let names, res =
+    run_workload ~seed:3 w Workload.Medium (fun n ->
+        [ Backend.make (Velodrome_core.Engine.backend ()) n ])
+  in
+  let found =
+    List.filter_map
+      (fun (warning : Warning.t) ->
+        if warning.Warning.blamed then
+          Option.map (Names.label_name names) warning.Warning.label
+        else None)
+      res.Velodrome_sim.Run.warnings
+  in
+  check bool "Set.add caught" true (List.mem "Set.add" found)
+
+let test_velodrome_agrees_with_oracle_on_workload_traces () =
+  (* End-to-end soundness/completeness on real workload traces (small, so
+     the quadratic oracle stays fast). *)
+  List.iter
+    (fun name ->
+      let w = Option.get (Workload.find name) in
+      let names, res =
+        run_workload ~seed:2 ~record:true w Workload.Small (fun _ -> [])
+      in
+      let trace = Option.get res.Velodrome_sim.Run.trace in
+      let eng = Velodrome_core.Engine.create names in
+      List.iteri
+        (fun index op ->
+          Velodrome_core.Engine.on_event eng (Event.make ~index op))
+        (Trace.to_list trace);
+      check bool
+        (name ^ ": engine verdict = oracle verdict")
+        (not (Velodrome_oracle.Oracle.serializable trace))
+        (Velodrome_core.Engine.has_error eng))
+    [ "multiset"; "philo"; "raja"; "sor"; "elevator" ]
+
+let suite =
+  ( "workloads",
+    [
+      Alcotest.test_case "all build" `Quick test_all_build_all_sizes;
+      Alcotest.test_case "all run clean" `Quick test_all_run_clean;
+      Alcotest.test_case "traces well-formed" `Quick test_traces_well_formed;
+      Alcotest.test_case "ground truth labels exist" `Quick
+        test_ground_truth_labels_exist;
+      Alcotest.test_case "program labels covered" `Quick
+        test_program_labels_covered;
+      Alcotest.test_case "no blame on atomic methods" `Slow
+        test_velodrome_never_blames_atomic_methods;
+      Alcotest.test_case "raja clean" `Quick test_raja_fully_clean;
+      Alcotest.test_case "multiset Set.add" `Quick test_multiset_detects_set_add;
+      Alcotest.test_case "engine = oracle on workload traces" `Slow
+        test_velodrome_agrees_with_oracle_on_workload_traces;
+    ] )

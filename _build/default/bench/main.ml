@@ -255,9 +255,139 @@ let benchmark () =
       Printf.printf "%-45s %15s\n" name pretty)
     (List.sort compare rows)
 
+(* --- Streaming ingestion throughput (BENCH_stream.json) --------------------- *)
+
+(* Replays recorded workload traces through the textual parser, the
+   binary decoder, the bounded-memory streaming checker and the
+   in-memory engine, and emits events/sec for each so the ingestion
+   perf trajectory has a baseline. *)
+
+let time_best ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+let record_workload_trace name size seed =
+  let w = Option.get (Workload.find name) in
+  let program = w.Workload.build size in
+  let res =
+    Velodrome_harness.Common.run_once ~seed ~record_trace:true program
+      (fun _ -> [])
+  in
+  (program.Velodrome_sim.Ast.names, Option.get res.Velodrome_sim.Run.trace)
+
+type stream_row = {
+  fixture : string;
+  size : string;
+  events : int;
+  text_bytes : int;
+  binary_bytes : int;
+  text_parse_eps : float;
+  binary_decode_eps : float;
+  stream_check_eps : float;
+  inmem_check_eps : float;
+}
+
+let engine_backend names =
+  [ Backend.make (Velodrome_core.Engine.backend ()) names ]
+
+let stream_bench ~repeats ~size ~size_name fixture =
+  let names, trace = record_workload_trace fixture size 42 in
+  let txt = Filename.temp_file "velodrome_bench" ".trace" in
+  let velb = Filename.temp_file "velodrome_bench" ".velb" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove txt with Sys_error _ -> ());
+      try Sys.remove velb with Sys_error _ -> ())
+    (fun () ->
+      Trace_io.write_file names trace txt;
+      Trace_codec.write_file names trace velb;
+      let events = Trace.length trace in
+      let eps t = float_of_int events /. t in
+      let t_text =
+        time_best ~repeats (fun () -> ignore (Trace_io.read_file txt))
+      in
+      let t_binary =
+        time_best ~repeats (fun () -> ignore (Trace_codec.read_file velb))
+      in
+      let t_stream =
+        time_best ~repeats (fun () ->
+            Velodrome_stream.Source.with_file velb (fun src ->
+                ignore
+                  (Velodrome_stream.Driver.run
+                     (engine_backend src.Velodrome_stream.Source.names)
+                     src)))
+      in
+      let t_inmem =
+        time_best ~repeats (fun () ->
+            let names, tr = Trace_codec.read_file velb in
+            ignore (Backend.run_trace (engine_backend names) tr))
+      in
+      {
+        fixture;
+        size = size_name;
+        events;
+        text_bytes = (Unix.stat txt).Unix.st_size;
+        binary_bytes = (Unix.stat velb).Unix.st_size;
+        text_parse_eps = eps t_text;
+        binary_decode_eps = eps t_binary;
+        stream_check_eps = eps t_stream;
+        inmem_check_eps = eps t_inmem;
+      })
+
+let stream_json_row ppf r =
+  Format.fprintf ppf
+    "  {@[<v 1>@ \"fixture\": %S,@ \"size\": %S,@ \"events\": %d,@ \
+     \"text_bytes\": %d,@ \"binary_bytes\": %d,@ \
+     \"text_parse_events_per_sec\": %.0f,@ \
+     \"binary_decode_events_per_sec\": %.0f,@ \
+     \"stream_check_events_per_sec\": %.0f,@ \
+     \"inmem_check_events_per_sec\": %.0f@]@ }"
+    r.fixture r.size r.events r.text_bytes r.binary_bytes r.text_parse_eps
+    r.binary_decode_eps r.stream_check_eps r.inmem_check_eps
+
+let emit_stream_json path rows =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      Format.fprintf ppf "[@[<v>@ %a@]@ ]@."
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           stream_json_row)
+        rows)
+
+let run_stream_benches ~smoke =
+  let rows =
+    if smoke then
+      [ stream_bench ~repeats:2 ~size:Workload.Small ~size_name:"small"
+          "multiset" ]
+    else
+      List.map
+        (stream_bench ~repeats:3 ~size:Workload.Medium ~size_name:"medium")
+        [ "multiset"; "jbb" ]
+  in
+  Printf.printf "%-12s %-7s %9s %10s %10s %12s %12s %12s %12s\n" "fixture"
+    "size" "events" "text-B" "bin-B" "text-ev/s" "bin-ev/s" "stream-ev/s"
+    "inmem-ev/s";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-7s %9d %10d %10d %12.0f %12.0f %12.0f %12.0f\n"
+        r.fixture r.size r.events r.text_bytes r.binary_bytes r.text_parse_eps
+        r.binary_decode_eps r.stream_check_eps r.inmem_check_eps)
+    rows;
+  emit_stream_json "BENCH_stream.json" rows;
+  Printf.printf "wrote BENCH_stream.json (%d fixtures)\n" (List.length rows)
+
 (* --- Full table regeneration ------------------------------------------------ *)
 
-let () =
+let full_run () =
   print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
   benchmark ();
   print_newline ();
@@ -280,3 +410,10 @@ let () =
   print_endline "=== Study S4: single-core scheduling sensitivity ===";
   Velodrome_harness.Study.print_single_core Format.std_formatter
     (Velodrome_harness.Study.single_core ())
+
+let () =
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  print_endline "=== Streaming ingestion throughput ===";
+  run_stream_benches ~smoke;
+  print_newline ();
+  if not smoke then full_run ()

@@ -4,10 +4,16 @@
    - list            benchmark workloads and their ground truth
    - run             run a workload under selected analyses
    - check           parse, statically check and analyze a .vel file
+   - record          record a workload (or .vel program) trace to a file
+   - check-trace     replay a recorded trace (text or binary, --stream)
+   - convert         convert traces between the text and binary formats
    - table1          regenerate Table 1 (slowdowns, node statistics)
    - table2          regenerate Table 2 (warning classification)
    - study           adversarial-scheduling studies (coverage, injection)
-*)
+
+   Trace files come in two formats, auto-detected on input: the textual
+   format of Trace_io and the compact binary format of Trace_codec
+   (written when the file name ends in .velb, or with convert). *)
 
 open Cmdliner
 open Velodrome_analysis
@@ -251,49 +257,79 @@ let check_cmd =
 
 (* --- trace files ------------------------------------------------------------ *)
 
+(* A trace destination is binary iff it is named .velb; sources are
+   sniffed by magic, so either format is accepted everywhere. *)
+let binary_path path = Filename.check_suffix path ".velb"
+
+let write_trace names trace path =
+  if binary_path path then
+    Velodrome_trace.Trace_codec.write_file names trace path
+  else Velodrome_trace.Trace_io.write_file names trace path
+
+let build_program name size =
+  if Filename.check_suffix name ".vel" && Sys.file_exists name then
+    match Velodrome_lang.Parser.parse_file name with
+    | exception Velodrome_lang.Parser.Parse_error (m, l, c) ->
+      Format.eprintf "%s: %a@." name Velodrome_lang.Parser.pp_error (m, l, c);
+      exit 1
+    | exception Velodrome_lang.Lexer.Lex_error (m, l, c) ->
+      Printf.eprintf "%s: lex error at %d:%d: %s\n" name l c m;
+      exit 1
+    | program -> program
+  else
+    match Workload.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 1
+    | Some w -> w.Workload.build size
+
 let record_cmd =
   let workload =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc:"Workload to record.")
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to record, or a .vel program file.")
   in
   let out =
     Arg.(
       required
       & pos 1 (some string) None
-      & info [] ~docv:"FILE" ~doc:"Output trace file.")
+      & info [] ~docv:"FILE"
+          ~doc:"Output trace file (binary when named *.velb).")
   in
   let run name out size seed =
-    match Workload.find name with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" name;
-      exit 1
-    | Some w ->
-      let program = w.Workload.build size in
-      let config =
-        {
-          Velodrome_sim.Run.default_config with
-          policy = Velodrome_sim.Run.Random seed;
-          record_trace = true;
-        }
-      in
-      let res = Velodrome_sim.Run.run ~config program [] in
-      let trace = Option.get res.Velodrome_sim.Run.trace in
-      Velodrome_trace.Trace_io.write_file program.Velodrome_sim.Ast.names
-        trace out;
-      Printf.printf "recorded %d operations to %s\n"
-        (Velodrome_trace.Trace.length trace)
-        out
+    let program = build_program name size in
+    let config =
+      {
+        Velodrome_sim.Run.default_config with
+        policy = Velodrome_sim.Run.Random seed;
+        record_trace = true;
+      }
+    in
+    let res = Velodrome_sim.Run.run ~config program [] in
+    let trace = Option.get res.Velodrome_sim.Run.trace in
+    write_trace program.Velodrome_sim.Ast.names trace out;
+    Printf.printf "recorded %d operations to %s\n"
+      (Velodrome_trace.Trace.length trace)
+      out
   in
   Cmd.v
     (Cmd.info "record" ~doc:"Record a workload's event trace to a file.")
     Term.(const run $ workload $ out $ size_arg $ seed_arg)
 
+let read_trace file =
+  if Velodrome_trace.Trace_codec.is_binary_file file then
+    Velodrome_trace.Trace_codec.read_file file
+  else Velodrome_trace.Trace_io.read_file file
+
 let load_trace file =
-  match Velodrome_trace.Trace_io.read_file file with
+  match read_trace file with
   | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
     Printf.eprintf "%s:%d: %s\n" file line msg;
+    exit 1
+  | exception Velodrome_trace.Trace_codec.Corrupt msg ->
+    Printf.eprintf "%s: corrupt binary trace: %s\n" file msg;
     exit 1
   | names, trace -> (
     match Velodrome_trace.Trace.check trace with
@@ -303,27 +339,150 @@ let load_trace file =
       exit 1
     | Ok () -> (names, trace))
 
+(* Like mk_backend, but the optimized engine is built explicitly so the
+   --stats reporter can probe its live happens-before node count. *)
+let mk_stream_backends names analyses =
+  let probe = ref None in
+  let backends =
+    List.filter_map
+      (function
+        | "velodrome" ->
+          let eng = Velodrome_core.Engine.create names in
+          probe :=
+            Some (fun () -> Velodrome_core.Engine.nodes_live eng);
+          let module E = struct
+            type t = Velodrome_core.Engine.t
+
+            let name = "velodrome"
+            let create _ = eng
+            let on_event = Velodrome_core.Engine.on_event
+            let pause_hint _ _ = false
+            let finish = Velodrome_core.Engine.finish
+            let warnings = Velodrome_core.Engine.warnings
+          end in
+          Some (Backend.make (module E) names)
+        | a -> (
+          match mk_backend names a with
+          | Some b -> Some b
+          | None ->
+            Printf.eprintf "unknown analysis %S (ignored)\n" a;
+            None))
+      analyses
+  in
+  (backends, !probe)
+
+let print_stats (s : Velodrome_stream.Driver.stats) =
+  Printf.eprintf
+    "[stream] events=%d warnings=%d%s alloc=%.0fw minor-gcs=%d major-gcs=%d\n%!"
+    s.Velodrome_stream.Driver.events s.Velodrome_stream.Driver.warnings
+    (match s.Velodrome_stream.Driver.live_nodes with
+    | Some n -> Printf.sprintf " live-nodes=%d" n
+    | None -> "")
+    s.Velodrome_stream.Driver.allocated_words
+    s.Velodrome_stream.Driver.minor_collections
+    s.Velodrome_stream.Driver.major_collections
+
 let check_trace_cmd =
   let file =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"A recorded trace file.")
+      & info [] ~docv:"FILE" ~doc:"A recorded trace file (text or binary).")
   in
-  let run file analyses =
-    let names, trace = load_trace file in
-    let backends = List.filter_map (mk_backend names) analyses in
-    let warnings =
-      Warning.dedup_by_label (Backend.run_trace backends trace)
-    in
-    Printf.printf "%s: %d operations\n" file
-      (Velodrome_trace.Trace.length trace);
-    report_warnings names warnings
+  let stream =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Replay directly from the file in bounded memory instead of \
+             loading the whole trace first.")
+  in
+  let stats =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stats" ] ~docv:"N"
+          ~doc:
+            "With --stream: report engine statistics to stderr every N \
+             events.")
+  in
+  let run file analyses stream stats =
+    if stream then begin
+      match
+        Velodrome_stream.Source.with_file file (fun src ->
+            let names = src.Velodrome_stream.Source.names in
+            let backends, live_nodes = mk_stream_backends names analyses in
+            let progress = Option.map (fun _ -> print_stats) stats in
+            let events, warnings =
+              Velodrome_stream.Driver.run ?progress ?every:stats ?live_nodes
+                backends src
+            in
+            (names, events, warnings))
+      with
+      | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
+        Printf.eprintf "%s:%d: %s\n" file line msg;
+        exit 1
+      | exception Velodrome_trace.Trace_codec.Corrupt msg ->
+        Printf.eprintf "%s: corrupt binary trace: %s\n" file msg;
+        exit 1
+      | names, events, warnings ->
+        Printf.printf "%s: %d operations\n" file events;
+        report_warnings names (Warning.dedup_by_label warnings)
+    end
+    else begin
+      let names, trace = load_trace file in
+      let backends = List.filter_map (mk_backend names) analyses in
+      let warnings =
+        Warning.dedup_by_label (Backend.run_trace backends trace)
+      in
+      Printf.printf "%s: %d operations\n" file
+        (Velodrome_trace.Trace.length trace);
+      report_warnings names warnings
+    end
   in
   Cmd.v
     (Cmd.info "check-trace"
        ~doc:"Replay a recorded trace through the analyses.")
-    Term.(const run $ file $ analyses_arg)
+    Term.(const run $ file $ analyses_arg $ stream $ stats)
+
+let convert_cmd =
+  let input =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"INPUT" ~doc:"Trace file to convert (text or binary).")
+  in
+  let output =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"OUTPUT"
+          ~doc:"Destination (binary when named *.velb, text otherwise).")
+  in
+  let to_format =
+    Arg.(
+      value
+      & opt (some (enum [ ("binary", true); ("text", false) ])) None
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:"Force the output format: binary or text.")
+  in
+  let run input output to_format =
+    let names, trace = load_trace input in
+    let binary =
+      match to_format with Some b -> b | None -> binary_path output
+    in
+    if binary then
+      Velodrome_trace.Trace_codec.write_file names trace output
+    else Velodrome_trace.Trace_io.write_file names trace output;
+    Printf.printf "converted %s (%d events) to %s (%s)\n" input
+      (Velodrome_trace.Trace.length trace)
+      output
+      (if binary then "binary" else "text")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert a trace between the text and binary formats.")
+    Term.(const run $ input $ output $ to_format)
 
 let minimize_cmd =
   let file =
@@ -522,6 +681,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; check_cmd; print_cmd; record_cmd;
-            check_trace_cmd; minimize_cmd; fuzz_cmd; table1_cmd; table2_cmd;
-            study_cmd;
+            check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd; table1_cmd;
+            table2_cmd; study_cmd;
           ]))

@@ -1,0 +1,1 @@
+lib/stream/driver.ml: Backend Gc List Option Source Velodrome_analysis

@@ -1,0 +1,1 @@
+lib/stream/driver.mli: Backend Source Velodrome_analysis Warning

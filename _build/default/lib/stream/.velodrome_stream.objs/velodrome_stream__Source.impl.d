@@ -1,0 +1,1 @@
+lib/stream/source.ml: Event Fun Names Trace Trace_codec Trace_io Velodrome_trace

@@ -1,0 +1,1 @@
+lib/stream/source.mli: Event Names Trace Velodrome_trace

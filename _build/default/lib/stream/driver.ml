@@ -1,0 +1,51 @@
+open Velodrome_analysis
+
+type stats = {
+  events : int;
+  warnings : int;
+  live_nodes : int option;
+  allocated_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let default_interval = 100_000
+
+let run ?progress ?(every = default_interval) ?live_nodes backends
+    (src : Source.t) =
+  let count = ref 0 in
+  let tick report =
+    let g = Gc.quick_stat () in
+    report
+      {
+        events = !count;
+        warnings =
+          List.fold_left
+            (fun acc b -> acc + List.length (Backend.warnings b))
+            0 backends;
+        live_nodes = Option.map (fun probe -> probe ()) live_nodes;
+        (* quick_stat counters are only flushed at minor collections;
+           Gc.minor_words reads the precise allocation pointer. *)
+        allocated_words =
+          Gc.minor_words () +. (g.Gc.major_words -. g.Gc.promoted_words);
+        minor_collections = g.Gc.minor_collections;
+        major_collections = g.Gc.major_collections;
+      }
+  in
+  let every = max 1 every in
+  let on_event =
+    match progress with
+    | None ->
+      fun e ->
+        List.iter (fun b -> Backend.on_event b e) backends;
+        incr count
+    | Some report ->
+      fun e ->
+        List.iter (fun b -> Backend.on_event b e) backends;
+        incr count;
+        if !count mod every = 0 then tick report
+  in
+  src.Source.iter on_event;
+  List.iter Backend.finish backends;
+  Option.iter tick progress;
+  (!count, List.concat_map Backend.warnings backends)

@@ -1,0 +1,42 @@
+(** The streaming replay driver.
+
+    Feeds every event of a {!Source.t} to a set of analysis back-ends,
+    exactly as {!Velodrome_analysis.Backend.run_events} does for
+    in-memory traces — same event order, same per-event back-end order,
+    same final [finish]/[warnings] sequence — so verdicts are identical
+    by construction; the differential property tests pin this down.
+
+    Memory stays bounded by the analyses' own state: the driver holds
+    one event at a time and never buffers the stream.
+
+    An optional [progress] callback observes engine statistics every
+    [every] events and once more after the final event, for long-running
+    ingestion jobs (events consumed, OCaml GC pressure, and — when the
+    caller supplies a probe — live happens-before nodes, the paper's
+    reference-counting GC metric). *)
+
+open Velodrome_analysis
+
+type stats = {
+  events : int;  (** events consumed so far *)
+  warnings : int;  (** warnings raised so far, across back-ends *)
+  live_nodes : int option;
+      (** live happens-before graph nodes, from the [live_nodes] probe *)
+  allocated_words : float;  (** total words allocated by the program *)
+  minor_collections : int;  (** OCaml minor GC cycles so far *)
+  major_collections : int;  (** OCaml major GC cycles so far *)
+}
+
+val default_interval : int
+(** Events between progress reports (100_000). *)
+
+val run :
+  ?progress:(stats -> unit) ->
+  ?every:int ->
+  ?live_nodes:(unit -> int) ->
+  Backend.packed list ->
+  Source.t ->
+  int * Warning.t list
+(** [run backends source] replays the source through the back-ends and
+    returns the event count with the concatenated warnings (in back-end
+    order, like {!Velodrome_analysis.Backend.run_events}). *)

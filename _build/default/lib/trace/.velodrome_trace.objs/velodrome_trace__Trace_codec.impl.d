@@ -1,0 +1,1 @@
+lib/trace/trace_codec.ml: Event Fun Hashtbl Ids Label List Lock Names Op Printf String Symtab Sys Tid Trace Var Velodrome_util

@@ -1,0 +1,1 @@
+lib/trace/trace_codec.mli: Event Names Trace

@@ -1,1 +1,1 @@
-lib/trace/trace_io.mli: Names Trace
+lib/trace/trace_io.mli: Names Op Trace

@@ -38,7 +38,31 @@ let parse_tid lineno s =
 let split_words s =
   String.split_on_char ' ' s
   |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
   |> List.filter (fun w -> w <> "")
+
+let parse_line names ~lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some k -> String.sub line 0 k
+    | None -> line
+  in
+  match split_words line with
+  | [] -> None
+  | [ t; "end" ] -> Some (Op.End (parse_tid lineno t))
+  | [ t; kind; name ] ->
+    let t = parse_tid lineno t in
+    let op =
+      match kind with
+      | "rd" -> Op.Read (t, Names.var names name)
+      | "wr" -> Op.Write (t, Names.var names name)
+      | "acq" -> Op.Acquire (t, Names.lock names name)
+      | "rel" -> Op.Release (t, Names.lock names name)
+      | "begin" -> Op.Begin (t, Names.label names name)
+      | k -> raise (Syntax_error (lineno, "unknown operation " ^ k))
+    in
+    Some op
+  | _ -> raise (Syntax_error (lineno, "malformed line"))
 
 let of_string src =
   let names = Names.create () in
@@ -46,36 +70,36 @@ let of_string src =
   let lines = String.split_on_char '\n' src in
   List.iteri
     (fun i line ->
-      let lineno = i + 1 in
-      let line =
-        match String.index_opt line '#' with
-        | Some k -> String.sub line 0 k
-        | None -> line
-      in
-      match split_words line with
-      | [] -> ()
-      | [ t; "end" ] -> ops := Op.End (parse_tid lineno t) :: !ops
-      | [ t; kind; name ] ->
-        let t = parse_tid lineno t in
-        let op =
-          match kind with
-          | "rd" -> Op.Read (t, Names.var names name)
-          | "wr" -> Op.Write (t, Names.var names name)
-          | "acq" -> Op.Acquire (t, Names.lock names name)
-          | "rel" -> Op.Release (t, Names.lock names name)
-          | "begin" -> Op.Begin (t, Names.label names name)
-          | k -> raise (Syntax_error (lineno, "unknown operation " ^ k))
-        in
-        ops := op :: !ops
-      | _ -> raise (Syntax_error (lineno, "malformed line")))
+      match parse_line names ~lineno:(i + 1) line with
+      | None -> ()
+      | Some op -> ops := op :: !ops)
     lines;
   (names, Trace.of_ops (List.rev !ops))
+
+let fold_channel names ic ~init ~f =
+  let acc = ref init in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       match parse_line names ~lineno:!lineno line with
+       | None -> ()
+       | Some op -> acc := f !acc op
+     done
+   with End_of_file -> ());
+  !acc
 
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+    (fun () ->
+      let names = Names.create () in
+      let ops_rev =
+        fold_channel names ic ~init:[] ~f:(fun acc op -> op :: acc)
+      in
+      (names, Trace.of_ops (List.rev ops_rev)))
 
 let write_file names trace path =
   let oc = open_out_bin path in

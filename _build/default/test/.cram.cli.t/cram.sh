@@ -11,3 +11,18 @@
   $ velodrome check-trace ms.trace -a velodrome 2>&1 | head -2
   $ velodrome minimize ms.trace 2>&1 | head -1
   $ velodrome fuzz -n 50 --seed 7
+  $ velodrome convert ms.trace ms.velb
+  $ velodrome convert ms.velb ms-roundtrip.trace
+  $ cmp ms.trace ms-roundtrip.trace
+  $ velodrome check-trace ms.velb -a velodrome 2>&1 | head -2
+  $ velodrome check-trace ms.velb --stream -a velodrome 2>&1 | head -2
+  $ velodrome record ../examples/account.vel acct.trace --seed 9
+  $ velodrome convert acct.trace acct.velb
+  $ velodrome convert acct.velb acct-roundtrip.trace
+  $ cmp acct.trace acct-roundtrip.trace
+  $ head -c 40 ms.velb > bad.velb
+  $ velodrome check-trace bad.velb
+  $ velodrome check-trace bad.velb --stream
+  $ velodrome convert bad.velb nope.trace
+  $ printf 't0 rd x\nt0 frobnicate x\n' > bad.trace
+  $ velodrome check-trace bad.trace

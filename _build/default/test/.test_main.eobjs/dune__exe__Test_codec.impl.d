@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Filename Fun Gen Hashtbl Helpers List Names Op QCheck QCheck_alcotest String Symtab Sys Trace Trace_codec Trace_io Velodrome_trace Velodrome_util

@@ -55,3 +55,47 @@ Differential fuzzing of the engines against the oracle:
 
   $ velodrome fuzz -n 50 --seed 7
   fuzz: 50 random traces, engine = basic = oracle on all of them
+
+Binary traces: convert both ways, byte-identical round-trip, streaming replay:
+
+  $ velodrome convert ms.trace ms.velb
+  converted ms.trace (896 events) to ms.velb (binary)
+  $ velodrome convert ms.velb ms-roundtrip.trace
+  converted ms.velb (896 events) to ms-roundtrip.trace (text)
+  $ cmp ms.trace ms-roundtrip.trace
+  $ velodrome check-trace ms.velb -a velodrome 2>&1 | head -2
+  ms.velb: 896 operations
+  5 warning(s):
+  $ velodrome check-trace ms.velb --stream -a velodrome 2>&1 | head -2
+  ms.velb: 896 operations
+  5 warning(s):
+
+The account example round-trips byte-identically (text -> binary -> text):
+
+  $ velodrome record ../examples/account.vel acct.trace --seed 9
+  recorded 300 operations to acct.trace
+  $ velodrome convert acct.trace acct.velb
+  converted acct.trace (300 events) to acct.velb (binary)
+  $ velodrome convert acct.velb acct-roundtrip.trace
+  converted acct.velb (300 events) to acct-roundtrip.trace (text)
+  $ cmp acct.trace acct-roundtrip.trace
+
+A corrupt binary trace fails loudly, in both replay modes:
+
+  $ head -c 40 ms.velb > bad.velb
+  $ velodrome check-trace bad.velb
+  bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
+  [1]
+  $ velodrome check-trace bad.velb --stream
+  bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
+  [1]
+  $ velodrome convert bad.velb nope.trace
+  bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
+  [1]
+
+Malformed text traces are blamed on the offending line:
+
+  $ printf 't0 rd x\nt0 frobnicate x\n' > bad.trace
+  $ velodrome check-trace bad.trace
+  bad.trace:2: unknown operation frobnicate
+  [1]

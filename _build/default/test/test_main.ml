@@ -3,6 +3,8 @@ let () =
     [
       Test_util.suite;
       Test_trace.suite;
+      Test_codec.suite;
+      Test_stream.suite;
       Test_oracle.suite;
       Test_analysis.suite;
       Test_core.suite;

@@ -1,0 +1,178 @@
+(* The streaming driver and its headline guarantee: replaying a trace
+   from a file in bounded memory produces exactly the warnings the
+   in-memory replay produces, on every back-end. *)
+
+open Velodrome_trace
+open Velodrome_analysis
+open Velodrome_stream
+open Helpers
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* Every packaged back-end, by registry name. *)
+let all_backends : (string * (unit -> (module Backend.S))) list =
+  [
+    ("velodrome", fun () -> Velodrome_core.Engine.backend ());
+    ("velodrome-basic", fun () -> Velodrome_core.Basic.backend ());
+    ("eraser", fun () -> Velodrome_eraser.Eraser.backend ());
+    ("atomizer", fun () -> Velodrome_atomizer.Atomizer.backend ());
+    ("hb", fun () -> Velodrome_hbrace.Hbrace.backend ());
+    ("empty", fun () -> (module Empty : Backend.S));
+  ]
+
+(* Everything that identifies a warning except the rendered dot graph. *)
+let project (w : Warning.t) =
+  ( w.Warning.analysis,
+    w.Warning.kind,
+    Option.map Ids.Tid.to_int w.Warning.tid,
+    Option.map Ids.Label.to_int w.Warning.label,
+    Option.map Ids.Var.to_int w.Warning.var,
+    w.Warning.message,
+    w.Warning.index,
+    w.Warning.blamed )
+
+let inmem_warnings mk tr =
+  let names = Names.create () in
+  List.map project (Backend.run_trace [ Backend.make (mk ()) names ] tr)
+
+let with_encoded suffix write tr f =
+  let path = Filename.temp_file "velodrome_stream" suffix in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write (Names.create ()) tr path;
+      f path)
+
+let stream_warnings path mk =
+  Source.with_file path (fun src ->
+      let b = Backend.make (mk ()) src.Source.names in
+      let _, ws = Driver.run [ b ] src in
+      List.map project ws)
+
+(* --- the differential properties ------------------------------------------- *)
+
+let diff_cfg =
+  {
+    Velodrome_trace.Gen.default with
+    threads = 4;
+    vars = 3;
+    locks = 2;
+    steps = 50;
+  }
+
+let diff_prop (name, mk) =
+  QCheck.Test.make ~count:300
+    ~name:
+      (Printf.sprintf
+         "streaming binary replay = in-memory replay (%s warnings)" name)
+    (trace_arbitrary diff_cfg)
+    (fun tr ->
+      with_encoded ".velb" Trace_codec.write_file tr (fun path ->
+          stream_warnings path mk = inmem_warnings mk tr))
+
+let diff_props = List.map diff_prop all_backends
+
+(* The same property over the textual streaming path (one back-end is
+   enough: the driver and source are shared; the parsers differ). The
+   trace is canonicalized through the text format first — parsing
+   renumbers ids in first-use order, so both sides must start from the
+   same numbering. *)
+let prop_text_stream =
+  QCheck.Test.make ~count:100
+    ~name:"streaming text replay = in-memory replay (velodrome warnings)"
+    (trace_arbitrary diff_cfg)
+    (fun tr ->
+      let mk () = Velodrome_core.Engine.backend () in
+      let names, tr =
+        Trace_io.of_string (Trace_io.to_string (Names.create ()) tr)
+      in
+      let inmem =
+        List.map project (Backend.run_trace [ Backend.make (mk ()) names ] tr)
+      in
+      let path = Filename.temp_file "velodrome_stream" ".trace" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace_io.write_file names tr path;
+          stream_warnings path mk = inmem))
+
+(* --- driver mechanics ------------------------------------------------------- *)
+
+let test_driver_counts_events () =
+  let tr = Gen.run (Velodrome_util.Rng.create 11) Gen.default in
+  let names = Names.create () in
+  let b = Backend.make (Velodrome_core.Engine.backend ()) names in
+  let events, _ = Driver.run [ b ] (Source.of_trace names tr) in
+  check int "event count" (Trace.length tr) events
+
+let test_driver_progress_ticks () =
+  let tr = Gen.run (Velodrome_util.Rng.create 5) Gen.default in
+  let names = Names.create () in
+  let b = Backend.make (Velodrome_core.Engine.backend ()) names in
+  let ticks = ref [] in
+  let live = ref 0 in
+  let events, _ =
+    Driver.run
+      ~progress:(fun s ->
+        ticks := s.Driver.events :: !ticks;
+        match s.Driver.live_nodes with
+        | Some n -> live := n
+        | None -> Alcotest.fail "probe not consulted")
+      ~every:10
+      ~live_nodes:(fun () -> 42)
+      [ b ]
+      (Source.of_trace names tr)
+  in
+  let ticks = List.rev !ticks in
+  check int "final tick reports the total" events (List.nth ticks (List.length ticks - 1));
+  check bool "ticks strictly increase" true
+    (List.sort_uniq compare ticks = ticks);
+  check bool "interval respected" true
+    (List.for_all (fun t -> t mod 10 = 0 || t = events) ticks);
+  check int "probe value surfaced" 42 !live
+
+let test_source_lengths () =
+  let tr = Trace.of_ops [ wr t0 x; rd t1 x ] in
+  with_encoded ".velb" Trace_codec.write_file tr (fun path ->
+      Source.with_file path (fun src ->
+          check (Alcotest.option int) "binary length known" (Some 2)
+            src.Source.length));
+  with_encoded ".trace" Trace_io.write_file tr (fun path ->
+      Source.with_file path (fun src ->
+          check (Alcotest.option int) "text length unknown" None
+            src.Source.length;
+          let seen = ref 0 in
+          src.Source.iter (fun _ -> incr seen);
+          check int "text events streamed" 2 !seen))
+
+let test_multi_backend_order () =
+  (* Warnings concatenate in back-end order, matching Backend.run_events. *)
+  let tr = Trace.of_ops [ wr t0 x; wr t1 x ] in
+  let mk names =
+    [
+      Backend.make (Velodrome_eraser.Eraser.backend ()) names;
+      Backend.make (Velodrome_hbrace.Hbrace.backend ()) names;
+    ]
+  in
+  let names = Names.create () in
+  let inmem = List.map project (Backend.run_trace (mk names) tr) in
+  let streamed =
+    with_encoded ".velb" Trace_codec.write_file tr (fun path ->
+        Source.with_file path (fun src ->
+            let _, ws = Driver.run (mk src.Source.names) src in
+            List.map project ws))
+  in
+  check bool "same concatenation" true (streamed = inmem);
+  check int "two analyses reported" 2 (List.length streamed)
+
+let suite =
+  ( "stream",
+    Alcotest.test_case "driver counts events" `Quick test_driver_counts_events
+    :: Alcotest.test_case "driver progress ticks" `Quick
+         test_driver_progress_ticks
+    :: Alcotest.test_case "source lengths" `Quick test_source_lengths
+    :: Alcotest.test_case "multi-backend order" `Quick test_multi_backend_order
+    :: List.map (QCheck_alcotest.to_alcotest ~long:false)
+         (diff_props @ [ prop_text_stream ]) )

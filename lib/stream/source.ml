@@ -1,0 +1,40 @@
+open Velodrome_trace
+
+type t = {
+  names : Names.t;
+  length : int option;
+  iter : (Event.t -> unit) -> unit;
+}
+
+let of_trace names trace =
+  {
+    names;
+    length = Some (Trace.length trace);
+    iter =
+      (fun f -> Trace.iteri (fun index op -> f (Event.make ~index op)) trace);
+  }
+
+let with_file path k =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      if Trace_codec.is_binary_file path then begin
+        let r = Trace_codec.reader_of_channel ic in
+        k
+          {
+            names = Trace_codec.reader_names r;
+            length = Some (Trace_codec.reader_length r);
+            iter = (fun f -> Trace_codec.iter_events r f);
+          }
+      end
+      else begin
+        let names = Names.create () in
+        let iter f =
+          let index = ref 0 in
+          Trace_io.fold_channel names ic ~init:() ~f:(fun () op ->
+              f (Event.make ~index:!index op);
+              incr index)
+        in
+        k { names; length = None; iter }
+      end)

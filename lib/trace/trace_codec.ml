@@ -1,0 +1,260 @@
+open Ids
+open Velodrome_util
+
+exception Corrupt of string
+
+let magic = "VELB"
+let end_marker = "VEND"
+let version = 1
+
+let corrupt_at ic fmt =
+  let pos = try pos_in ic with Sys_error _ -> -1 in
+  Printf.ksprintf
+    (fun msg -> raise (Corrupt (Printf.sprintf "%s (at byte %d)" msg pos)))
+    fmt
+
+(* --- primitive encoders ---------------------------------------------------- *)
+
+(* LEB128: seven payload bits per byte, high bit = continuation. *)
+let output_varint oc n =
+  if n < 0 then invalid_arg "Trace_codec: negative varint";
+  let rec go n =
+    if n < 0x80 then output_byte oc n
+    else begin
+      output_byte oc (0x80 lor (n land 0x7f));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* Zigzag maps small negative deltas to small unsigned codes. *)
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag u = (u lsr 1) lxor (-(u land 1))
+let output_zigzag oc n = output_varint oc (zigzag n)
+
+let output_name oc s =
+  output_varint oc (String.length s);
+  output_string oc s
+
+let output_dict oc tbl =
+  output_varint oc (Symtab.size tbl);
+  Symtab.iter tbl (fun _ s -> output_name oc s)
+
+let op_code = function
+  | Op.Read _ -> 0
+  | Op.Write _ -> 1
+  | Op.Acquire _ -> 2
+  | Op.Release _ -> 3
+  | Op.Begin _ -> 4
+  | Op.End _ -> 5
+
+(* --- encoding --------------------------------------------------------------- *)
+
+let to_channel (names : Names.t) trace oc =
+  output_string oc magic;
+  output_varint oc version;
+  output_dict oc names.Names.vars;
+  output_dict oc names.Names.locks;
+  output_dict oc names.Names.labels;
+  output_dict oc names.Names.sites;
+  let volatiles =
+    Hashtbl.fold (fun id () acc -> id :: acc) names.Names.volatiles []
+    |> List.sort compare
+  in
+  output_varint oc (List.length volatiles);
+  let prev = ref (-1) in
+  List.iter
+    (fun id ->
+      output_varint oc (id - !prev);
+      prev := id)
+    volatiles;
+  output_varint oc (Trace.length trace);
+  let last_tid = ref 0 in
+  let last_var = ref 0 in
+  let last_lock = ref 0 in
+  let last_label = ref 0 in
+  let operand oc last id =
+    output_zigzag oc (id - !last);
+    last := id
+  in
+  Trace.iteri
+    (fun _ op ->
+      let tid = Tid.to_int (Op.tid op) in
+      let same = tid = !last_tid in
+      output_byte oc (op_code op lor if same then 0x08 else 0);
+      if not same then begin
+        output_zigzag oc (tid - !last_tid);
+        last_tid := tid
+      end;
+      match op with
+      | Op.Read (_, x) | Op.Write (_, x) ->
+        operand oc last_var (Var.to_int x)
+      | Op.Acquire (_, m) | Op.Release (_, m) ->
+        operand oc last_lock (Lock.to_int m)
+      | Op.Begin (_, l) -> operand oc last_label (Label.to_int l)
+      | Op.End _ -> ())
+    trace;
+  output_string oc end_marker
+
+let write_file names trace path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> to_channel names trace oc)
+
+(* --- decoding --------------------------------------------------------------- *)
+
+let input_byte' ic =
+  match input_byte ic with
+  | b -> b
+  | exception End_of_file -> corrupt_at ic "truncated input"
+
+let input_varint ic =
+  let rec go shift acc =
+    if shift > Sys.int_size - 7 then corrupt_at ic "varint too large";
+    let b = input_byte' ic in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let input_zigzag ic = unzigzag (input_varint ic)
+
+let input_name ic =
+  let len = input_varint ic in
+  match really_input_string ic len with
+  | s -> s
+  | exception End_of_file -> corrupt_at ic "truncated name (%d bytes)" len
+
+let input_dict ic tbl =
+  let count = input_varint ic in
+  for i = 0 to count - 1 do
+    let s = input_name ic in
+    if Symtab.intern tbl s <> i then
+      corrupt_at ic "duplicate dictionary entry %S" s
+  done
+
+type reader = {
+  ic : in_channel;
+  names : Names.t;
+  length : int;
+  mutable last_tid : int;
+  mutable last_var : int;
+  mutable last_lock : int;
+  mutable last_label : int;
+  mutable consumed : bool;
+}
+
+let reader_of_channel ic =
+  (match really_input_string ic (String.length magic) with
+  | m when m = magic -> ()
+  | m -> corrupt_at ic "bad magic %S (not a binary trace)" m
+  | exception End_of_file -> corrupt_at ic "truncated header");
+  let v = input_varint ic in
+  if v <> version then
+    corrupt_at ic "unsupported format version %d (expected %d)" v version;
+  let names = Names.create () in
+  input_dict ic names.Names.vars;
+  input_dict ic names.Names.locks;
+  input_dict ic names.Names.labels;
+  input_dict ic names.Names.sites;
+  let nvol = input_varint ic in
+  let prev = ref (-1) in
+  for _ = 1 to nvol do
+    let delta = input_varint ic in
+    if delta = 0 then corrupt_at ic "duplicate volatile id";
+    prev := !prev + delta;
+    Hashtbl.replace names.Names.volatiles !prev ()
+  done;
+  let length = input_varint ic in
+  {
+    ic;
+    names;
+    length;
+    last_tid = 0;
+    last_var = 0;
+    last_lock = 0;
+    last_label = 0;
+    consumed = false;
+  }
+
+let reader_names r = r.names
+let reader_length r = r.length
+
+let id_of ic name n = if n < 0 then corrupt_at ic "negative %s id" name else n
+
+let input_op r =
+  let ic = r.ic in
+  let tag = input_byte' ic in
+  if tag land 0xf0 <> 0 then corrupt_at ic "bad event tag 0x%02x" tag;
+  let tid =
+    if tag land 0x08 <> 0 then r.last_tid
+    else begin
+      let t = r.last_tid + input_zigzag ic in
+      r.last_tid <- id_of ic "thread" t;
+      t
+    end
+  in
+  let t = Tid.of_int tid in
+  let operand name last set =
+    let id = id_of ic name (last + input_zigzag ic) in
+    set id;
+    id
+  in
+  match tag land 0x07 with
+  | 0 ->
+    Op.Read (t, Var.of_int (operand "variable" r.last_var (fun v -> r.last_var <- v)))
+  | 1 ->
+    Op.Write (t, Var.of_int (operand "variable" r.last_var (fun v -> r.last_var <- v)))
+  | 2 ->
+    Op.Acquire (t, Lock.of_int (operand "lock" r.last_lock (fun v -> r.last_lock <- v)))
+  | 3 ->
+    Op.Release (t, Lock.of_int (operand "lock" r.last_lock (fun v -> r.last_lock <- v)))
+  | 4 ->
+    Op.Begin (t, Label.of_int (operand "label" r.last_label (fun v -> r.last_label <- v)))
+  | 5 -> Op.End t
+  | c -> corrupt_at ic "unknown opcode %d" c
+
+let check_end r =
+  let ic = r.ic in
+  (match really_input_string ic (String.length end_marker) with
+  | m when m = end_marker -> ()
+  | m -> corrupt_at ic "bad end marker %S (file damaged?)" m
+  | exception End_of_file -> corrupt_at ic "truncated input: missing end marker");
+  match input_char ic with
+  | _ -> corrupt_at ic "trailing garbage after end marker"
+  | exception End_of_file -> ()
+
+let fold_events r ~init ~f =
+  if r.consumed then invalid_arg "Trace_codec.fold_events: reader already used";
+  r.consumed <- true;
+  let acc = ref init in
+  for index = 0 to r.length - 1 do
+    acc := f !acc (Event.make ~index (input_op r))
+  done;
+  check_end r;
+  !acc
+
+let iter_events r f = fold_events r ~init:() ~f:(fun () e -> f e)
+
+let of_channel ic =
+  let r = reader_of_channel ic in
+  let ops_rev = fold_events r ~init:[] ~f:(fun acc e -> e.Event.op :: acc) in
+  (r.names, Trace.of_ops (List.rev ops_rev))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_channel ic)
+
+let is_binary_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match really_input_string ic (String.length magic) with
+        | m -> m = magic
+        | exception End_of_file -> false)

@@ -30,5 +30,19 @@ val write : Names.t -> Trace.t -> out_channel -> unit
 val of_string : string -> Names.t * Trace.t
 (** Raises {!Syntax_error} on malformed input. *)
 
+val parse_line : Names.t -> lineno:int -> string -> Op.t option
+(** One line of the textual format: [None] for blank lines and comments,
+    the parsed operation otherwise (names interned into the given
+    environment). Raises {!Syntax_error} with [lineno] on malformed
+    input. CR characters are treated as whitespace, so CRLF files
+    parse. *)
+
+val fold_channel :
+  Names.t -> in_channel -> init:'a -> f:('a -> Op.t -> 'a) -> 'a
+(** Streaming parse: reads the channel line by line, interning names into
+    the given environment and folding over operations without ever
+    holding the whole trace (or file) in memory. Raises {!Syntax_error}
+    with accurate 1-based line numbers. *)
+
 val read_file : string -> Names.t * Trace.t
 val write_file : Names.t -> Trace.t -> string -> unit

@@ -151,6 +151,51 @@ let test_io_syntax_errors () =
   check bool "too many fields" true (fails "t0 rd a b\n");
   check bool "inline comment ok" false (fails "t0 rd a # trailing\n")
 
+let test_io_error_line_numbers () =
+  (* Malformed input must be blamed on the right 1-based line, counting
+     blank and comment lines. *)
+  let lineno s =
+    match Trace_io.of_string s with
+    | exception Trace_io.Syntax_error (n, _) -> n
+    | _ -> -1
+  in
+  check int "error on line 1" 1 (lineno "bogus\n");
+  check int "trailing garbage on last line" 3
+    (lineno "t0 rd x\nt0 wr x\nt0 rd x extra\n");
+  check int "unterminated final line" 3 (lineno "t0 rd x\n\nt0 frob");
+  check int "blanks and comments counted" 4 (lineno "\n# c\n\nt0 oops\n")
+
+let test_io_crlf () =
+  let _, tr = Trace_io.of_string "t0 rd x\r\nt1 wr x\r\n" in
+  check int "CRLF lines parse" 2 (Trace.length tr)
+
+let test_io_unterminated_final_op () =
+  (* A final line without a newline still yields its operation. *)
+  let _, tr = Trace_io.of_string "t0 rd x\nt1 wr x" in
+  check int "both ops" 2 (Trace.length tr)
+
+let test_io_fold_channel_line_numbers () =
+  (* The streaming reader reports the same line numbers as of_string. *)
+  let path = Filename.temp_file "velodrome" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out_bin path in
+      output_string oc "t0 rd x\n# fine\nt0 frobnicate x\n";
+      close_out oc;
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            Trace_io.fold_channel (Names.create ()) ic ~init:0
+              ~f:(fun acc _ -> acc + 1)
+          with
+          | exception Trace_io.Syntax_error (3, _) -> ()
+          | exception Trace_io.Syntax_error (n, _) ->
+            Alcotest.failf "blamed line %d, expected 3" n
+          | _ -> Alcotest.fail "malformed line accepted"))
+
 let test_io_file_roundtrip () =
   let tr = Gen.run (Velodrome_util.Rng.create 31) Gen.default in
   let names = Names.create () in
@@ -229,6 +274,13 @@ let suite =
       Alcotest.test_case "every op owned" `Quick test_every_op_owned;
       Alcotest.test_case "trace_io roundtrip" `Quick test_io_roundtrip_fixed;
       Alcotest.test_case "trace_io errors" `Quick test_io_syntax_errors;
+      Alcotest.test_case "trace_io error lines" `Quick
+        test_io_error_line_numbers;
+      Alcotest.test_case "trace_io crlf" `Quick test_io_crlf;
+      Alcotest.test_case "trace_io no final newline" `Quick
+        test_io_unterminated_final_op;
+      Alcotest.test_case "trace_io fold_channel lines" `Quick
+        test_io_fold_channel_line_numbers;
       Alcotest.test_case "trace_io file roundtrip" `Quick
         test_io_file_roundtrip;
       QCheck_alcotest.to_alcotest prop_io_roundtrip;

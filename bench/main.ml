@@ -385,6 +385,157 @@ let run_stream_benches ~smoke =
   emit_stream_json "BENCH_stream.json" rows;
   Printf.printf "wrote BENCH_stream.json (%d fixtures)\n" (List.length rows)
 
+(* --- Static instrumentation pruning (BENCH_statics.json) --------------------- *)
+
+(* How much dynamic work does the static pre-pass save? For each fixture:
+   run the static analysis, count the events a back-end sees with and
+   without the static_atomic filter, time the Velodrome engine both ways,
+   and check the warning sets outside proved blocks are identical (the
+   soundness differential's claim, measured here on the bench fixtures
+   too). *)
+
+module Statics = Velodrome_statics.Statics
+
+let counter_backend count names =
+  let module C = struct
+    type t = unit
+
+    let name = "count"
+    let create _ = ()
+    let on_event () _ = incr count
+    let pause_hint _ _ = false
+    let finish () = ()
+    let warnings () = []
+  end in
+  Backend.make (module C) names
+
+(* Warnings projected to comparable keys, excluding proved-label ones —
+   the same projection the test suite uses. *)
+let projected st names warnings =
+  Warning.dedup_by_label warnings
+  |> List.filter_map (fun (w : Warning.t) ->
+         match w.Warning.label with
+         | Some l when Statics.proved st l -> None
+         | label ->
+           Some
+             ( Warning.kind_to_string w.Warning.kind,
+               Option.map (Names.label_name names) label,
+               Option.map (Names.var_name names) w.Warning.var,
+               w.Warning.blamed ))
+  |> List.sort compare
+
+type statics_row = {
+  s_fixture : string;
+  s_size : string;
+  blocks : int;
+  proved : int;
+  events_total : int;
+  events_suppressed : int;
+  suppressed_pct : float;
+  unfiltered_sec : float;
+  filtered_sec : float;
+  speedup : float;
+  warnings_identical : bool;
+}
+
+let statics_bench ~repeats ~size ~size_name fixture =
+  let w = Option.get (Workload.find fixture) in
+  let program = w.Workload.build size in
+  let names = program.Velodrome_sim.Ast.names in
+  let st = Statics.analyze program in
+  let proved, suppress_var = Statics.filter_predicates st in
+  let static_filter b = Filters.static_atomic ~proved ~suppress_var b in
+  let config =
+    {
+      Velodrome_sim.Run.default_config with
+      policy = Velodrome_sim.Run.Random 42;
+    }
+  in
+  let count_with wrap =
+    let c = ref 0 in
+    ignore
+      (Velodrome_sim.Run.run ~config program [ wrap (counter_backend c names) ]);
+    !c
+  in
+  let events_total = count_with Fun.id in
+  let events_filtered = count_with static_filter in
+  let velodrome_run wrap =
+    (Velodrome_sim.Run.run ~config program
+       [ wrap (Backend.make (Velodrome_core.Engine.backend ()) names) ])
+      .Velodrome_sim.Run.warnings
+  in
+  let unfiltered_sec =
+    time_best ~repeats (fun () -> ignore (velodrome_run Fun.id))
+  in
+  let filtered_sec =
+    time_best ~repeats (fun () -> ignore (velodrome_run static_filter))
+  in
+  let warnings_identical =
+    projected st names (velodrome_run Fun.id)
+    = projected st names (velodrome_run static_filter)
+  in
+  let suppressed = events_total - events_filtered in
+  {
+    s_fixture = fixture;
+    s_size = size_name;
+    blocks = Statics.block_count st;
+    proved = Statics.proved_count st;
+    events_total;
+    events_suppressed = suppressed;
+    suppressed_pct =
+      (if events_total = 0 then 0.
+       else 100. *. float_of_int suppressed /. float_of_int events_total);
+    unfiltered_sec;
+    filtered_sec;
+    speedup = (if filtered_sec > 0. then unfiltered_sec /. filtered_sec else 1.);
+    warnings_identical;
+  }
+
+let statics_row_json r =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("fixture", String r.s_fixture);
+      ("size", String r.s_size);
+      ("blocks", Int r.blocks);
+      ("proved", Int r.proved);
+      ("events_total", Int r.events_total);
+      ("events_suppressed", Int r.events_suppressed);
+      ("suppressed_pct", Float r.suppressed_pct);
+      ("unfiltered_sec", Float r.unfiltered_sec);
+      ("filtered_sec", Float r.filtered_sec);
+      ("speedup", Float r.speedup);
+      ("warnings_identical", Bool r.warnings_identical);
+    ]
+
+let run_statics_benches ~smoke =
+  let fixtures = [ "multiset"; "jbb"; "mtrt"; "raja" ] in
+  let rows =
+    if smoke then
+      List.map
+        (statics_bench ~repeats:2 ~size:Workload.Small ~size_name:"small")
+        fixtures
+    else
+      List.map
+        (statics_bench ~repeats:3 ~size:Workload.Medium ~size_name:"medium")
+        fixtures
+  in
+  Printf.printf "%-12s %-7s %7s %7s %9s %11s %7s %9s %10s\n" "fixture" "size"
+    "blocks" "proved" "events" "suppressed" "supp-%" "speedup" "warn-same";
+  List.iter
+    (fun r ->
+      Printf.printf "%-12s %-7s %7d %7d %9d %11d %6.1f%% %8.2fx %10b\n"
+        r.s_fixture r.s_size r.blocks r.proved r.events_total
+        r.events_suppressed r.suppressed_pct r.speedup r.warnings_identical)
+    rows;
+  let oc = open_out "BENCH_statics.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Velodrome_util.Json.to_channel oc
+        (Velodrome_util.Json.List (List.map statics_row_json rows)));
+  Printf.printf "wrote BENCH_statics.json (%d fixtures)\n" (List.length rows)
+
 (* --- Full table regeneration ------------------------------------------------ *)
 
 let full_run () =
@@ -415,5 +566,8 @@ let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   print_endline "=== Streaming ingestion throughput ===";
   run_stream_benches ~smoke;
+  print_newline ();
+  print_endline "=== Static instrumentation pruning ===";
+  run_statics_benches ~smoke;
   print_newline ();
   if not smoke then full_run ()

@@ -4,6 +4,7 @@
    - list            benchmark workloads and their ground truth
    - run             run a workload under selected analyses
    - check           parse, statically check and analyze a .vel file
+   - analyze         static mover/lockset pre-pass (Lipton reduction)
    - record          record a workload (or .vel program) trace to a file
    - check-trace     replay a recorded trace (text or binary, --stream)
    - convert         convert traces between the text and binary formats
@@ -13,7 +14,12 @@
 
    Trace files come in two formats, auto-detected on input: the textual
    format of Trace_io and the compact binary format of Trace_codec
-   (written when the file name ends in .velb, or with convert). *)
+   (written when the file name ends in .velb, or with convert).
+
+   Exit codes, uniform across subcommands: 0 = clean (no warnings, every
+   block proved), 1 = violations reported / blocks left unproved / a
+   failed soundness gate, 2 = usage errors, ill-formed programs and
+   corrupt trace files. *)
 
 open Cmdliner
 open Velodrome_analysis
@@ -49,6 +55,29 @@ let adversarial_arg =
     value & flag
     & info [ "adversarial" ]
         ~doc:"Enable Atomizer-guided adversarial scheduling (Section 5).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("human", `Human); ("json", `Json) ]) `Human
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,human) or $(b,json).")
+
+let exits =
+  [
+    Cmd.Exit.info 0
+      ~doc:"on a clean result: no warnings, every atomic block proved.";
+    Cmd.Exit.info 1
+      ~doc:
+        "when warnings were reported, a block could not be proved atomic, \
+         or the soundness gate failed.";
+    Cmd.Exit.info 2
+      ~doc:"on usage errors, ill-formed programs and corrupt trace files.";
+    Cmd.Exit.info Cmd.Exit.internal_error ~doc:"on unexpected internal errors.";
+  ]
+
+(* Violations exit 1, so scripts and CI can gate on the status alone. *)
+let exit_violations = function [] -> () | _ :: _ -> exit 1
 
 let mk_backend names = function
   | "velodrome" -> Some (Backend.make (Velodrome_core.Engine.backend ()) names)
@@ -94,7 +123,7 @@ let load_spec = function
     | Ok s -> s
     | Error e ->
       Printf.eprintf "%s: %s\n" path e;
-      exit 1)
+      exit 2)
 
 let apply_spec spec names backends =
   List.map
@@ -170,7 +199,7 @@ let run_cmd =
     match Workload.find name with
     | None ->
       Printf.eprintf "unknown workload %S\n" name;
-      exit 1
+      exit 2
     | Some w ->
       let program = w.Workload.build size in
       let names = program.Velodrome_sim.Ast.names in
@@ -198,10 +227,11 @@ let run_cmd =
         (if res.Velodrome_sim.Run.deadlocked then " (DEADLOCK)" else "");
       let warnings = Warning.dedup_by_label res.Velodrome_sim.Run.warnings in
       report_warnings names warnings;
-      Option.iter (fun dir -> dump_dots dir names warnings) dot_dir
+      Option.iter (fun dir -> dump_dots dir names warnings) dot_dir;
+      exit_violations warnings
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one workload under selected analyses.")
+    (Cmd.info "run" ~doc:"Run one workload under selected analyses." ~exits)
     Term.(
       const run $ workload $ size_arg $ seed_arg $ adversarial_arg
       $ analyses_arg $ dot_dir $ spec_arg)
@@ -219,10 +249,10 @@ let check_cmd =
     match Velodrome_lang.Parser.parse_file file with
     | exception Velodrome_lang.Parser.Parse_error (m, l, c) ->
       Format.eprintf "%s: %a@." file Velodrome_lang.Parser.pp_error (m, l, c);
-      exit 1
+      exit 2
     | exception Velodrome_lang.Lexer.Lex_error (m, l, c) ->
       Printf.eprintf "%s: lex error at %d:%d: %s\n" file l c m;
-      exit 1
+      exit 2
     | program -> (
       match Velodrome_lang.Check.check_program program with
       | Error errs ->
@@ -230,7 +260,7 @@ let check_cmd =
           (fun e ->
             Format.eprintf "%s: %a@." file Velodrome_lang.Check.pp_error e)
           errs;
-        exit 1
+        exit 2
       | Ok () ->
         let names = program.Velodrome_sim.Ast.names in
         let backends =
@@ -247,13 +277,231 @@ let check_cmd =
         let res = Velodrome_sim.Run.run ~config program backends in
         Printf.printf "%s: %d events%s\n" file res.Velodrome_sim.Run.events
           (if res.Velodrome_sim.Run.deadlocked then " (DEADLOCK)" else "");
-        report_warnings names
-          (Warning.dedup_by_label res.Velodrome_sim.Run.warnings))
+        let warnings =
+          Warning.dedup_by_label res.Velodrome_sim.Run.warnings
+        in
+        report_warnings names warnings;
+        exit_violations warnings)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Check a .vel program file for atomicity.")
+    (Cmd.info "check" ~doc:"Check a .vel program file for atomicity." ~exits)
     Term.(
       const run $ file $ seed_arg $ adversarial_arg $ analyses_arg $ spec_arg)
+
+(* A program target is a .vel source file or a workload name. Parsing a
+   file also yields the source position of each atomic label, which
+   analyze uses to anchor verdicts; workloads are built in memory and
+   have none. *)
+let build_program_info name size =
+  if Filename.check_suffix name ".vel" && Sys.file_exists name then
+    match Velodrome_lang.Parser.parse_file_info name with
+    | exception Velodrome_lang.Parser.Parse_error (m, l, c) ->
+      Format.eprintf "%s: %a@." name Velodrome_lang.Parser.pp_error (m, l, c);
+      exit 2
+    | exception Velodrome_lang.Lexer.Lex_error (m, l, c) ->
+      Printf.eprintf "%s: lex error at %d:%d: %s\n" name l c m;
+      exit 2
+    | program, positions -> (program, fun l -> List.assoc_opt l positions)
+  else
+    match Workload.find name with
+    | None ->
+      Printf.eprintf "unknown workload %S\n" name;
+      exit 2
+    | Some w -> (w.Workload.build size, fun _ -> None)
+
+let build_program name size = fst (build_program_info name size)
+
+(* --- analyze ----------------------------------------------------------------- *)
+
+module Statics = Velodrome_statics.Statics
+
+(* The dynamic soundness gate behind [analyze --gate]: replay the program
+   under round-robin, seeded-random and adversarial schedules with the
+   full Velodrome engine and check that no statically-proved block is ever
+   refuted by the blame analysis. Theorem 1 makes blame a completeness
+   claim (the transaction really is non-serializable), so a single
+   mismatch is a statics bug, not scheduling noise. *)
+let gate_schedules seeds =
+  ("round-robin", Velodrome_sim.Run.Round_robin, false)
+  :: List.concat_map
+       (fun s ->
+         [
+           (Printf.sprintf "random(seed %d)" s, Velodrome_sim.Run.Random s, false);
+           ( Printf.sprintf "adversarial(seed %d)" s,
+             Velodrome_sim.Run.Random s,
+             true );
+         ])
+       seeds
+
+let run_gate program st seeds =
+  let names = program.Velodrome_sim.Ast.names in
+  let warnings = ref 0 in
+  let mismatches = ref [] in
+  List.iter
+    (fun (desc, policy, adversarial) ->
+      let backends =
+        [ Backend.make (Velodrome_core.Engine.backend ()) names ]
+      in
+      let config =
+        { Velodrome_sim.Run.default_config with policy; adversarial }
+      in
+      let res = Velodrome_sim.Run.run ~config program backends in
+      warnings := !warnings + List.length res.Velodrome_sim.Run.warnings;
+      List.iter
+        (fun (w : Warning.t) ->
+          List.iter
+            (fun l ->
+              if Statics.proved st l then
+                mismatches :=
+                  (desc, Velodrome_trace.Names.label_name names l)
+                  :: !mismatches)
+            w.Warning.refuted)
+        res.Velodrome_sim.Run.warnings)
+    (gate_schedules seeds);
+  (!warnings, List.rev !mismatches)
+
+let analyze_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"A .vel program file or workload name (omit with --all).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Analyze every workload.")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Soundness gate: additionally replay each program under \
+             round-robin, random and adversarial schedules (one run per \
+             --seeds entry each) and fail if dynamic Velodrome ever blames \
+             a statically-proved block.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 3 ]
+      & info [ "seeds" ] ~docv:"LIST"
+          ~doc:"Scheduler seeds for the --gate runs.")
+  in
+  let run target all fmt gate size seeds =
+    let targets =
+      if all then
+        List.map
+          (fun w ->
+            (w.Workload.name, w.Workload.build size, fun _ -> None))
+          Workload.all
+      else
+        match target with
+        | None ->
+          Printf.eprintf "analyze: a TARGET (or --all) is required\n";
+          exit 2
+        | Some name ->
+          let program, pos = build_program_info name size in
+          [ (name, program, pos) ]
+    in
+    let any_unknown = ref false in
+    let gate_failed = ref false in
+    let results =
+      List.map
+        (fun (name, program, pos) ->
+          (match Velodrome_lang.Check.check_program program with
+          | Ok () -> ()
+          | Error errs ->
+            List.iter
+              (fun e ->
+                Format.eprintf "%s: %a@." name Velodrome_lang.Check.pp_error
+                  e)
+              errs;
+            exit 2);
+          let st = Statics.analyze program in
+          if Statics.proved_count st < Statics.block_count st then
+            any_unknown := true;
+          let gate_result =
+            if gate then begin
+              let warnings, mismatches = run_gate program st seeds in
+              if mismatches <> [] then gate_failed := true;
+              Some (warnings, mismatches)
+            end
+            else None
+          in
+          (name, pos, st, gate_result))
+        targets
+    in
+    let schedules = List.length (gate_schedules seeds) in
+    (match fmt with
+    | `Human ->
+      List.iter
+        (fun (name, pos, st, gate_result) ->
+          if all then Format.printf "== %s ==@." name;
+          Format.printf "%a" (Statics.pp_human ~pos) st;
+          match gate_result with
+          | None -> ()
+          | Some (warnings, []) ->
+            Format.printf
+              "soundness gate: OK (%d schedules, %d dynamic warnings, no \
+               proved block blamed)@."
+              schedules warnings
+          | Some (_, mismatches) ->
+            List.iter
+              (fun (sched, label) ->
+                Format.printf
+                  "soundness gate: FAILED: proved block %s blamed under \
+                   %s@."
+                  label sched)
+              mismatches)
+        results
+    | `Json ->
+      let open Velodrome_util.Json in
+      let docs =
+        List.map
+          (fun (name, pos, st, gate_result) ->
+            let base = Statics.to_json ~pos ~file:name st in
+            match (base, gate_result) with
+            | Obj fields, Some (warnings, mismatches) ->
+              Obj
+                (fields
+                @ [
+                    ( "gate",
+                      Obj
+                        [
+                          ("schedules", Int schedules);
+                          ("dynamic_warnings", Int warnings);
+                          ( "mismatches",
+                            List
+                              (List.map
+                                 (fun (sched, label) ->
+                                   Obj
+                                     [
+                                       ("label", String label);
+                                       ("schedule", String sched);
+                                     ])
+                                 mismatches) );
+                          ("ok", Bool (mismatches = []));
+                        ] );
+                  ])
+            | doc, _ -> doc)
+          results
+      in
+      let out = match docs with [ d ] when not all -> d | ds -> List ds in
+      print_endline (to_string out));
+    if !gate_failed then exit 1;
+    if (not gate) && !any_unknown then exit 1
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Static atomicity pre-pass: per-thread CFGs, must-lockset \
+          dataflow, Lipton mover classification and a reduction check per \
+          atomic block. Exits 0 when every block is proved atomic, 1 \
+          otherwise (or on a failed --gate)."
+       ~exits)
+    Term.(
+      const run $ target $ all $ format_arg $ gate $ size_arg $ seeds)
 
 (* --- trace files ------------------------------------------------------------ *)
 
@@ -265,23 +513,6 @@ let write_trace names trace path =
   if binary_path path then
     Velodrome_trace.Trace_codec.write_file names trace path
   else Velodrome_trace.Trace_io.write_file names trace path
-
-let build_program name size =
-  if Filename.check_suffix name ".vel" && Sys.file_exists name then
-    match Velodrome_lang.Parser.parse_file name with
-    | exception Velodrome_lang.Parser.Parse_error (m, l, c) ->
-      Format.eprintf "%s: %a@." name Velodrome_lang.Parser.pp_error (m, l, c);
-      exit 1
-    | exception Velodrome_lang.Lexer.Lex_error (m, l, c) ->
-      Printf.eprintf "%s: lex error at %d:%d: %s\n" name l c m;
-      exit 1
-    | program -> program
-  else
-    match Workload.find name with
-    | None ->
-      Printf.eprintf "unknown workload %S\n" name;
-      exit 1
-    | Some w -> w.Workload.build size
 
 let record_cmd =
   let workload =
@@ -327,16 +558,16 @@ let load_trace file =
   match read_trace file with
   | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
     Printf.eprintf "%s:%d: %s\n" file line msg;
-    exit 1
+    exit 2
   | exception Velodrome_trace.Trace_codec.Corrupt msg ->
     Printf.eprintf "%s: corrupt binary trace: %s\n" file msg;
-    exit 1
+    exit 2
   | names, trace -> (
     match Velodrome_trace.Trace.check trace with
     | Error v ->
       Format.eprintf "%s: ill-formed trace: %a@." file
         Velodrome_trace.Trace.pp_violation v;
-      exit 1
+      exit 2
     | Ok () -> (names, trace))
 
 (* Like mk_backend, but the optimized engine is built explicitly so the
@@ -382,6 +613,49 @@ let print_stats (s : Velodrome_stream.Driver.stats) =
     s.Velodrome_stream.Driver.minor_collections
     s.Velodrome_stream.Driver.major_collections
 
+let warning_json names (w : Warning.t) =
+  let open Velodrome_util.Json in
+  let opt name to_s = function
+    | None -> []
+    | Some v -> [ (name, String (to_s v)) ]
+  in
+  Obj
+    ([
+       ("analysis", String w.Warning.analysis);
+       ("kind", String (Warning.kind_to_string w.Warning.kind));
+     ]
+    @ opt "label" (Velodrome_trace.Names.label_name names) w.Warning.label
+    @ opt "var" (Velodrome_trace.Names.var_name names) w.Warning.var
+    @ [ ("index", Int w.Warning.index); ("blamed", Bool w.Warning.blamed) ]
+    @ (match w.Warning.refuted with
+      | [] -> []
+      | ls ->
+        [
+          ( "refuted",
+            List
+              (List.map
+                 (fun l ->
+                   String (Velodrome_trace.Names.label_name names l))
+                 ls) );
+        ])
+    @ [ ("message", String w.Warning.message) ])
+
+let report_trace_result fmt file events names warnings =
+  match fmt with
+  | `Human ->
+    Printf.printf "%s: %d operations\n" file events;
+    report_warnings names warnings
+  | `Json ->
+    let open Velodrome_util.Json in
+    print_endline
+      (to_string
+         (Obj
+            [
+              ("file", String file);
+              ("events", Int events);
+              ("warnings", List (List.map (warning_json names) warnings));
+            ]))
+
 let check_trace_cmd =
   let file =
     Arg.(
@@ -406,7 +680,7 @@ let check_trace_cmd =
             "With --stream: report engine statistics to stderr every N \
              events.")
   in
-  let run file analyses stream stats =
+  let run file analyses stream stats fmt =
     if stream then begin
       match
         Velodrome_stream.Source.with_file file (fun src ->
@@ -421,13 +695,14 @@ let check_trace_cmd =
       with
       | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
         Printf.eprintf "%s:%d: %s\n" file line msg;
-        exit 1
+        exit 2
       | exception Velodrome_trace.Trace_codec.Corrupt msg ->
         Printf.eprintf "%s: corrupt binary trace: %s\n" file msg;
-        exit 1
+        exit 2
       | names, events, warnings ->
-        Printf.printf "%s: %d operations\n" file events;
-        report_warnings names (Warning.dedup_by_label warnings)
+        let warnings = Warning.dedup_by_label warnings in
+        report_trace_result fmt file events names warnings;
+        exit_violations warnings
     end
     else begin
       let names, trace = load_trace file in
@@ -435,15 +710,16 @@ let check_trace_cmd =
       let warnings =
         Warning.dedup_by_label (Backend.run_trace backends trace)
       in
-      Printf.printf "%s: %d operations\n" file
-        (Velodrome_trace.Trace.length trace);
-      report_warnings names warnings
+      report_trace_result fmt file
+        (Velodrome_trace.Trace.length trace)
+        names warnings;
+      exit_violations warnings
     end
   in
   Cmd.v
     (Cmd.info "check-trace"
-       ~doc:"Replay a recorded trace through the analyses.")
-    Term.(const run $ file $ analyses_arg $ stream $ stats)
+       ~doc:"Replay a recorded trace through the analyses." ~exits)
+    Term.(const run $ file $ analyses_arg $ stream $ stats $ format_arg)
 
 let convert_cmd =
   let input =
@@ -532,7 +808,7 @@ let print_cmd =
     match Workload.find name with
     | None ->
       Printf.eprintf "unknown workload %S\n" name;
-      exit 1
+      exit 2
     | Some w ->
       print_string
         (Velodrome_lang.Printer.to_string (w.Workload.build size))
@@ -675,12 +951,15 @@ let study_cmd =
 
 let () =
   let doc = "sound and complete dynamic atomicity checking (PLDI 2008)" in
-  let info = Cmd.info "velodrome" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; run_cmd; check_cmd; print_cmd; record_cmd;
-            check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd; table1_cmd;
-            table2_cmd; study_cmd;
-          ]))
+  let info = Cmd.info "velodrome" ~version:"1.0.0" ~doc ~exits in
+  let code =
+    Cmd.eval
+      (Cmd.group info
+         [
+           list_cmd; run_cmd; check_cmd; analyze_cmd; print_cmd; record_cmd;
+           check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd; table1_cmd;
+           table2_cmd; study_cmd;
+         ])
+  in
+  (* Fold cmdliner's usage-error code into the documented 2. *)
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -12,6 +12,26 @@
       thread-local are lost, so an analysis cannot see conflicts involving
       them once the variable becomes shared. *)
 
+val static_atomic :
+  proved:(int -> bool) ->
+  suppress_var:(int -> bool) ->
+  Backend.packed ->
+  Backend.packed
+(** Statically-guided instrumentation pruning. [proved] answers label ids
+    the static pre-pass proved atomic ({!Velodrome_statics} upstream —
+    passed as plain predicates to keep this library free of a sim
+    dependency); [suppress_var] answers variable ids whose accesses are
+    safe to elide (thread-local or consistently lock-guarded).
+
+    While a thread is inside an {e outermost} proved block, its reads and
+    writes of suppressible variables are dropped; lock operations and
+    begin/end markers are always forwarded, so every cross-thread ordering
+    a dropped access could induce is still visible to the back-end through
+    the guard's acquire/release edges. Suppression deliberately does not
+    start at proved blocks nested inside unproved ones: warnings there are
+    attributed to the unproved outermost label, which the soundness
+    differential compares exactly. *)
+
 val reentrant_locks : Backend.packed -> Backend.packed
 (** Forward only outermost acquires/releases; nested pairs are dropped.
     Release events that would unbalance the count are forwarded untouched

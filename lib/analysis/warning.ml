@@ -13,11 +13,12 @@ type t = {
   dot : string option;
   index : int;
   blamed : bool;
+  refuted : Label.t list;
 }
 
-let make ~analysis ~kind ?tid ?label ?var ?dot ?(blamed = false) ~index message
-    =
-  { analysis; kind; tid; label; var; message; dot; index; blamed }
+let make ~analysis ~kind ?tid ?label ?var ?dot ?(blamed = false)
+    ?(refuted = []) ~index message =
+  { analysis; kind; tid; label; var; message; dot; index; blamed; refuted }
 
 let kind_to_string = function
   | Atomicity_violation -> "atomicity-violation"

@@ -31,6 +31,11 @@ type t = {
   blamed : bool;
       (** true when blame analysis pinned a specific non-self-serializable
           transaction (Velodrome's >80 % statistic) *)
+  refuted : Label.t list;
+      (** every block refuted by the blame analysis, outermost first
+          ([label] is its head); empty for unblamed warnings. The static
+          pre-pass soundness gate checks no statically proved label ever
+          appears here. *)
 }
 
 val make :
@@ -41,6 +46,7 @@ val make :
   ?var:Var.t ->
   ?dot:string ->
   ?blamed:bool ->
+  ?refuted:Label.t list ->
   index:int ->
   string ->
   t

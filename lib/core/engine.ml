@@ -236,7 +236,9 @@ let emit_cycle_warning t st (e : Event.t) (c : Pool.cycle) =
     Warning.make
       ~analysis:(analysis_name t.config)
       ~kind:Warning.Atomicity_violation ~tid:(Op.tid e.Event.op)
-      ?label:primary_label ?dot ~blamed ~index:e.Event.index message
+      ?label:primary_label ?dot ~blamed
+      ~refuted:(List.map (fun (l, _) -> Label.of_int l) outermost)
+      ~index:e.Event.index message
   in
   emit t warning key
   end

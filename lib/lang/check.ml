@@ -1,19 +1,30 @@
 open Velodrome_sim
 open Velodrome_trace.Ids
 
-type error = { thread : int; message : string }
+type error = { thread : int; path : int list; message : string }
+
+let pp_path ppf = function
+  | [] -> Format.pp_print_string ppf "end of thread"
+  | path ->
+    Format.fprintf ppf "stmt %s"
+      (String.concat "." (List.map string_of_int path))
 
 let pp_error ppf e =
-  Format.fprintf ppf "thread %d: %s" e.thread e.message
+  Format.fprintf ppf "thread %d, %a: %s" e.thread pp_path e.path e.message
 
 module LockMap = Map.Make (Int)
 
 (* The lock effect of a statement list: the multiset of acquire/release
    depth changes, or an error message. Depths may not go negative at any
-   point. *)
-let rec effect held errs thread = function
+   point. Every violation is accumulated — with the statement path that
+   triggered it — rather than stopping at the first, so front-ends can
+   show a complete diagnostic list. Paths use the same coordinates as the
+   statics CFG: the j-th statement of a block at path π is π·j, and an
+   [if]'s branches open sub-contexts π·j·0 / π·j·1. *)
+let rec effect held errs thread path j = function
   | [] -> held
   | s :: rest ->
+    let here = path @ [ j ] in
     let held =
       match s with
       | Ast.Acquire m ->
@@ -28,6 +39,7 @@ let rec effect held errs thread = function
           errs :=
             {
               thread;
+              path = here;
               message =
                 Printf.sprintf "release of lock %d without matching acquire" k;
             }
@@ -36,37 +48,43 @@ let rec effect held errs thread = function
         end
         else if d = 1 then LockMap.remove k held
         else LockMap.add k (d - 1) held
-      | Ast.Atomic (_, body) -> effect held errs thread body
+      | Ast.Atomic (_, body) -> effect held errs thread here 0 body
       | Ast.If (_, a, b) ->
-        let ha = effect held errs thread a in
-        let hb = effect held errs thread b in
+        let ha = effect held errs thread (here @ [ 0 ]) 0 a in
+        let hb = effect held errs thread (here @ [ 1 ]) 0 b in
         if not (LockMap.equal Int.equal ha hb) then
           errs :=
             {
               thread;
+              path = here;
               message = "if branches have different lock effects";
             }
             :: !errs;
         ha
       | Ast.While (_, body) ->
-        let hb = effect held errs thread body in
+        let hb = effect held errs thread here 0 body in
         if not (LockMap.equal Int.equal hb held) then
           errs :=
-            { thread; message = "loop body is not lock-neutral" } :: !errs;
+            { thread; path = here; message = "loop body is not lock-neutral" }
+            :: !errs;
         held
       | Ast.Read _ | Ast.Write _ | Ast.Local _ | Ast.Work _ | Ast.Yield ->
         held
     in
-    effect held errs thread rest
+    effect held errs thread path (j + 1) rest
 
 let check_program (p : Ast.program) =
   let errs = ref [] in
   Array.iteri
     (fun i body ->
-      let final = effect LockMap.empty errs i body in
+      let final = effect LockMap.empty errs i [] 0 body in
       if not (LockMap.is_empty final) then
         errs :=
-          { thread = i; message = "thread finishes while holding locks" }
+          {
+            thread = i;
+            path = [];
+            message = "thread finishes while holding locks";
+          }
           :: !errs)
     p.Ast.threads;
   match List.rev !errs with [] -> Ok () | es -> Error es

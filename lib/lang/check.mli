@@ -12,13 +12,22 @@
 
     The analysis is per-thread and purely syntactic (re-entrancy is
     counted), so it is sound for the structured [acquire]/[release] usage
-    the workloads employ but deliberately rejects cross-branch trickery. *)
+    the workloads employ but deliberately rejects cross-branch trickery.
+
+    Every violation in the program is reported, each with the statement
+    path of the offending construct (the coordinates
+    {!Velodrome_statics.Cfg} also uses), so [velodrome analyze] and
+    [velodrome check] can print a complete diagnostic list in one run. *)
 
 type error = {
   thread : int;
+  path : int list;
+      (** statement coordinates, outermost block first; [[]] for
+          whole-thread errors (e.g. finishing while holding locks) *)
   message : string;
 }
 
 val check_program : Velodrome_sim.Ast.program -> (unit, error list) result
 
 val pp_error : Format.formatter -> error -> unit
+(** Renders as [thread N, stmt 2.0.1: message]. *)

@@ -12,6 +12,8 @@ type pstate = {
   (* Per-thread register environment: name -> index. *)
   mutable regs : (string, int) Hashtbl.t;
   mutable next_reg : int;
+  (* Source position of the first [atomic "label"] occurrence per label. *)
+  mutable label_pos : (Velodrome_trace.Ids.Label.t * (int * int)) list;
 }
 
 let current p =
@@ -225,7 +227,10 @@ and parse_stmt p =
     (Ast.Acquire m :: body) @ [ Ast.Release m ]
   | KW "atomic" ->
     advance p;
+    let pos = ((current p).line, (current p).col) in
     let l = Builder.label p.builder (eat_string p) in
+    if not (List.mem_assoc l p.label_pos) then
+      p.label_pos <- (l, pos) :: p.label_pos;
     let body = parse_block p in
     [ Ast.Atomic (l, body) ]
   | KW "if" ->
@@ -348,13 +353,14 @@ let parse_thread p =
     true
   | _ -> false
 
-let parse src =
+let parse_info src =
   let p =
     {
       toks = tokenize src;
       builder = Builder.create ();
       regs = Hashtbl.create 16;
       next_reg = Ast.tid_reg + 1;
+      label_pos = [];
     }
   in
   while parse_decl p do
@@ -366,10 +372,14 @@ let parse src =
   done;
   if (current p).tok <> EOF then fail p "trailing input after last thread";
   if !threads = 0 then fail p "a program needs at least one thread";
-  Builder.program p.builder
+  (Builder.program p.builder, List.rev p.label_pos)
 
-let parse_file path =
+let parse src = fst (parse_info src)
+
+let parse_file_info path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+    (fun () -> parse_info (really_input_string ic (in_channel_length ic)))
+
+let parse_file path = fst (parse_file_info path)

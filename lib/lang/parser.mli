@@ -34,4 +34,18 @@ val parse : string -> Velodrome_sim.Ast.program
 
 val parse_file : string -> Velodrome_sim.Ast.program
 
+val parse_info :
+  string ->
+  Velodrome_sim.Ast.program
+  * (Velodrome_trace.Ids.Label.t * (int * int)) list
+(** Like {!parse}, additionally returning the source position
+    [(line, column)] of the label string of the first [atomic "l"]
+    occurrence for each distinct label, in source order. [velodrome
+    analyze] uses this to anchor per-block verdicts to the input file. *)
+
+val parse_file_info :
+  string ->
+  Velodrome_sim.Ast.program
+  * (Velodrome_trace.Ids.Label.t * (int * int)) list
+
 val pp_error : Format.formatter -> string * int * int -> unit

@@ -1,0 +1,159 @@
+open Velodrome_trace.Ids
+module Rng = Velodrome_util.Rng
+
+type config = {
+  max_threads : int;
+  vars : int;
+  locks : int;
+  top_items : int;
+}
+
+let default = { max_threads = 4; vars = 6; locks = 3; top_items = 4 }
+
+(* Shared generator state. Variable discipline is fixed up front and the
+   generator never violates it, so every program is well-formed by
+   construction (Check.check_program accepts it) while still covering the
+   whole mover spectrum:
+
+   - [guarded] variables carry a designated guard lock and are only ever
+     accessed inside [sync] of that lock — consistently guarded, hence
+     both-movers;
+   - [free] variables are accessed bare or under a randomly chosen lock —
+     racy, hence (usually) non-movers and a source of genuine dynamic
+     atomicity violations for the soundness gate to chew on;
+   - one private variable per thread is touched only by its owner —
+     thread-local, hence a both-mover. *)
+type ctx = {
+  b : Builder.t;
+  rng : Rng.t;
+  locks : Lock.t array;
+  guarded : (Var.t * Lock.t) array;
+  free : Var.t array;
+  mutable labels : int;
+}
+
+let fresh_label ctx =
+  ctx.labels <- ctx.labels + 1;
+  Builder.label ctx.b (Printf.sprintf "gen.b%d" ctx.labels)
+
+let access ctx v =
+  let reg = Builder.fresh_reg ctx.b in
+  if Rng.bool ctx.rng then Builder.read reg v
+  else Builder.write v (Builder.i (Rng.int ctx.rng 64))
+
+let guarded_access ctx =
+  let v, m = Rng.choose ctx.rng ctx.guarded in
+  Builder.sync m [ access ctx v ]
+
+let free_access ctx = [ access ctx (Rng.choose ctx.rng ctx.free) ]
+
+(* Random statements; [depth] bounds the nesting of if/while/atomic. *)
+let rec random_stmts ctx ~depth n =
+  List.concat (List.init n (fun _ -> random_item ctx ~depth))
+
+and random_item ctx ~depth =
+  match Rng.int ctx.rng (if depth <= 0 then 4 else 7) with
+  | 0 -> guarded_access ctx
+  | 1 -> free_access ctx
+  | 2 -> [ Builder.work (1 + Rng.int ctx.rng 3) ]
+  | 3 -> [ Builder.yield ]
+  | 4 ->
+    let reg = Builder.fresh_reg ctx.b in
+    let v = Rng.choose ctx.rng ctx.free in
+    [
+      Builder.read reg v;
+      Builder.if_
+        Builder.(r reg <: i 32)
+        (random_stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 2))
+        (random_stmts ctx ~depth:(depth - 1) (Rng.int ctx.rng 2));
+    ]
+  | 5 ->
+    let k = Builder.fresh_reg ctx.b in
+    let n = 1 + Rng.int ctx.rng 3 in
+    [
+      Builder.local k (Builder.i 0);
+      Builder.while_
+        Builder.(r k <: i n)
+        (random_stmts ctx ~depth:(depth - 1) (1 + Rng.int ctx.rng 2)
+        @ [ Builder.local k Builder.(r k +: i 1) ]);
+    ]
+  | _ -> [ atomic_block ctx ~depth:(depth - 1) ]
+
+and atomic_block ctx ~depth =
+  let label = fresh_label ctx in
+  let body =
+    if Rng.bool ctx.rng then begin
+      (* A proof candidate: one sync over one lock, containing only that
+         lock's guarded variables and silent work. *)
+      let m_idx = Rng.int ctx.rng (Array.length ctx.locks) in
+      let m = ctx.locks.(m_idx) in
+      let mine =
+        Array.of_list
+          (List.filter_map
+             (fun (v, g) -> if Lock.equal g m then Some v else None)
+             (Array.to_list ctx.guarded))
+      in
+      let inner =
+        List.init
+          (1 + Rng.int ctx.rng 3)
+          (fun _ ->
+            if Array.length mine > 0 && Rng.int ctx.rng 4 > 0 then
+              access ctx (Rng.choose ctx.rng mine)
+            else Builder.work 1)
+      in
+      Builder.sync m inner
+    end
+    else random_stmts ctx ~depth (1 + Rng.int ctx.rng 3)
+  in
+  Builder.atomic label body
+
+let generate ?(config = default) rng =
+  let b = Builder.create () in
+  let nthreads = 2 + Rng.int rng (max 1 (config.max_threads - 1)) in
+  let locks =
+    Array.init (max 1 config.locks) (fun i ->
+        Builder.lock b (Printf.sprintf "m%d" i))
+  in
+  let vars =
+    Array.init (max 2 config.vars) (fun i ->
+        Builder.var ~init:i b (Printf.sprintf "x%d" i))
+  in
+  let guarded = ref [] and free = ref [] in
+  Array.iteri
+    (fun i v ->
+      if i mod 2 = 0 then
+        guarded := (v, locks.(i mod Array.length locks)) :: !guarded
+      else free := v :: !free)
+    vars;
+  if Rng.bool rng then
+    (* One lock-free volatile in the mix: a non-mover for the statics,
+       ignored by the race detectors. *)
+    free := Builder.volatile b "vol" :: !free;
+  let ctx =
+    {
+      b;
+      rng;
+      locks;
+      guarded = Array.of_list !guarded;
+      free = Array.of_list !free;
+      labels = 0;
+    }
+  in
+  Builder.threads b nthreads (fun t ->
+      let private_var = Builder.var ctx.b (Printf.sprintf "p%d" t) in
+      let items =
+        List.concat
+          (List.init config.top_items (fun _ ->
+               match Rng.int ctx.rng 3 with
+               | 0 -> [ atomic_block ctx ~depth:2 ]
+               | 1 -> random_stmts ctx ~depth:1 (1 + Rng.int ctx.rng 2)
+               | _ ->
+                 [
+                   Builder.atomic (fresh_label ctx)
+                     [ access ctx private_var; access ctx private_var ];
+                 ]))
+      in
+      (* Every thread carries at least one atomic block so each program
+         exercises the reduction check. *)
+      atomic_block ctx ~depth:2 :: items);
+  Builder.program b

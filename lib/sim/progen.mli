@@ -1,0 +1,23 @@
+(** Random structured programs for differential testing.
+
+    Unlike {!Velodrome_trace.Gen}, which emits flat event traces, this
+    generator produces whole {!Ast.program}s — loops, branches, nested
+    sync and atomic blocks — so the static pre-pass
+    ([Velodrome_statics]) and the dynamic engines can be compared on the
+    same source. Programs are well-formed by construction (balanced lock
+    discipline, bounded loops) and deliberately mix provably-atomic
+    blocks (consistently guarded or thread-local state) with racy ones,
+    so both verdicts of the reduction check occur with useful frequency. *)
+
+type config = {
+  max_threads : int;  (** threads drawn from [2 .. max_threads] *)
+  vars : int;  (** shared variables (half guarded, half free) *)
+  locks : int;
+  top_items : int;  (** top-level items per thread *)
+}
+
+val default : config
+
+val generate : ?config:config -> Velodrome_util.Rng.t -> Ast.program
+(** Deterministic in the generator state: equal seeds give equal
+    programs. *)

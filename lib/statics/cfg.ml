@@ -1,0 +1,134 @@
+open Velodrome_trace.Ids
+open Velodrome_sim
+
+type site = { thread : int; path : int list }
+
+let site_compare a b =
+  match Int.compare a.thread b.thread with
+  | 0 -> Stdlib.compare a.path b.path
+  | c -> c
+
+let pp_site ppf s =
+  Format.fprintf ppf "t%d:%s" s.thread
+    (String.concat "." (List.map string_of_int s.path))
+
+let site_to_string s = Format.asprintf "%a" pp_site s
+
+type eff =
+  | Acquire of Lock.t
+  | Release of Lock.t
+  | Read of Var.t
+  | Write of Var.t
+  | Enter of Label.t
+  | Exit of Label.t
+  | Silent
+
+type node = { id : int; site : site; eff : eff }
+
+type t = {
+  nodes : node array;
+  succs : int list array;
+  preds : int list array;
+  entries : int array;
+}
+
+(* --- construction -------------------------------------------------------- *)
+
+type builder = {
+  mutable bnodes : node list;  (** reverse order *)
+  mutable bedges : (int * int) list;
+  mutable count : int;
+}
+
+let add_node b site eff =
+  let id = b.count in
+  b.count <- id + 1;
+  b.bnodes <- { id; site; eff } :: b.bnodes;
+  id
+
+let add_edge b src dst = b.bedges <- (src, dst) :: b.bedges
+
+(* Lower a statement list; [frontier] is the set of nodes whose control
+   falls through into the next statement. Returns the new frontier. *)
+let rec lower b thread path frontier stmts =
+  List.fold_left
+    (fun (frontier, j) stmt ->
+      (lower_stmt b thread (path @ [ j ]) frontier stmt, j + 1))
+    (frontier, 0) stmts
+  |> fst
+
+and lower_stmt b thread path frontier stmt =
+  let site = { thread; path } in
+  let seq eff =
+    let n = add_node b site eff in
+    List.iter (fun p -> add_edge b p n) frontier;
+    [ n ]
+  in
+  match stmt with
+  | Ast.Read (_, x) -> seq (Read x)
+  | Ast.Write (x, _) -> seq (Write x)
+  | Ast.Acquire m -> seq (Acquire m)
+  | Ast.Release m -> seq (Release m)
+  | Ast.Local _ | Ast.Work _ | Ast.Yield -> seq Silent
+  | Ast.Atomic (l, body) ->
+    let enter = seq (Enter l) in
+    let after = lower b thread path enter body in
+    let exit_ = add_node b site (Exit l) in
+    List.iter (fun p -> add_edge b p exit_) after;
+    [ exit_ ]
+  | Ast.If (_, then_b, else_b) ->
+    let branch = seq Silent in
+    let t_end = lower b thread (path @ [ 0 ]) branch then_b in
+    let e_end = lower b thread (path @ [ 1 ]) branch else_b in
+    t_end @ e_end
+  | Ast.While (_, body) ->
+    (* [head] is both the loop's join point and its exit: control reaches
+       it before every iteration and on the way out. *)
+    let head = seq Silent in
+    let body_end = lower b thread path head body in
+    List.iter (fun p -> add_edge b p (List.hd head)) body_end;
+    head
+
+let of_program (p : Ast.program) =
+  let b = { bnodes = []; bedges = []; count = 0 } in
+  let entries =
+    Array.mapi
+      (fun thread body ->
+        let entry = add_node b { thread; path = [] } Silent in
+        ignore (lower b thread [] [ entry ] body);
+        entry)
+      p.Ast.threads
+  in
+  let nodes = Array.make b.count { id = 0; site = { thread = 0; path = [] }; eff = Silent } in
+  List.iter (fun n -> nodes.(n.id) <- n) b.bnodes;
+  let succs = Array.make b.count [] in
+  let preds = Array.make b.count [] in
+  List.iter
+    (fun (src, dst) ->
+      succs.(src) <- dst :: succs.(src);
+      preds.(dst) <- src :: preds.(dst))
+    b.bedges;
+  { nodes; succs; preds; entries }
+
+let node_count t = Array.length t.nodes
+let node t id = t.nodes.(id)
+let succs t id = t.succs.(id)
+let preds t id = t.preds.(id)
+let entries t = t.entries
+
+let iter_nodes f t = Array.iter f t.nodes
+
+let pp_eff names ppf = function
+  | Acquire m ->
+    Format.fprintf ppf "acq(%s)" (Velodrome_trace.Names.lock_name names m)
+  | Release m ->
+    Format.fprintf ppf "rel(%s)" (Velodrome_trace.Names.lock_name names m)
+  | Read x ->
+    Format.fprintf ppf "rd(%s)" (Velodrome_trace.Names.var_name names x)
+  | Write x ->
+    Format.fprintf ppf "wr(%s)" (Velodrome_trace.Names.var_name names x)
+  | Enter l ->
+    Format.fprintf ppf "enter(%s)" (Velodrome_trace.Names.label_name names l)
+  | Exit l ->
+    Format.fprintf ppf "exit(%s)" (Velodrome_trace.Names.label_name names l)
+  | Silent -> Format.pp_print_string ppf "silent"

@@ -1,0 +1,50 @@
+(** Per-thread control-flow graphs over the observable effects of a
+    {!Velodrome_sim.Ast.program}.
+
+    Each AST statement that can produce a trace operation becomes one CFG
+    node carrying its {e effect} — the lock, shared-variable or
+    transaction-boundary operation it performs — plus a {!site}
+    identifying the statement's position in the AST. Silent statements
+    (register moves, [work], [yield]) become [Silent] nodes so every
+    program point has a dataflow fact; [if] produces a diamond, [while] a
+    back edge through a head node that doubles as the loop exit.
+
+    Sites are stable structural coordinates: the path of the [j]-th
+    statement of a block at path π is π·[j]; an [if]'s branches open the
+    sub-contexts π·[j]·[0] and π·[j]·[1]. The {!Reduce} walker recomputes
+    the same coordinates, which is how mover classes computed here are
+    looked up from the AST side. *)
+
+open Velodrome_trace.Ids
+
+type site = { thread : int; path : int list }
+
+val site_compare : site -> site -> int
+val pp_site : Format.formatter -> site -> unit
+val site_to_string : site -> string
+
+type eff =
+  | Acquire of Lock.t
+  | Release of Lock.t
+  | Read of Var.t
+  | Write of Var.t
+  | Enter of Label.t  (** transaction begin *)
+  | Exit of Label.t  (** transaction end *)
+  | Silent
+
+type node = { id : int; site : site; eff : eff }
+
+type t
+
+val of_program : Velodrome_sim.Ast.program -> t
+
+val node_count : t -> int
+val node : t -> int -> node
+val succs : t -> int -> int list
+val preds : t -> int -> int list
+
+val entries : t -> int array
+(** One entry node per thread, in thread order. *)
+
+val iter_nodes : (node -> unit) -> t -> unit
+val pp_eff : Velodrome_trace.Names.t -> Format.formatter -> eff -> unit

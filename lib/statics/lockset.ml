@@ -1,0 +1,92 @@
+open Velodrome_trace.Ids
+
+module IntMap = Map.Make (Int)
+
+(* A must-lockset fact: lock id -> held depth (>= 1). Absent means "not
+   definitely held". Depths are capped so the lattice stays finite even on
+   programs that acquire inside a loop without releasing; capping only
+   lowers the recorded depth, so every "held" claim under-approximates the
+   truth and stays sound. *)
+type fact = int IntMap.t
+
+let depth_cap = 64
+
+let meet a b =
+  IntMap.merge
+    (fun _ da db ->
+      match (da, db) with Some da, Some db -> Some (min da db) | _ -> None)
+    a b
+
+let equal = IntMap.equal Int.equal
+
+let transfer (eff : Cfg.eff) (f : fact) =
+  match eff with
+  | Cfg.Acquire m ->
+    let k = Lock.to_int m in
+    let d = Option.value ~default:0 (IntMap.find_opt k f) in
+    IntMap.add k (min depth_cap (d + 1)) f
+  | Cfg.Release m ->
+    let k = Lock.to_int m in
+    (match IntMap.find_opt k f with
+    | None | Some 1 -> IntMap.remove k f
+    | Some d -> IntMap.add k (d - 1) f)
+  | Cfg.Read _ | Cfg.Write _ | Cfg.Enter _ | Cfg.Exit _ | Cfg.Silent -> f
+
+type t = { before : fact option array }
+
+(* Forward must-analysis by worklist. Facts start optimistically
+   undefined (= top); a node's input is the meet of its {e computed}
+   predecessors, iterated until the fixpoint, which for a meet
+   semilattice of bounded depth terminates and yields the greatest
+   solution below every path fact. *)
+let analyze (cfg : Cfg.t) =
+  let n = Cfg.node_count cfg in
+  let before = Array.make n None in
+  let after = Array.make n None in
+  let queue = Queue.create () in
+  Array.iter
+    (fun e ->
+      before.(e) <- Some IntMap.empty;
+      Queue.add e queue)
+    (Cfg.entries cfg);
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    (* Entry nodes have no predecessors; their input is the initial empty
+       fact seeded above. *)
+    let input =
+      match
+        List.filter_map (fun p -> after.(p)) (Cfg.preds cfg id)
+      with
+      | [] -> Option.value ~default:IntMap.empty before.(id)
+      | f :: fs -> List.fold_left meet f fs
+    in
+    let changed =
+      match before.(id) with
+      | Some old when equal old input -> false
+      | _ ->
+        before.(id) <- Some input;
+        true
+    in
+    let out = transfer (Cfg.node cfg id).Cfg.eff input in
+    let out_changed =
+      match after.(id) with
+      | Some old when equal old out -> false
+      | _ ->
+        after.(id) <- Some out;
+        true
+    in
+    if changed || out_changed then
+      List.iter (fun s -> Queue.add s queue) (Cfg.succs cfg id)
+  done;
+  { before }
+
+let held_before t id =
+  match t.before.(id) with
+  | None -> IntMap.empty  (* unreachable node: nothing definitely held *)
+  | Some f -> f
+
+let locks_held t id =
+  IntMap.fold (fun k _ acc -> k :: acc) (held_before t id) [] |> List.rev
+
+let depth_before t id m =
+  Option.value ~default:0 (IntMap.find_opt (Lock.to_int m) (held_before t id))

@@ -1,0 +1,21 @@
+(** Flow-sensitive must-lockset dataflow over a {!Cfg}.
+
+    Computes, for every CFG node, the set of locks a thread {e definitely}
+    holds when control reaches it, together with a held depth for
+    re-entrancy reasoning. Joins ([if] merges, loop heads) take the
+    pointwise-minimum meet, so a lock counts as held only when it is held
+    on every path; loop bodies are iterated to a fixpoint with depths
+    capped ({e widened}) at a constant, which keeps the lattice finite
+    without ever over-claiming heldness. The result under-approximates the
+    dynamic lockset on every execution — the direction soundness needs. *)
+
+type t
+
+val analyze : Cfg.t -> t
+
+val locks_held : t -> int -> int list
+(** Lock ids definitely held just before the node executes, ascending. *)
+
+val depth_before : t -> int -> Velodrome_trace.Ids.Lock.t -> int
+(** Definite re-entrancy depth of one lock before the node; 0 when the
+    lock may be unheld. *)

@@ -1,0 +1,56 @@
+(** Lipton mover classification of every observable operation site.
+
+    Combines whole-program variable facts (accessing threads, ever
+    written, intersection of must-locksets over all access sites) with the
+    per-site lockset results:
+
+    - a lock acquire is a {e right}-mover, a release a {e left}-mover;
+      re-entrant ones (definite depth from the dataflow) are both-movers;
+    - a shared access is a {e both}-mover when its variable is
+      thread-local, read-only, or consistently guarded — some lock is
+      definitely held at {b every} access site program-wide;
+    - anything else is a {e non}-mover, volatile accesses included.
+
+    All three both-mover conditions are global, so they hold on every
+    execution, which is what {!Reduce}'s [Proved_atomic] verdicts and the
+    [static_atomic] event filter rely on. *)
+
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+module IntSet : Set.S with type elt = int
+
+type why_both =
+  | Guarded of Lock.t  (** witness guard (the smallest-id common lock) *)
+  | Thread_local
+  | Read_only
+  | Reentrant
+
+type why_non = Volatile_access | Unguarded
+
+type klass = Both of why_both | Right | Left | Non of why_non
+
+type var_facts = {
+  threads : IntSet.t;
+  written : bool;
+  guards : IntSet.t option;
+}
+
+type t
+
+val analyze : Names.t -> Cfg.t -> Lockset.t -> t
+
+val at_site : t -> Cfg.site -> klass option
+(** [None] for sites with no observable effect (silent statements). *)
+
+val var_facts : t -> Var.t -> var_facts
+
+val suppressible : t -> Var.t -> bool
+(** True when accesses to the variable may be elided inside proved blocks
+    without changing any back-end's warnings elsewhere: the variable is
+    thread-local or consistently guarded (read-only is excluded — see the
+    implementation note). *)
+
+val pp_klass : Names.t -> Format.formatter -> klass -> unit
+val pp_why_both : Names.t -> Format.formatter -> why_both -> unit
+val pp_why_non : Format.formatter -> why_non -> unit

@@ -1,0 +1,135 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_sim
+
+type reason = { site : Cfg.site; detail : string }
+
+let reason_compare a b =
+  match Cfg.site_compare a.site b.site with
+  | 0 -> String.compare a.detail b.detail
+  | c -> c
+
+type verdict = Proved_atomic | Unknown of reason list
+
+type occurrence = { label : Label.t; site : Cfg.site; reasons : reason list }
+
+(* The Lipton phase automaton. A block is reducible when every execution
+   of it spells R* N? L* over mover classes (B free anywhere): [pre] is
+   "still in the R* prefix, commit point not passed", [post] is "past the
+   commit point, only L* may follow". A release enters the L* suffix; a
+   non-mover is the commit point. We track the set of reachable phases so
+   branches and loops stay a finite join. *)
+type phases = { pre : bool; post : bool }
+
+let join a b = { pre = a.pre || b.pre; post = a.post || b.post }
+let phases_equal a b = a.pre = b.pre && a.post = b.post
+
+type ctx = {
+  names : Names.t;
+  movers : Movers.t;
+  mutable errors : reason list;
+  seen : (int * int list * string, unit) Hashtbl.t;
+}
+
+let error ctx (site : Cfg.site) detail =
+  let key = (site.Cfg.thread, site.Cfg.path, detail) in
+  if not (Hashtbl.mem ctx.seen key) then begin
+    Hashtbl.replace ctx.seen key ();
+    ctx.errors <- { site; detail } :: ctx.errors
+  end
+
+let describe_op names = function
+  | Ast.Read (_, x) -> Printf.sprintf "read of %s" (Names.var_name names x)
+  | Ast.Write (x, _) -> Printf.sprintf "write of %s" (Names.var_name names x)
+  | Ast.Acquire m -> Printf.sprintf "acquire of %s" (Names.lock_name names m)
+  | Ast.Release m -> Printf.sprintf "release of %s" (Names.lock_name names m)
+  | _ -> "operation"
+
+let step ctx site stmt klass phases =
+  match klass with
+  | Movers.Both _ -> phases
+  | Movers.Right ->
+    if phases.post then
+      error ctx site
+        (Printf.sprintf
+           "%s is a right-mover after the commit point (a second \
+            synchronization window opens)"
+           (describe_op ctx.names stmt));
+    phases
+  | Movers.Left -> { pre = false; post = phases.pre || phases.post }
+  | Movers.Non why ->
+    if phases.post then
+      error ctx site
+        (Printf.sprintf "%s is a second non-mover (%s) after the commit point"
+           (describe_op ctx.names stmt)
+           (Format.asprintf "%a" Movers.pp_why_non why));
+    { pre = false; post = true }
+
+let klass_at ctx site =
+  (* Every effectful site was lowered into the CFG; a miss would mean the
+     two walks disagree on coordinates, so fail conservatively. *)
+  Option.value ~default:(Movers.Non Movers.Unguarded)
+    (Movers.at_site ctx.movers site)
+
+let rec walk_stmts ctx thread path phases stmts =
+  List.fold_left
+    (fun (phases, j) stmt ->
+      (walk_stmt ctx thread (path @ [ j ]) phases stmt, j + 1))
+    (phases, 0) stmts
+  |> fst
+
+and walk_stmt ctx thread path phases stmt =
+  let site = { Cfg.thread; path } in
+  match stmt with
+  | Ast.Read _ | Ast.Write _ | Ast.Acquire _ | Ast.Release _ ->
+    step ctx site stmt (klass_at ctx site) phases
+  | Ast.Local _ | Ast.Work _ | Ast.Yield -> phases
+  | Ast.Atomic (_, body) ->
+    (* Nested begin/end events are both-movers; the inner block's own
+       verdict is computed separately by the occurrence scan. *)
+    walk_stmts ctx thread path phases body
+  | Ast.If (_, then_b, else_b) ->
+    let a = walk_stmts ctx thread (path @ [ 0 ]) phases then_b in
+    let b = walk_stmts ctx thread (path @ [ 1 ]) phases else_b in
+    join a b
+  | Ast.While (_, body) ->
+    (* Zero or more iterations: iterate the body from the growing set of
+       head phases until it stabilizes (at most two rounds over the
+       two-point lattice). *)
+    let rec fix acc =
+      let after = walk_stmts ctx thread path acc body in
+      let next = join acc after in
+      if phases_equal next acc then acc else fix next
+    in
+    fix phases
+
+let check_block ctx thread path body =
+  ctx.errors <- [];
+  Hashtbl.reset ctx.seen;
+  ignore (walk_stmts ctx thread path { pre = true; post = false } body);
+  List.sort reason_compare ctx.errors
+
+(* Enumerate every atomic block occurrence, innermost included. *)
+let occurrences names movers (p : Ast.program) =
+  let ctx = { names; movers; errors = []; seen = Hashtbl.create 16 } in
+  let acc = ref [] in
+  let rec scan thread path stmts =
+    List.iteri
+      (fun j stmt ->
+        let path' = path @ [ j ] in
+        match stmt with
+        | Ast.Atomic (l, body) ->
+          let reasons = check_block ctx thread path' body in
+          acc :=
+            { label = l; site = { Cfg.thread; path = path' }; reasons }
+            :: !acc;
+          scan thread path' body
+        | Ast.If (_, a, b) ->
+          scan thread (path' @ [ 0 ]) a;
+          scan thread (path' @ [ 1 ]) b
+        | Ast.While (_, body) -> scan thread path' body
+        | _ -> ())
+      stmts
+  in
+  Array.iteri (fun thread body -> scan thread [] body) p.Ast.threads;
+  List.rev !acc

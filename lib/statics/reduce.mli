@@ -1,0 +1,33 @@
+(** Lipton reduction check over atomic blocks.
+
+    A block is {e reducible} — provably atomic on every execution — when
+    each path through it spells [R* N? L*] over the {!Movers} classes:
+    right-movers (acquires) first, at most one non-mover as the commit
+    point, left-movers (releases) last, both-movers anywhere. The checker
+    walks the block's AST tracking the {e set} of reachable automaton
+    phases, joining over [if] branches and iterating loop bodies to a
+    fixpoint, so the verdict covers every unrolling.
+
+    Each automaton failure becomes a {!reason} carrying the offending
+    statement's {!Cfg.site} and a message naming the operation and why it
+    could not move. *)
+
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type reason = { site : Cfg.site; detail : string }
+
+val reason_compare : reason -> reason -> int
+
+type verdict = Proved_atomic | Unknown of reason list
+
+type occurrence = {
+  label : Label.t;
+  site : Cfg.site;  (** where this [atomic] statement sits *)
+  reasons : reason list;  (** empty iff this occurrence is reducible *)
+}
+
+val occurrences :
+  Names.t -> Movers.t -> Velodrome_sim.Ast.program -> occurrence list
+(** Every atomic block occurrence in program order, nested ones included,
+    each with its reduction-failure reasons (sorted, deduplicated). *)

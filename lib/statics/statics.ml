@@ -1,0 +1,161 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_sim
+module IntSet = Set.Make (Int)
+
+type block = {
+  label : Label.t;
+  name : string;
+  sites : Cfg.site list;
+  verdict : Reduce.verdict;
+}
+
+type t = {
+  names : Names.t;
+  cfg : Cfg.t;
+  locksets : Lockset.t;
+  movers : Movers.t;
+  blocks : block list;
+  proved_ids : IntSet.t;
+}
+
+let analyze (p : Ast.program) =
+  let names = p.Ast.names in
+  let cfg = Cfg.of_program p in
+  let locksets = Lockset.analyze cfg in
+  let movers = Movers.analyze names cfg locksets in
+  let occs = Reduce.occurrences names movers p in
+  let by_label = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Reduce.occurrence) ->
+      let k = Label.to_int o.Reduce.label in
+      let sites, reasons =
+        Option.value ~default:([], []) (Hashtbl.find_opt by_label k)
+      in
+      Hashtbl.replace by_label k
+        (o.Reduce.site :: sites, o.Reduce.reasons @ reasons))
+    occs;
+  let blocks =
+    Hashtbl.fold
+      (fun k (sites, reasons) acc ->
+        let label = Label.of_int k in
+        let reasons =
+          List.sort_uniq Reduce.reason_compare reasons
+        in
+        let verdict =
+          match reasons with
+          | [] -> Reduce.Proved_atomic
+          | rs -> Reduce.Unknown rs
+        in
+        {
+          label;
+          name = Names.label_name names label;
+          sites = List.sort Cfg.site_compare sites;
+          verdict;
+        }
+        :: acc)
+      by_label []
+    |> List.sort (fun a b -> Label.compare a.label b.label)
+  in
+  let proved_ids =
+    List.fold_left
+      (fun acc b ->
+        match b.verdict with
+        | Reduce.Proved_atomic -> IntSet.add (Label.to_int b.label) acc
+        | Reduce.Unknown _ -> acc)
+      IntSet.empty blocks
+  in
+  { names; cfg; locksets; movers; blocks; proved_ids }
+
+let blocks t = t.blocks
+let cfg t = t.cfg
+let locksets t = t.locksets
+let movers t = t.movers
+let proved t l = IntSet.mem (Label.to_int l) t.proved_ids
+let proved_count t = IntSet.cardinal t.proved_ids
+let block_count t = List.length t.blocks
+let suppressible_var t x = Movers.suppressible t.movers x
+
+let filter_predicates t =
+  let proved_id l = IntSet.mem l t.proved_ids in
+  let suppress_var x = Movers.suppressible t.movers (Var.of_int x) in
+  (proved_id, suppress_var)
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let verdict_string = function
+  | Reduce.Proved_atomic -> "proved-atomic"
+  | Reduce.Unknown _ -> "unknown"
+
+let pp_human ?(pos = fun _ -> None) ppf t =
+  List.iter
+    (fun b ->
+      let where =
+        match pos b.label with
+        | Some (line, col) -> Printf.sprintf " (%d:%d)" line col
+        | None -> ""
+      in
+      (match b.verdict with
+      | Reduce.Proved_atomic ->
+        Format.fprintf ppf "%-24s%s proved atomic (%d occurrence%s)@." b.name
+          where (List.length b.sites)
+          (if List.length b.sites = 1 then "" else "s")
+      | Reduce.Unknown reasons ->
+        Format.fprintf ppf "%-24s%s UNKNOWN (%d occurrence%s)@." b.name where
+          (List.length b.sites)
+          (if List.length b.sites = 1 then "" else "s");
+        List.iter
+          (fun (r : Reduce.reason) ->
+            Format.fprintf ppf "    %a: %s@." Cfg.pp_site r.Reduce.site
+              r.Reduce.detail)
+          reasons))
+    t.blocks;
+  Format.fprintf ppf "%d/%d blocks proved atomic@." (proved_count t)
+    (block_count t)
+
+let to_json ?(pos = fun _ -> None) ?file t =
+  let open Velodrome_util.Json in
+  let block_json b =
+    let position =
+      match pos b.label with
+      | Some (line, col) -> Obj [ ("line", Int line); ("col", Int col) ]
+      | None -> Null
+    in
+    let reasons =
+      match b.verdict with
+      | Reduce.Proved_atomic -> []
+      | Reduce.Unknown rs ->
+        List.map
+          (fun (r : Reduce.reason) ->
+            Obj
+              [
+                ("site", String (Cfg.site_to_string r.Reduce.site));
+                ("detail", String r.Reduce.detail);
+              ])
+          rs
+    in
+    Obj
+      [
+        ("label", String b.name);
+        ("verdict", String (verdict_string b.verdict));
+        ("position", position);
+        ( "occurrences",
+          List (List.map (fun s -> String (Cfg.site_to_string s)) b.sites) );
+        ("reasons", List reasons);
+      ]
+  in
+  Obj
+    (List.concat
+       [
+         (match file with Some f -> [ ("file", String f) ] | None -> []);
+         [
+           ("blocks", List (List.map block_json t.blocks));
+           ( "summary",
+             Obj
+               [
+                 ("blocks", Int (block_count t));
+                 ("proved", Int (proved_count t));
+                 ("unknown", Int (block_count t - proved_count t));
+               ] );
+         ];
+       ])

@@ -1,0 +1,55 @@
+(** The static atomicity pre-pass: CFG → must-locksets → movers → Lipton
+    reduction, packaged behind one [analyze] call.
+
+    A block whose verdict is [Proved_atomic] matches [R* N? L*] over
+    sound, whole-program mover classes on {b every} execution, so by
+    Lipton's reduction theorem each of its dynamic transactions is
+    serializable — Velodrome (sound and complete per the paper's
+    Theorem 1) can never blame it. The differential test suite and the
+    [velodrome analyze --gate] CI step check exactly that against the
+    dynamic back-ends.
+
+    [filter_predicates] feeds the runtime side:
+    {!Velodrome_analysis.Filters.static_atomic} uses the proved-label and
+    suppressible-variable predicates to elide instrumentation inside
+    proved blocks. *)
+
+open Velodrome_trace.Ids
+
+type block = {
+  label : Label.t;
+  name : string;
+  sites : Cfg.site list;  (** every occurrence, in site order *)
+  verdict : Reduce.verdict;  (** joined over all occurrences *)
+}
+
+type t
+
+val analyze : Velodrome_sim.Ast.program -> t
+
+val blocks : t -> block list
+val cfg : t -> Cfg.t
+val locksets : t -> Lockset.t
+val movers : t -> Movers.t
+
+val proved : t -> Label.t -> bool
+val proved_count : t -> int
+val block_count : t -> int
+val suppressible_var : t -> Var.t -> bool
+
+val filter_predicates : t -> (int -> bool) * (int -> bool)
+(** [(proved_label_id, suppressible_var_id)] predicates over raw ids, in
+    the form {!Velodrome_analysis.Filters.static_atomic} consumes. *)
+
+val verdict_string : Reduce.verdict -> string
+
+val pp_human :
+  ?pos:(Label.t -> (int * int) option) -> Format.formatter -> t -> unit
+
+val to_json :
+  ?pos:(Label.t -> (int * int) option) ->
+  ?file:string ->
+  t ->
+  Velodrome_util.Json.t
+(** Stable JSON verdict document; [pos] supplies source positions for
+    labels parsed from a [.vel] file. *)

@@ -1,0 +1,58 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Floats print with enough digits to round-trip but without the noise of
+   %h; integral floats print as integers for stable cram output. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let rec pp ppf = function
+  | Null -> Format.pp_print_string ppf "null"
+  | Bool b -> Format.pp_print_string ppf (if b then "true" else "false")
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.pp_print_string ppf (float_repr f)
+  | String s -> Format.fprintf ppf "\"%s\"" (escape s)
+  | List [] -> Format.pp_print_string ppf "[]"
+  | List xs ->
+    Format.fprintf ppf "[@[<v 1>@,%a@]@,]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         pp)
+      xs
+  | Obj [] -> Format.pp_print_string ppf "{}"
+  | Obj fields ->
+    Format.fprintf ppf "{@[<v 1>@,%a@]@,}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@,")
+         (fun ppf (k, v) -> Format.fprintf ppf "\"%s\": %a" (escape k) pp v))
+      fields
+
+let to_string v = Format.asprintf "%a" pp v
+
+let to_channel oc v =
+  let ppf = Format.formatter_of_out_channel oc in
+  Format.fprintf ppf "%a@." pp v

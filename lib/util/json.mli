@@ -1,0 +1,22 @@
+(** A minimal JSON document builder and printer.
+
+    The repository deliberately has no JSON dependency; this is the small
+    write-only subset the CLI ([velodrome analyze --format json]) and the
+    benchmark emitters need. Output is deterministic — object fields print
+    in the order given, arrays one element per line — so cram tests can
+    pin it verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_channel : out_channel -> t -> unit
+(** Prints the document followed by a newline. *)

@@ -20,6 +20,64 @@ Checking a textual program:
     velodrome: atomicity-violation [Teller.deposit] at #6: not self-serializable (refuted blocks: Teller.deposit); cycle: Teller.deposit(t0) -> Teller.deposit(t1) -> Teller.deposit(t0)
     atomizer: reduction-failure [Teller.deposit] at #24: block is not reducible: second non-mover access after commit point
 
+The static pre-pass: mover classification and Lipton reduction, with the
+dynamic soundness gate. A fully guarded program proves every block (exit
+0); account.vel leaves the racy deposit unproved, so analyze exits 1:
+
+  $ velodrome analyze ../examples/guarded.vel --gate
+  Counter.incr             (13:12) proved atomic (2 occurrences)
+  Counter.flush            (21:10) proved atomic (2 occurrences)
+  2/2 blocks proved atomic
+  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed)
+
+  $ velodrome analyze ../examples/account.vel --format json
+  {
+    "file": "../examples/account.vel",
+    "blocks": [
+                {
+                  "label": "Teller.deposit",
+                  "verdict": "unknown",
+                  "position": {
+                                "line": 14,
+                                "col": 12
+                  },
+                  "occurrences": [
+                                   "t0:1.0",
+                                   "t1:1.0"
+                  ],
+                  "reasons": [
+                               {
+                                 "site": "t0:1.0.3",
+                                 "detail": "write of balance is a second non-mover (no common guard) after the commit point"
+                               },
+                               {
+                                 "site": "t1:1.0.3",
+                                 "detail": "write of balance is a second non-mover (no common guard) after the commit point"
+                               }
+                  ]
+                },
+                {
+                  "label": "Teller.audit",
+                  "verdict": "proved-atomic",
+                  "position": {
+                                "line": 19,
+                                "col": 12
+                  },
+                  "occurrences": [
+                                   "t0:1.1",
+                                   "t1:1.1"
+                  ],
+                  "reasons": []
+                }
+    ],
+    "summary": {
+                 "blocks": 2,
+                 "proved": 1,
+                 "unknown": 1
+    }
+  }
+  [1]
+
 An atomicity spec can silence methods:
 
   $ cat > spec.txt <<'SPEC'
@@ -80,22 +138,35 @@ The account example round-trips byte-identically (text -> binary -> text):
   converted acct.velb (300 events) to acct-roundtrip.trace (text)
   $ cmp acct.trace acct-roundtrip.trace
 
-A corrupt binary trace fails loudly, in both replay modes:
+Corrupt input exits 2 (violations exit 1; see the EXIT STATUS section of
+--help), in both replay modes:
 
   $ head -c 40 ms.velb > bad.velb
   $ velodrome check-trace bad.velb
   bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
-  [1]
+  [2]
   $ velodrome check-trace bad.velb --stream
   bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
-  [1]
+  [2]
   $ velodrome convert bad.velb nope.trace
   bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
-  [1]
+  [2]
 
 Malformed text traces are blamed on the offending line:
 
   $ printf 't0 rd x\nt0 frobnicate x\n' > bad.trace
   $ velodrome check-trace bad.trace
   bad.trace:2: unknown operation frobnicate
-  [1]
+  [2]
+
+An ill-formed program reports every static error, with statement paths:
+
+  $ cat > broken.vel <<'VEL'
+  > lock m;
+  > thread { release m; if (1 == 1) { acquire m; } }
+  > VEL
+  $ velodrome check broken.vel
+  broken.vel: thread 0, stmt 0: release of lock 0 without matching acquire
+  broken.vel: thread 0, stmt 1: if branches have different lock effects
+  broken.vel: thread 0, end of thread: thread finishes while holding locks
+  [2]

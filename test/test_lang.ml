@@ -195,6 +195,55 @@ let test_check_holds_at_exit () =
   let p = Parser.parse "lock m; thread { acquire m; }" in
   check bool "flagged" true (Result.is_error (Check.check_program p))
 
+let test_parse_label_positions () =
+  let src =
+    "var x;\n\
+     thread {\n\
+    \  atomic \"a\" { x = 1; }\n\
+    \  atomic \"b\" { atomic \"a\" { x = 2; } }\n\
+     }"
+  in
+  let p, positions = Parser.parse_info src in
+  check int "labels declared" 2
+    (Velodrome_util.Symtab.size p.Ast.names.Names.labels);
+  (* First occurrence wins for a repeated label; entries in source order. *)
+  match positions with
+  | [ (la, (3, _)); (lb, (4, _)) ] ->
+    check Alcotest.string "a first" "a" (Names.label_name p.Ast.names la);
+    check Alcotest.string "b second" "b" (Names.label_name p.Ast.names lb)
+  | _ -> Alcotest.fail "unexpected label position list"
+
+let test_check_reports_all_errors () =
+  let p =
+    Parser.parse
+      "lock m; lock n; thread { release m; if (1 == 1) { acquire n; } else { \
+       } } thread { acquire m; while (1 == 1) { acquire n; } }"
+  in
+  match Check.check_program p with
+  | Ok () -> Alcotest.fail "expected errors"
+  | Error es ->
+    let render e = Format.asprintf "%a" Check.pp_error e in
+    check
+      Alcotest.(list string)
+      "all errors, in order"
+      [
+        "thread 0, stmt 0: release of lock 0 without matching acquire";
+        "thread 0, stmt 1: if branches have different lock effects";
+        "thread 0, end of thread: thread finishes while holding locks";
+        "thread 1, stmt 1: loop body is not lock-neutral";
+        "thread 1, end of thread: thread finishes while holding locks";
+      ]
+      (List.map render es)
+
+let test_check_nested_path () =
+  let p =
+    Parser.parse
+      "lock m; thread { atomic \"a\" { if (1 == 1) { release m; } } }"
+  in
+  match Check.check_program p with
+  | Error [ e ] -> check Alcotest.(list int) "path" [ 0; 0; 0; 0 ] e.Check.path
+  | _ -> Alcotest.fail "expected exactly one error"
+
 let test_check_workloads_clean () =
   List.iter
     (fun w ->
@@ -230,5 +279,9 @@ let suite =
       Alcotest.test_case "check unbalanced if" `Quick test_check_unbalanced_if;
       Alcotest.test_case "check loop" `Quick test_check_loop_not_neutral;
       Alcotest.test_case "check exit" `Quick test_check_holds_at_exit;
+      Alcotest.test_case "parse label positions" `Quick
+        test_parse_label_positions;
+      Alcotest.test_case "check multi-error" `Quick test_check_reports_all_errors;
+      Alcotest.test_case "check nested path" `Quick test_check_nested_path;
       Alcotest.test_case "check workloads" `Quick test_check_workloads_clean;
     ] )

@@ -10,6 +10,7 @@ let () =
       Test_core.suite;
       Test_sim.suite;
       Test_lang.suite;
+      Test_statics.suite;
       Test_backends.suite;
       Test_workloads.suite;
       Test_inject.suite;

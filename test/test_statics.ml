@@ -1,0 +1,430 @@
+(* The static pre-pass: unit tests for each pipeline stage, then the
+   differential soundness artifacts — the blame gate (no statically
+   proved block is ever refuted by dynamic Velodrome, under round-robin,
+   random and adversarial schedules) and the filter differential (the
+   static_atomic event filter changes no back-end's warnings outside
+   proved blocks, for all six back-ends). *)
+
+open Velodrome_sim
+open Velodrome_analysis
+module Cfg = Velodrome_statics.Cfg
+module Lockset = Velodrome_statics.Lockset
+module Movers = Velodrome_statics.Movers
+module Reduce = Velodrome_statics.Reduce
+module Statics = Velodrome_statics.Statics
+module Workload = Velodrome_workloads.Workload
+
+let check = Alcotest.check
+let parse = Velodrome_lang.Parser.parse
+
+(* --- cfg ------------------------------------------------------------------- *)
+
+let effs_of cfg =
+  let out = ref [] in
+  Cfg.iter_nodes (fun n -> out := n.Cfg.eff :: !out) cfg;
+  List.rev !out
+
+let test_cfg_shapes () =
+  let p =
+    parse
+      "var x; lock m; thread { acquire m; x = 1; release m; } thread { x = \
+       2; }"
+  in
+  let cfg = Cfg.of_program p in
+  check Alcotest.int "entries" 2 (Array.length (Cfg.entries cfg));
+  let effs = effs_of cfg in
+  let count f = List.length (List.filter f effs) in
+  check Alcotest.int "acquires" 1
+    (count (function Cfg.Acquire _ -> true | _ -> false));
+  check Alcotest.int "releases" 1
+    (count (function Cfg.Release _ -> true | _ -> false));
+  check Alcotest.int "writes" 2
+    (count (function Cfg.Write _ -> true | _ -> false))
+
+let test_cfg_loop_backedge () =
+  let p = parse "var x; thread { k = 0; while (k < 3) { x = 1; } }" in
+  let cfg = Cfg.of_program p in
+  (* The loop head must be reachable from the body end: some node has a
+     successor with a smaller id. *)
+  let back = ref false in
+  Cfg.iter_nodes
+    (fun n ->
+      List.iter
+        (fun s -> if s <= n.Cfg.id then back := true)
+        (Cfg.succs cfg n.Cfg.id))
+    cfg;
+  check Alcotest.bool "has back edge" true !back
+
+(* --- lockset ---------------------------------------------------------------- *)
+
+let find_node cfg pred =
+  let hit = ref None in
+  Cfg.iter_nodes
+    (fun n -> if !hit = None && pred n then hit := Some n)
+    cfg;
+  match !hit with Some n -> n | None -> Alcotest.fail "node not found"
+
+let write_of cfg names name =
+  find_node cfg (fun n ->
+      match n.Cfg.eff with
+      | Cfg.Write v -> Velodrome_trace.Names.var_name names v = name
+      | _ -> false)
+
+let test_lockset_must () =
+  let p =
+    parse
+      "var a; var b; lock m; thread { sync m { a = 1; } if (1 == 1) { \
+       acquire m; b = 1; release m; } else { b = 2; } }"
+  in
+  let cfg = Cfg.of_program p in
+  let ls = Lockset.analyze cfg in
+  let names = p.Ast.names in
+  let n_a = write_of cfg names "a" in
+  check
+    Alcotest.(list int)
+    "m held at guarded write" [ 0 ]
+    (Lockset.locks_held ls n_a.Cfg.id);
+  (* The else-branch write holds nothing. *)
+  let n_b2 =
+    find_node cfg (fun n ->
+        match n.Cfg.eff with
+        | Cfg.Write v ->
+          Velodrome_trace.Names.var_name names v = "b"
+          && n.Cfg.site.Cfg.path <> (write_of cfg names "b").Cfg.site.Cfg.path
+        | _ -> false)
+  in
+  check
+    Alcotest.(list int)
+    "nothing held in else branch" []
+    (Lockset.locks_held ls n_b2.Cfg.id)
+
+let test_lockset_join_drops () =
+  (* m is held only on one path into the final write, so must-analysis
+     may not claim it. *)
+  let p =
+    parse
+      "var x; lock m; thread { if (1 == 1) { acquire m; } k = 0; x = 1; if \
+       (1 == 1) { release m; } }"
+  in
+  let cfg = Cfg.of_program p in
+  let ls = Lockset.analyze cfg in
+  let n = write_of cfg p.Ast.names "x" in
+  check Alcotest.(list int) "join drops m" [] (Lockset.locks_held ls n.Cfg.id)
+
+(* --- movers ----------------------------------------------------------------- *)
+
+let movers_of p =
+  let cfg = Cfg.of_program p in
+  Movers.analyze p.Ast.names cfg (Lockset.analyze cfg)
+
+let klass_at p mv cfg name kind =
+  let n =
+    find_node cfg (fun n ->
+        match (n.Cfg.eff, kind) with
+        | Cfg.Read v, `R | Cfg.Write v, `W ->
+          Velodrome_trace.Names.var_name p.Ast.names v = name
+        | _ -> false)
+  in
+  Option.get (Movers.at_site mv n.Cfg.site)
+
+let test_mover_classes () =
+  let p =
+    parse
+      "var g; var ro = 5; var u; var p; volatile w; lock m; thread 2 { sync \
+       m { g = 1; } a = ro; u = 1; w = 1; } thread { p = 1; q <- p; }"
+  in
+  (* Declare p shared but touched by one thread only. *)
+  let cfg = Cfg.of_program p in
+  let mv = movers_of p in
+  (match klass_at p mv cfg "g" `W with
+  | Movers.Both (Movers.Guarded _) -> ()
+  | k ->
+    Alcotest.failf "g: %a"
+      (fun ppf -> Movers.pp_klass p.Ast.names ppf)
+      k);
+  check Alcotest.bool "ro is read-only both-mover" true
+    (klass_at p mv cfg "ro" `R = Movers.Both Movers.Read_only);
+  check Alcotest.bool "u is unguarded non-mover" true
+    (klass_at p mv cfg "u" `W = Movers.Non Movers.Unguarded);
+  check Alcotest.bool "volatile is non-mover" true
+    (klass_at p mv cfg "w" `W = Movers.Non Movers.Volatile_access)
+
+let test_mover_thread_local () =
+  let p = parse "var p; var u; thread { p = 1; } thread { u = 1; }" in
+  let cfg = Cfg.of_program p in
+  let mv = movers_of p in
+  check Alcotest.bool "single-thread var is both-mover" true
+    (klass_at p mv cfg "p" `W = Movers.Both Movers.Thread_local)
+
+let test_mover_lock_ops () =
+  let p = parse "var g; lock m; thread 2 { sync m { sync m { g = 1; } } }" in
+  let cfg = Cfg.of_program p in
+  let mv = movers_of p in
+  (* sync splices inline, so the two acquires are siblings; thread 0's
+     come first in site order. *)
+  let acqs = ref [] in
+  Cfg.iter_nodes
+    (fun n ->
+      match n.Cfg.eff with
+      | Cfg.Acquire _ when n.Cfg.site.Cfg.thread = 0 ->
+        acqs := n.Cfg.site :: !acqs
+      | _ -> ())
+    cfg;
+  match List.sort Cfg.site_compare !acqs with
+  | [ outer; inner ] ->
+    check Alcotest.bool "outer acquire is right-mover" true
+      (Movers.at_site mv outer = Some Movers.Right);
+    check Alcotest.bool "re-entrant acquire is both-mover" true
+      (Movers.at_site mv inner = Some (Movers.Both Movers.Reentrant))
+  | l -> Alcotest.failf "expected 2 acquires in thread 0, got %d" (List.length l)
+
+(* --- reduce ----------------------------------------------------------------- *)
+
+let verdict_of src label =
+  let p = parse src in
+  let st = Statics.analyze p in
+  let b =
+    List.find
+      (fun b -> b.Statics.name = label)
+      (Statics.blocks st)
+  in
+  b.Statics.verdict
+
+let proved v = match v with Reduce.Proved_atomic -> true | _ -> false
+
+let test_reduce_proved () =
+  check Alcotest.bool "single sync proved" true
+    (proved
+       (verdict_of
+          "var g; lock m; thread 2 { atomic \"a\" { sync m { g = g + 1; } } }"
+          "a"));
+  check Alcotest.bool "loop inside sync proved" true
+    (proved
+       (verdict_of
+          "var g; lock m; thread 2 { atomic \"a\" { sync m { k = 0; while \
+           (k < 3) { g = g + 1; k = k + 1; } } } }"
+          "a"))
+
+let test_reduce_unknown () =
+  check Alcotest.bool "two racy non-movers" false
+    (proved
+       (verdict_of "var x; var y; thread 2 { atomic \"a\" { x = 1; y = 1; } }"
+          "a"));
+  (* Two critical sections of the same lock: a right-mover after a
+     left-mover, and indeed not atomic (check-then-act window). *)
+  check Alcotest.bool "sync; sync is unknown" false
+    (proved
+       (verdict_of
+          "var g; lock m; thread 2 { atomic \"a\" { sync m { g = 1; } sync \
+           m { g = 2; } } }"
+          "a"));
+  (* A loop whose body opens and closes the lock re-enters the automaton
+     in the post phase on the second iteration. *)
+  check Alcotest.bool "loop of syncs is unknown" false
+    (proved
+       (verdict_of
+          "var g; lock m; thread 2 { atomic \"a\" { k = 0; while (k < 3) { \
+           sync m { g = 1; } k = k + 1; } } }"
+          "a"))
+
+let test_reduce_single_non_mover () =
+  check Alcotest.bool "one non-mover commit point proved" true
+    (proved
+       (verdict_of "var x; thread 2 { atomic \"a\" { x = 1; } }" "a"))
+
+(* --- whole-pipeline sanity over the workload suite -------------------------- *)
+
+let test_workloads_analyze () =
+  List.iter
+    (fun w ->
+      let st = Statics.analyze (w.Workload.build Workload.Small) in
+      check Alcotest.bool
+        (w.Workload.name ^ " has blocks")
+        true
+        (Statics.block_count st > 0))
+    Workload.all;
+  (* The raja workload is fully guarded; the multiset workload is the
+     paper's canonical violation, so it must keep unproved blocks. *)
+  let raja =
+    Statics.analyze
+      ((List.find (fun w -> w.Workload.name = "raja") Workload.all)
+         .Workload.build Workload.Small)
+  in
+  check Alcotest.int "raja fully proved" (Statics.block_count raja)
+    (Statics.proved_count raja);
+  let multiset =
+    Statics.analyze
+      ((List.find (fun w -> w.Workload.name = "multiset") Workload.all)
+         .Workload.build Workload.Small)
+  in
+  check Alcotest.bool "multiset keeps unproved blocks" true
+    (Statics.proved_count multiset < Statics.block_count multiset)
+
+(* --- generated programs ------------------------------------------------------ *)
+
+let generate seed =
+  Progen.generate (Velodrome_util.Rng.create seed)
+
+let prop_generated_wellformed =
+  QCheck.Test.make ~count:300 ~name:"progen: well-formed programs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = generate seed in
+      Velodrome_lang.Check.check_program p = Ok ()
+      &&
+      (* and they terminate without deadlock under round-robin *)
+      let res =
+        Run.run
+          ~config:{ Run.default_config with policy = Run.Round_robin }
+          p []
+      in
+      not res.Run.deadlocked)
+
+(* The three schedule families of the soundness gate. *)
+let gate_configs seed =
+  [
+    { Run.default_config with policy = Run.Round_robin };
+    { Run.default_config with policy = Run.Random seed };
+    { Run.default_config with policy = Run.Random seed; adversarial = true };
+  ]
+
+(* Run dynamic Velodrome and return every label the blame analysis
+   refuted. *)
+let refuted_labels program config =
+  let names = program.Ast.names in
+  let backend = Backend.make (Velodrome_core.Engine.backend ()) names in
+  let res = Run.run ~config program [ backend ] in
+  List.concat_map (fun (w : Warning.t) -> w.Warning.refuted) res.Run.warnings
+
+let assert_gate what program st =
+  List.iteri
+    (fun k config ->
+      List.iter
+        (fun l ->
+          if Statics.proved st l then
+            Alcotest.failf
+              "%s: statically-proved block %s refuted dynamically (schedule \
+               %d)"
+              what
+              (Velodrome_trace.Names.label_name program.Ast.names l)
+              k)
+        (refuted_labels program config))
+    (gate_configs 7)
+
+let prop_gate_generated =
+  QCheck.Test.make ~count:300 ~name:"gate: proved blocks never blamed"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = generate seed in
+      let st = Statics.analyze p in
+      assert_gate (Printf.sprintf "seed %d" seed) p st;
+      true)
+
+let test_gate_workloads () =
+  List.iter
+    (fun w ->
+      let program = w.Workload.build Workload.Small in
+      let st = Statics.analyze program in
+      assert_gate w.Workload.name program st)
+    Workload.all
+
+(* --- the filter differential ------------------------------------------------- *)
+
+let six_backends names =
+  [
+    ("velodrome", fun () -> Backend.make (Velodrome_core.Engine.backend ()) names);
+    ( "velodrome-basic",
+      fun () -> Backend.make (Velodrome_core.Basic.backend ()) names );
+    ( "atomizer",
+      fun () -> Backend.make (Velodrome_atomizer.Atomizer.backend ()) names );
+    ("eraser", fun () -> Backend.make (Velodrome_eraser.Eraser.backend ()) names);
+    ("hb", fun () -> Backend.make (Velodrome_hbrace.Hbrace.backend ()) names);
+    ( "fasttrack",
+      fun () -> Backend.make (Velodrome_hbrace.Fasttrack.backend ()) names );
+  ]
+
+(* Warnings projected to comparable keys, excluding those attributed to
+   statically-proved blocks (the filter is allowed — expected — to
+   silence those). The analysis name is dropped: the filtered run's
+   backend carries a "+static" suffix. *)
+let projected st names warnings =
+  Warning.dedup_by_label warnings
+  |> List.filter_map (fun (w : Warning.t) ->
+         match w.Warning.label with
+         | Some l when Statics.proved st l -> None
+         | label ->
+           Some
+             (Printf.sprintf "%s label=%s var=%s blamed=%b"
+                (Warning.kind_to_string w.Warning.kind)
+                (match label with
+                | Some l -> Velodrome_trace.Names.label_name names l
+                | None -> "-")
+                (match w.Warning.var with
+                | Some v -> Velodrome_trace.Names.var_name names v
+                | None -> "-")
+                w.Warning.blamed))
+  |> List.sort compare
+
+let assert_filter_differential what program st =
+  let names = program.Ast.names in
+  let proved, suppress_var = Statics.filter_predicates st in
+  let config = { Run.default_config with policy = Run.Random 11 } in
+  List.iter
+    (fun (bname, mk) ->
+      let plain =
+        (Run.run ~config program [ mk () ]).Run.warnings
+      in
+      let filtered =
+        (Run.run ~config program
+           [ Filters.static_atomic ~proved ~suppress_var (mk ()) ])
+          .Run.warnings
+      in
+      check
+        Alcotest.(list string)
+        (Printf.sprintf "%s/%s warnings unchanged outside proved blocks" what
+           bname)
+        (projected st names plain)
+        (projected st names filtered))
+    (six_backends names)
+
+let test_filter_differential_workloads () =
+  List.iter
+    (fun w ->
+      let program = w.Workload.build Workload.Small in
+      assert_filter_differential w.Workload.name program
+        (Statics.analyze program))
+    Workload.all
+
+let prop_filter_differential_generated =
+  QCheck.Test.make ~count:60
+    ~name:"filter differential: six back-ends on generated programs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = generate seed in
+      assert_filter_differential
+        (Printf.sprintf "seed %d" seed)
+        p (Statics.analyze p);
+      true)
+
+let suite =
+  ( "statics",
+    [
+      Alcotest.test_case "cfg shapes" `Quick test_cfg_shapes;
+      Alcotest.test_case "cfg loop back edge" `Quick test_cfg_loop_backedge;
+      Alcotest.test_case "lockset must" `Quick test_lockset_must;
+      Alcotest.test_case "lockset join drops" `Quick test_lockset_join_drops;
+      Alcotest.test_case "mover classes" `Quick test_mover_classes;
+      Alcotest.test_case "mover thread-local" `Quick test_mover_thread_local;
+      Alcotest.test_case "mover lock ops" `Quick test_mover_lock_ops;
+      Alcotest.test_case "reduce proved" `Quick test_reduce_proved;
+      Alcotest.test_case "reduce unknown" `Quick test_reduce_unknown;
+      Alcotest.test_case "reduce commit point" `Quick
+        test_reduce_single_non_mover;
+      Alcotest.test_case "workloads analyze" `Quick test_workloads_analyze;
+      QCheck_alcotest.to_alcotest prop_generated_wellformed;
+      QCheck_alcotest.to_alcotest prop_gate_generated;
+      Alcotest.test_case "gate: workloads" `Quick test_gate_workloads;
+      Alcotest.test_case "filter differential: workloads" `Quick
+        test_filter_differential_workloads;
+      QCheck_alcotest.to_alcotest prop_filter_differential_generated;
+    ] )

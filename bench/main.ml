@@ -385,6 +385,161 @@ let run_stream_benches ~smoke =
   emit_stream_json "BENCH_stream.json" rows;
   Printf.printf "wrote BENCH_stream.json (%d fixtures)\n" (List.length rows)
 
+(* --- Engine throughput (BENCH_engine.json) ----------------------------------- *)
+
+(* The checking hot path itself: replay pre-recorded event arrays through
+   the optimized Engine and the basic Figure 2 engine, reporting
+   events/sec and bytes-allocated/event for each. Covers all fifteen
+   workloads plus synthetic high-contention traces, so representation
+   changes in [lib/core] show up as a tracked artifact rather than a
+   one-off measurement. *)
+
+type engine_row = {
+  g_fixture : string;
+  g_size : string;
+  g_events : int;
+  g_engine_eps : float;
+  g_engine_bpe : float;  (** bytes allocated per event, Engine replay *)
+  g_basic_eps : float;
+  g_basic_bpe : float;
+  g_warnings : int;
+}
+
+let events_of_trace tr = Array.of_list (Event.of_ops (Trace.to_list tr))
+
+let replay_engine_events ~names events =
+  let eng =
+    Velodrome_core.Engine.create
+      ~config:{ Velodrome_core.Engine.merge = true; record_graphs = false }
+      names
+  in
+  Array.iter (Velodrome_core.Engine.on_event eng) events;
+  Velodrome_core.Engine.finish eng;
+  eng
+
+let replay_basic_events ~names events =
+  let eng =
+    Velodrome_core.Basic.create ~config:{ Velodrome_core.Basic.gc = true } names
+  in
+  Array.iter (Velodrome_core.Basic.on_event eng) events;
+  Velodrome_core.Basic.finish eng;
+  eng
+
+(* Allocation per event, measured over one full replay (including engine
+   creation, which amortizes to nothing on real traces). *)
+let bytes_per_event ~events f =
+  let b0 = Gc.allocated_bytes () in
+  ignore (Sys.opaque_identity (f ()));
+  let b1 = Gc.allocated_bytes () in
+  (b1 -. b0) /. float_of_int (max 1 events)
+
+(* The basic engine is quadratic-ish on dense traces; cap the prefix it
+   replays so the bench stays fast, and report events/sec on that
+   prefix. *)
+let basic_cap = 30_000
+
+let engine_bench_row ~repeats ~size_name ~names ~fixture trace =
+  let events = events_of_trace trace in
+  let n = Array.length events in
+  let basic_events =
+    if n <= basic_cap then events else Array.sub events 0 basic_cap
+  in
+  let nb = Array.length basic_events in
+  let t_engine =
+    time_best ~repeats (fun () -> ignore (replay_engine_events ~names events))
+  in
+  let eng = ref (replay_engine_events ~names [||]) in
+  let engine_bpe =
+    bytes_per_event ~events:n (fun () ->
+        eng := replay_engine_events ~names events;
+        !eng)
+  in
+  let t_basic =
+    time_best ~repeats (fun () ->
+        ignore (replay_basic_events ~names basic_events))
+  in
+  let basic_bpe =
+    bytes_per_event ~events:nb (fun () ->
+        replay_basic_events ~names basic_events)
+  in
+  {
+    g_fixture = fixture;
+    g_size = size_name;
+    g_events = n;
+    g_engine_eps = float_of_int n /. t_engine;
+    g_engine_bpe = engine_bpe;
+    g_basic_eps = float_of_int nb /. t_basic;
+    g_basic_bpe = basic_bpe;
+    g_warnings = List.length (Velodrome_core.Engine.warnings !eng);
+  }
+
+let synthetic_trace ~steps ~threads ~vars ~locks ~seed =
+  let cfg =
+    {
+      Velodrome_trace.Gen.default with
+      threads;
+      vars;
+      locks;
+      labels = 8;
+      steps;
+      max_depth = 3;
+    }
+  in
+  Gen.run (Velodrome_util.Rng.create seed) cfg
+
+let engine_row_json r =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("fixture", String r.g_fixture);
+      ("size", String r.g_size);
+      ("events", Int r.g_events);
+      ("engine_events_per_sec", Float r.g_engine_eps);
+      ("engine_bytes_per_event", Float r.g_engine_bpe);
+      ("basic_events_per_sec", Float r.g_basic_eps);
+      ("basic_bytes_per_event", Float r.g_basic_bpe);
+      ("warnings", Int r.g_warnings);
+    ]
+
+let run_engine_benches ~smoke =
+  let repeats = if smoke then 2 else 3 in
+  let size = if smoke then Workload.Small else Workload.Medium in
+  let size_name = if smoke then "small" else "medium" in
+  let workload_rows =
+    List.map
+      (fun (w : Workload.t) ->
+        let names, trace = record_workload_trace w.Workload.name size 42 in
+        engine_bench_row ~repeats ~size_name ~names ~fixture:w.Workload.name
+          trace)
+      Workload.all
+  in
+  let synthetic_rows =
+    let steps = if smoke then 20_000 else 120_000 in
+    List.map
+      (fun (name, threads, vars, locks) ->
+        let names = Names.create () in
+        let trace = synthetic_trace ~steps ~threads ~vars ~locks ~seed:2024 in
+        engine_bench_row ~repeats ~size_name:"synthetic" ~names ~fixture:name
+          trace)
+      [ ("synthetic-dense", 8, 2, 1); ("synthetic-wide", 16, 64, 8) ]
+  in
+  let rows = workload_rows @ synthetic_rows in
+  Printf.printf "%-16s %-10s %9s %13s %9s %13s %9s %5s\n" "fixture" "size"
+    "events" "engine-ev/s" "eng-B/ev" "basic-ev/s" "bas-B/ev" "warn";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %-10s %9d %13.0f %9.1f %13.0f %9.1f %5d\n"
+        r.g_fixture r.g_size r.g_events r.g_engine_eps r.g_engine_bpe
+        r.g_basic_eps r.g_basic_bpe r.g_warnings)
+    rows;
+  let oc = open_out "BENCH_engine.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Velodrome_util.Json.to_channel oc
+        (Velodrome_util.Json.List (List.map engine_row_json rows)));
+  Printf.printf "wrote BENCH_engine.json (%d fixtures)\n" (List.length rows)
+
 (* --- Static instrumentation pruning (BENCH_statics.json) --------------------- *)
 
 (* How much dynamic work does the static pre-pass save? For each fixture:
@@ -564,10 +719,20 @@ let full_run () =
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
-  print_endline "=== Streaming ingestion throughput ===";
-  run_stream_benches ~smoke;
-  print_newline ();
-  print_endline "=== Static instrumentation pruning ===";
-  run_statics_benches ~smoke;
-  print_newline ();
-  if not smoke then full_run ()
+  let engine_only = Array.exists (( = ) "--engine") Sys.argv in
+  if engine_only then begin
+    print_endline "=== Engine checking throughput ===";
+    run_engine_benches ~smoke
+  end
+  else begin
+    print_endline "=== Streaming ingestion throughput ===";
+    run_stream_benches ~smoke;
+    print_newline ();
+    print_endline "=== Engine checking throughput ===";
+    run_engine_benches ~smoke;
+    print_newline ();
+    print_endline "=== Static instrumentation pruning ===";
+    run_statics_benches ~smoke;
+    print_newline ();
+    if not smoke then full_run ()
+  end

@@ -1,0 +1,123 @@
+(* Schema check for the benchmark artifacts (BENCH_stream.json,
+   BENCH_engine.json, BENCH_statics.json). CI runs the bench smoke pass
+   and then this validator, so a refactor that breaks an emitter — wrong
+   field name, NaN printed as "nan", truncated file — fails the build
+   instead of silently uploading a malformed artifact.
+
+   Usage: validate_bench.exe FILE KIND [FILE KIND ...]
+   where KIND is one of stream | engine | statics. *)
+
+open Velodrome_util
+
+type field_ty = S | I | N | B
+(* N = numeric: integral floats print as JSON integers, so both [Int] and
+   [Float] are accepted. *)
+
+let schema = function
+  | "stream" ->
+    [
+      ("fixture", S);
+      ("size", S);
+      ("events", I);
+      ("text_bytes", I);
+      ("binary_bytes", I);
+      ("text_parse_events_per_sec", N);
+      ("binary_decode_events_per_sec", N);
+      ("stream_check_events_per_sec", N);
+      ("inmem_check_events_per_sec", N);
+    ]
+  | "engine" ->
+    [
+      ("fixture", S);
+      ("size", S);
+      ("events", I);
+      ("engine_events_per_sec", N);
+      ("engine_bytes_per_event", N);
+      ("basic_events_per_sec", N);
+      ("basic_bytes_per_event", N);
+      ("warnings", I);
+    ]
+  | "statics" ->
+    [
+      ("fixture", S);
+      ("size", S);
+      ("blocks", I);
+      ("proved", I);
+      ("events_total", I);
+      ("events_suppressed", I);
+      ("suppressed_pct", N);
+      ("unfiltered_sec", N);
+      ("filtered_sec", N);
+      ("speedup", N);
+      ("warnings_identical", B);
+    ]
+  | kind -> failwith (Printf.sprintf "unknown bench kind %S" kind)
+
+let type_ok ty v =
+  match (ty, v) with
+  | S, Json.String _ -> true
+  | I, Json.Int _ -> true
+  | N, (Json.Int _ | Json.Float _) -> true
+  | B, Json.Bool _ -> true
+  | _ -> false
+
+let finite = function
+  | Json.Float f -> Float.is_finite f
+  | _ -> true
+
+let ty_name = function S -> "string" | I -> "int" | N -> "number" | B -> "bool"
+
+let check_row ~file ~kind i row =
+  let fields =
+    match row with
+    | Json.Obj fields -> fields
+    | _ -> failwith (Printf.sprintf "%s: row %d is not an object" file i)
+  in
+  List.iter
+    (fun (name, ty) ->
+      match List.assoc_opt name fields with
+      | None ->
+        failwith
+          (Printf.sprintf "%s: row %d (%s) is missing field %S" file i kind
+             name)
+      | Some v ->
+        if not (type_ok ty v) then
+          failwith
+            (Printf.sprintf "%s: row %d field %S is not a %s" file i name
+               (ty_name ty));
+        if not (finite v) then
+          failwith
+            (Printf.sprintf "%s: row %d field %S is not finite" file i name))
+    (schema kind)
+
+let check_file file kind =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg -> failwith msg
+  in
+  match Json.of_string contents with
+  | Error msg -> failwith (Printf.sprintf "%s: parse error: %s" file msg)
+  | Ok (Json.List []) -> failwith (Printf.sprintf "%s: no rows" file)
+  | Ok (Json.List rows) ->
+    List.iteri (check_row ~file ~kind) rows;
+    Printf.printf "%s: %d %s rows ok\n" file (List.length rows) kind
+  | Ok _ -> failwith (Printf.sprintf "%s: top level is not an array" file)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec pairs = function
+    | [] -> []
+    | file :: kind :: rest -> (file, kind) :: pairs rest
+    | [ _ ] ->
+      prerr_endline "usage: validate_bench.exe FILE KIND [FILE KIND ...]";
+      exit 2
+  in
+  match pairs args with
+  | [] ->
+    prerr_endline "usage: validate_bench.exe FILE KIND [FILE KIND ...]";
+    exit 2
+  | specs -> (
+    try List.iter (fun (file, kind) -> check_file file kind) specs
+    with Failure msg ->
+      Printf.eprintf "validate_bench: %s\n" msg;
+      exit 1)

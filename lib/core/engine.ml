@@ -1,31 +1,44 @@
 open Velodrome_trace
 open Velodrome_trace.Ids
 open Velodrome_analysis
+open Velodrome_util
 
 type config = { merge : bool; record_graphs : bool }
 
 let default_config = { merge = true; record_graphs = true }
 
+(* The open-block stack lives in a pair of parallel int arrays (label,
+   begin timestamp; index 0 = outermost) so Begin/End never cons. *)
 type thread_state = {
   mutable cur : Pool.node option;
-  mutable stack : (int * int) list;  (** (label, begin ts), innermost first *)
+  mutable stk_labels : int array;
+  mutable stk_ts : int array;
+  mutable depth : int;
   mutable l : Step.t;
 }
 
+(* Per-variable last-read steps, keyed by thread id in a small pair of
+   parallel arrays (thread counts are tiny; linear search beats hashing
+   and never allocates on lookup). *)
 type var_state = {
   mutable w : Step.t;
-  reads : (int, Step.t) Hashtbl.t;  (** tid -> last read step *)
+  mutable read_tids : int array;
+  mutable read_steps : Step.t array;
+  mutable nreads : int;
 }
+
+(* Structural dedup key, built only once a cycle has been detected. *)
+type report_key = Blamed of int | Unblamed of (int * int) list
 
 type t = {
   names : Names.t;
   config : config;
   pool : Pool.t;
-  threads : (int, thread_state) Hashtbl.t;
-  locks : (int, Step.t) Hashtbl.t;
-  vars : (int, var_state) Hashtbl.t;
+  threads : thread_state Vec.t;  (** dense, indexed by interned tid *)
+  locks : Step.t Vec.t;  (** dense, indexed by interned lock id *)
+  vars : var_state Vec.t;  (** dense, indexed by interned var id *)
   mutable warnings_rev : Warning.t list;
-  reported : (string, unit) Hashtbl.t;  (** dedup keys of emitted warnings *)
+  reported : (report_key, unit) Hashtbl.t;
   mutable cycles : int;
   mutable blamed : int;
   mutable first_error : int option;
@@ -34,6 +47,8 @@ type t = {
           reject several edges (e.g. a write conflicting with both the
           recorded reads and the recorded write), and blame should prefer
           an increasing cycle among them *)
+  mutable mbuf : Step.t array;  (** merge scratch: live predecessor steps *)
+  mutable mlen : int;
 }
 
 let analysis_name config =
@@ -44,44 +59,103 @@ let create ?(config = default_config) names =
     names;
     config;
     pool = Pool.create ();
-    threads = Hashtbl.create 8;
-    locks = Hashtbl.create 16;
-    vars = Hashtbl.create 64;
+    threads = Vec.create ();
+    locks = Vec.create ();
+    vars = Vec.create ();
     warnings_rev = [];
     reported = Hashtbl.create 16;
     cycles = 0;
     blamed = 0;
     first_error = None;
     pending = [];
+    mbuf = Array.make 8 Step.bottom;
+    mlen = 0;
+  }
+
+let fresh_thread () =
+  {
+    cur = None;
+    stk_labels = Array.make 8 (-1);
+    stk_ts = Array.make 8 0;
+    depth = 0;
+    l = Step.bottom;
   }
 
 let thread t tid =
-  let key = Tid.to_int tid in
-  match Hashtbl.find_opt t.threads key with
-  | Some st -> st
-  | None ->
-    let st = { cur = None; stack = []; l = Step.bottom } in
-    Hashtbl.replace t.threads key st;
-    st
+  let k = Tid.to_int tid in
+  while Vec.length t.threads <= k do
+    Vec.push t.threads (fresh_thread ())
+  done;
+  Vec.unsafe_get t.threads k
+
+let fresh_var () =
+  { w = Step.bottom; read_tids = [||]; read_steps = [||]; nreads = 0 }
 
 let var_state t x =
-  let key = Var.to_int x in
-  match Hashtbl.find_opt t.vars key with
-  | Some vs -> vs
-  | None ->
-    let vs = { w = Step.bottom; reads = Hashtbl.create 4 } in
-    Hashtbl.replace t.vars key vs;
-    vs
+  let k = Var.to_int x in
+  while Vec.length t.vars <= k do
+    Vec.push t.vars (fresh_var ())
+  done;
+  Vec.unsafe_get t.vars k
 
 let lock_step t m =
-  Option.value ~default:Step.bottom
-    (Hashtbl.find_opt t.locks (Lock.to_int m))
+  let k = Lock.to_int m in
+  if k < Vec.length t.locks then Vec.unsafe_get t.locks k else Step.bottom
 
-(* Resolve a recorded (weak) step to its node, unless ⊥ or stale. *)
-let deref t s =
-  match Pool.resolve t.pool s with
-  | Some n -> Some (n, Step.ts s)
-  | None -> None
+let set_lock_step t m s =
+  let k = Lock.to_int m in
+  while Vec.length t.locks <= k do
+    Vec.push t.locks Step.bottom
+  done;
+  Vec.set t.locks k s
+
+(* Record tid's last read of the variable; replaces in place, growing the
+   arrays only the first time a thread touches the variable. *)
+let set_read vs tid s =
+  let rec find i =
+    if i >= vs.nreads then -1
+    else if Array.unsafe_get vs.read_tids i = tid then i
+    else find (i + 1)
+  in
+  let i = find 0 in
+  if i >= 0 then Array.unsafe_set vs.read_steps i s
+  else begin
+    if vs.nreads = Array.length vs.read_tids then begin
+      let cap = max 4 (2 * vs.nreads) in
+      let nt = Array.make cap (-1) in
+      let ns = Array.make cap Step.bottom in
+      Array.blit vs.read_tids 0 nt 0 vs.nreads;
+      Array.blit vs.read_steps 0 ns 0 vs.nreads;
+      vs.read_tids <- nt;
+      vs.read_steps <- ns
+    end;
+    vs.read_tids.(vs.nreads) <- tid;
+    vs.read_steps.(vs.nreads) <- s;
+    vs.nreads <- vs.nreads + 1
+  end
+
+let stack_push st label ts =
+  let cap = Array.length st.stk_labels in
+  if st.depth = cap then begin
+    let nl = Array.make (2 * cap) (-1) in
+    let nt = Array.make (2 * cap) 0 in
+    Array.blit st.stk_labels 0 nl 0 cap;
+    Array.blit st.stk_ts 0 nt 0 cap;
+    st.stk_labels <- nl;
+    st.stk_ts <- nt
+  end;
+  Array.unsafe_set st.stk_labels st.depth label;
+  Array.unsafe_set st.stk_ts st.depth ts;
+  st.depth <- st.depth + 1
+
+(* The open-block stack as the (label, begin ts) list the blame logic
+   wants: innermost first. Cold path only. *)
+let stack_innermost_first st =
+  let rec go i acc =
+    if i >= st.depth then acc
+    else go (i + 1) ((st.stk_labels.(i), st.stk_ts.(i)) :: acc)
+  in
+  go 0 []
 
 (* --- Error reporting --------------------------------------------------- *)
 
@@ -164,9 +238,10 @@ let emit_cycle_warning t st (e : Event.t) (c : Pool.cycle) =
     | (_, edge, _) :: _ -> edge.Pool.tail_ts
     | [] -> c.Pool.closing_tail_ts
   in
+  let stack = stack_innermost_first st in
   let refuted =
     if increasing then
-      List.filter (fun (_, begin_ts) -> begin_ts <= root_ts) st.stack
+      List.filter (fun (_, begin_ts) -> begin_ts <= root_ts) stack
     else []
   in
   (* A pseudo-block (label -1) wraps a unary transaction in no-merge mode;
@@ -183,20 +258,19 @@ let emit_cycle_warning t st (e : Event.t) (c : Pool.cycle) =
     | _ -> (
       (* Unblamed: attribute the report to the current outermost block so
          the user can find it, but mark it unblamed. *)
-      match List.rev st.stack with
+      match List.rev stack with
       | (l, _) :: _ when l >= 0 -> Some (Label.of_int l)
       | _ -> None)
   in
   let key =
     match (blamed, primary_label) with
-    | true, Some l -> Printf.sprintf "blamed:%d" (Label.to_int l)
+    | true, Some l -> Blamed (Label.to_int l)
     | _ ->
       (* Distinct unblamed cycles are distinguished by their node
          signature so repeats do not pile up. *)
-      String.concat ";"
+      Unblamed
         (List.map
-           (fun n ->
-             Printf.sprintf "%d:%d" (Pool.diag_tid n) (Pool.diag_label n))
+           (fun n -> (Pool.diag_tid n, Pool.diag_label n))
            (cycle_nodes c))
   in
   if Hashtbl.mem t.reported key then ()
@@ -261,63 +335,92 @@ let flush_pending t st (e : Event.t) =
 (* --- Edges -------------------------------------------------------------- *)
 
 (* Add an edge from a recorded step to the current transaction's new step;
-   report a cycle if one would form. *)
-let edge_from t st ~src:step ~dst ~dst_ts (e : Event.t) =
-  match deref t step with
-  | None -> ()
-  | Some (src, src_ts) -> (
+   report a cycle if one would form. Stale and ⊥ steps contribute
+   nothing. *)
+let edge_from t st ~src ~dst ~dst_ts (e : Event.t) =
+  if Pool.step_live t.pool src then
     match
-      Pool.add_edge t.pool ~src ~src_ts ~dst ~dst_ts
-        ~diag:(e.Event.op, e.Event.index) ()
+      Pool.add_edge_op t.pool
+        ~src:(Pool.node_of_step t.pool src)
+        ~src_ts:(Step.ts_unchecked src) ~dst ~dst_ts ~op:e.Event.op
+        ~index:e.Event.index
     with
     | `Ok | `Self -> ()
-    | `Cycle c -> report_cycle t st e c)
+    | `Cycle c -> report_cycle t st e c
 
 (* --- Merge (Figure 4) --------------------------------------------------- *)
 
-let merge t (e : Event.t) steps =
-  let resolved = List.filter_map (deref t) steps in
-  match resolved with
-  | [] -> Step.bottom
-  | _ -> (
-    (* A representative must already happen-after every argument AND be
-       finished: an active transaction can still perform conflicting
-       operations, and absorbing the unary op into it would turn the
-       resulting cycle edges into self-edges. *)
-    let is_rep (nj, _) =
-      (not (Pool.is_active nj))
-      && List.for_all (fun (ni, _) -> Pool.happens_before_or_eq t.pool ni nj)
-           resolved
-    in
-    match List.find_opt is_rep resolved with
-    | Some (nj, tsj) -> Pool.step_of nj ~ts:tsj
-    | None ->
+(* The merge arguments accumulate in [t.mbuf] (already filtered to live
+   steps), so no per-event list is built. *)
+let merge_reset t = t.mlen <- 0
+
+let merge_add t s =
+  if Pool.step_live t.pool s then begin
+    if t.mlen = Array.length t.mbuf then begin
+      let nb = Array.make (2 * t.mlen) Step.bottom in
+      Array.blit t.mbuf 0 nb 0 t.mlen;
+      t.mbuf <- nb
+    end;
+    Array.unsafe_set t.mbuf t.mlen s;
+    t.mlen <- t.mlen + 1
+  end
+
+let rec happens_after_all t nj i =
+  i >= t.mlen
+  || (Pool.happens_before_or_eq t.pool
+        (Pool.node_of_step t.pool (Array.unsafe_get t.mbuf i))
+        nj
+     && happens_after_all t nj (i + 1))
+
+(* A representative must already happen-after every argument AND be
+   finished: an active transaction can still perform conflicting
+   operations, and absorbing the unary op into it would turn the
+   resulting cycle edges into self-edges. *)
+let rec find_rep t j =
+  if j >= t.mlen then -1
+  else
+    let nj = Pool.node_of_step t.pool (Array.unsafe_get t.mbuf j) in
+    if (not (Pool.is_active nj)) && happens_after_all t nj 0 then j
+    else find_rep t (j + 1)
+
+let merge_finish t (e : Event.t) =
+  if t.mlen = 0 then Step.bottom
+  else begin
+    let rep = find_rep t 0 in
+    if rep >= 0 then t.mbuf.(rep)
+    else begin
       let n =
         Pool.alloc t.pool
           ~tid:(Tid.to_int (Op.tid e.Event.op))
           ~label:(-1) ~event:e.Event.index
       in
       let ts = Pool.fresh_ts n in
-      List.iter
-        (fun (ni, tsi) ->
-          match
-            Pool.add_edge t.pool ~src:ni ~src_ts:tsi ~dst:n ~dst_ts:ts
-              ~diag:(e.Event.op, e.Event.index) ()
-          with
-          | `Ok | `Self -> ()
-          | `Cycle _ ->
-            (* Impossible: [n] is fresh and has no outgoing edges. *)
-            assert false)
-        resolved;
+      for i = 0 to t.mlen - 1 do
+        let s = Array.unsafe_get t.mbuf i in
+        match
+          Pool.add_edge_op t.pool
+            ~src:(Pool.node_of_step t.pool s)
+            ~src_ts:(Step.ts_unchecked s) ~dst:n ~dst_ts:ts ~op:e.Event.op
+            ~index:e.Event.index
+        with
+        | `Ok | `Self -> ()
+        | `Cycle _ ->
+          (* Impossible: [n] is fresh and has no outgoing edges. *)
+          assert false
+      done;
       Pool.sweep t.pool n;
-      Pool.step_of n ~ts)
+      Pool.step_of n ~ts
+    end
+  end
 
 (* [L(t)+1] for a thread outside any transaction: mint the next timestamp
    in whatever node its last step belongs to; ⊥ stays ⊥. *)
 let l_plus_one t st =
-  match deref t st.l with
-  | None -> Step.bottom
-  | Some (n, _) -> Pool.step_of n ~ts:(Pool.fresh_ts n)
+  if Pool.step_live t.pool st.l then begin
+    let n = Pool.node_of_step t.pool st.l in
+    Pool.step_of n ~ts:(Pool.fresh_ts n)
+  end
+  else Step.bottom
 
 (* --- Inside-transaction step -------------------------------------------- *)
 
@@ -341,12 +444,13 @@ let outside_naive t st (e : Event.t) body =
   edge_from t st ~src:st.l ~dst:n ~dst_ts:ts0 e;
   st.l <- Pool.step_of n ~ts:ts0;
   st.cur <- Some n;
-  st.stack <- [ (-1, ts0) ];
+  st.depth <- 0;
+  stack_push st (-1) ts0;
   body n;
   let ts = Pool.fresh_ts n in
   st.l <- Pool.step_of n ~ts;
   st.cur <- None;
-  st.stack <- [];
+  st.depth <- 0;
   Pool.set_active t.pool n false
 
 (* --- Event dispatch ------------------------------------------------------ *)
@@ -357,28 +461,27 @@ let do_acquire t st n (e : Event.t) m =
 
 let do_release t st n m =
   ignore (inside_step st n);
-  Hashtbl.replace t.locks (Lock.to_int m) st.l
+  set_lock_step t m st.l
 
 let do_read t st n (e : Event.t) x =
   let vs = var_state t x in
   let ts = inside_step st n in
   edge_from t st ~src:vs.w ~dst:n ~dst_ts:ts e;
-  Hashtbl.replace vs.reads (Tid.to_int (Op.tid e.Event.op)) st.l
+  set_read vs (Tid.to_int (Op.tid e.Event.op)) st.l
 
 let do_write t st n (e : Event.t) x =
   let vs = var_state t x in
   let ts = inside_step st n in
-  Hashtbl.iter (fun _tid r -> edge_from t st ~src:r ~dst:n ~dst_ts:ts e)
-    vs.reads;
+  for i = 0 to vs.nreads - 1 do
+    edge_from t st ~src:(Array.unsafe_get vs.read_steps i) ~dst:n ~dst_ts:ts e
+  done;
   edge_from t st ~src:vs.w ~dst:n ~dst_ts:ts e;
   vs.w <- st.l
 
-let dispatch t (e : Event.t) =
+let dispatch t st (e : Event.t) =
   let op = e.Event.op in
-  let tid = Op.tid op in
-  let st = thread t tid in
   match op with
-  | Op.Begin (_, l) -> (
+  | Op.Begin (tid, l) -> (
     match st.cur with
     | None ->
       (* [INS2 ENTER] *)
@@ -390,18 +493,19 @@ let dispatch t (e : Event.t) =
       let ts = Pool.fresh_ts n in
       edge_from t st ~src:st.l ~dst:n ~dst_ts:ts e;
       st.cur <- Some n;
-      st.stack <- [ (Label.to_int l, ts) ];
+      st.depth <- 0;
+      stack_push st (Label.to_int l) ts;
       st.l <- Pool.step_of n ~ts
     | Some n ->
       (* [INS2 RE-ENTER]: same node; the L(t) edge is a self-edge. *)
       let ts = inside_step st n in
-      st.stack <- (Label.to_int l, ts) :: st.stack)
+      stack_push st (Label.to_int l) ts)
   | Op.End _ -> (
-    match (st.cur, st.stack) with
-    | Some n, _ :: rest ->
+    match st.cur with
+    | Some n when st.depth > 0 ->
       ignore (inside_step st n);
-      st.stack <- rest;
-      if rest = [] then begin
+      st.depth <- st.depth - 1;
+      if st.depth = 0 then begin
         st.cur <- None;
         Pool.set_active t.pool n false
       end
@@ -415,8 +519,10 @@ let dispatch t (e : Event.t) =
     | None ->
       if t.config.merge then begin
         (* [INS2 OUTSIDE ACQUIRE] *)
-        let s = merge t e [ st.l; lock_step t m ] in
-        st.l <- s
+        merge_reset t;
+        merge_add t st.l;
+        merge_add t (lock_step t m);
+        st.l <- merge_finish t e
       end
       else outside_naive t st e (fun n -> do_acquire t st n e m))
   | Op.Release (_, m) -> (
@@ -427,19 +533,22 @@ let dispatch t (e : Event.t) =
         (* [INS2 OUTSIDE RELEASE] *)
         let s = l_plus_one t st in
         st.l <- s;
-        Hashtbl.replace t.locks (Lock.to_int m) s
+        set_lock_step t m s
       end
       else outside_naive t st e (fun n -> do_release t st n m))
-  | Op.Read (_, x) -> (
+  | Op.Read (tid, x) -> (
     match st.cur with
     | Some n -> do_read t st n e x
     | None ->
       if t.config.merge then begin
         (* [INS2 OUTSIDE READ] *)
         let vs = var_state t x in
-        let s = merge t e [ st.l; vs.w ] in
+        merge_reset t;
+        merge_add t st.l;
+        merge_add t vs.w;
+        let s = merge_finish t e in
         st.l <- s;
-        Hashtbl.replace vs.reads (Tid.to_int tid) s
+        set_read vs (Tid.to_int tid) s
       end
       else outside_naive t st e (fun n -> do_read t st n e x))
   | Op.Write (_, x) -> (
@@ -449,16 +558,22 @@ let dispatch t (e : Event.t) =
       if t.config.merge then begin
         (* [INS2 OUTSIDE WRITE] *)
         let vs = var_state t x in
-        let reads = Hashtbl.fold (fun _ r acc -> r :: acc) vs.reads [] in
-        let s = merge t e (st.l :: vs.w :: reads) in
+        merge_reset t;
+        merge_add t st.l;
+        merge_add t vs.w;
+        for i = 0 to vs.nreads - 1 do
+          merge_add t (Array.unsafe_get vs.read_steps i)
+        done;
+        let s = merge_finish t e in
         st.l <- s;
         vs.w <- s
       end
       else outside_naive t st e (fun n -> do_write t st n e x))
 
 let on_event t (e : Event.t) =
-  dispatch t e;
-  flush_pending t (thread t (Op.tid e.Event.op)) e
+  let st = thread t (Op.tid e.Event.op) in
+  dispatch t st e;
+  match t.pending with [] -> () | _ -> flush_pending t st e
 
 let finish _ = ()
 
@@ -470,6 +585,7 @@ let first_error_index t = t.first_error
 let nodes_allocated t = Pool.allocated t.pool
 let nodes_max_alive t = Pool.max_alive t.pool
 let nodes_live t = Pool.live_count t.pool
+let debug_pool t = t.pool
 
 let backend ?(config = default_config) () : (module Backend.S) =
   (module struct

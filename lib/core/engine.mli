@@ -75,6 +75,11 @@ val nodes_allocated : t -> int
 val nodes_max_alive : t -> int
 val nodes_live : t -> int
 
+val debug_pool : t -> Pool.t
+(** The engine's happens-before graph, for differential tests that check
+    the pool's bitset ancestor sets against reference graph reachability.
+    Not part of the analysis API. *)
+
 val backend : ?config:config -> unit -> (module Backend.S)
 (** Package as a RoadRunner-style back-end named ["velodrome"] (or
     ["velodrome-nomerge"]). *)

@@ -8,14 +8,19 @@ type node = {
   mutable live : bool;
   mutable active : bool;
   mutable refcount : int;
-  out : (int, edge) Hashtbl.t;  (** dst slot -> edge *)
-  ancestors : (int, unit) Hashtbl.t;  (** live slots with a path here *)
+  out : edge Vec.t;  (** out-edges; the destination slot lives in the edge *)
+  ancestors : Bitset.t;  (** live slots with a path here *)
+  descendants : Bitset.t;
+      (** live slots this node has a path to — the mirror of [ancestors],
+          so collecting a node clears its ancestor bit-column by visiting
+          exactly the nodes that carry it *)
   mutable d_tid : int;
   mutable d_label : int;
   mutable d_event : int;
 }
 
 and edge = {
+  dst_slot : int;
   mutable tail_ts : int;
   mutable head_ts : int;
   mutable diag_op : Op.t option;
@@ -30,17 +35,23 @@ type cycle = {
 
 type t = {
   slots : node Vec.t;  (** every slot record ever created; index = slot *)
-  free : int Stack.t;
-  live_nodes : (int, node) Hashtbl.t;
+  free : int Vec.t;  (** recycled slots; a [Vec] so push/pop never cons *)
+  mutable live_count : int;
   counter : Stats.counter;
+  mutable clear_work : int;
+      (** cumulative nodes visited while clearing ancestor bit-columns in
+          [collect]; instrumentation for the free-cost regression test *)
+  visited : Bitset.t;  (** scratch for [find_path] *)
 }
 
 let create () =
   {
     slots = Vec.create ();
-    free = Stack.create ();
-    live_nodes = Hashtbl.create 64;
+    free = Vec.create ();
+    live_count = 0;
     counter = Stats.counter ();
+    clear_work = 0;
+    visited = Bitset.create ();
   }
 
 let slot n = n.slot
@@ -52,16 +63,17 @@ let diag_event n = n.d_event
 
 let alloc t ~tid ~label ~event =
   let n =
-    match Stack.pop_opt t.free with
-    | Some s ->
-      let n = Vec.get t.slots s in
+    let nfree = Vec.length t.free in
+    if nfree > 0 then begin
+      let s = Vec.unsafe_get t.free (nfree - 1) in
+      Vec.drop_last t.free;
+      let n = Vec.unsafe_get t.slots s in
       n.live <- true;
       n.active <- false;
       n.refcount <- 0;
-      Hashtbl.reset n.out;
-      Hashtbl.reset n.ancestors;
       n
-    | None ->
+    end
+    else begin
       let s = Vec.length t.slots in
       if s >= Step.max_slots then
         failwith "Pool.alloc: live node count exceeds slot space";
@@ -73,8 +85,9 @@ let alloc t ~tid ~label ~event =
           live = true;
           active = false;
           refcount = 0;
-          out = Hashtbl.create 4;
-          ancestors = Hashtbl.create 8;
+          out = Vec.create ();
+          ancestors = Bitset.create ~capacity:64 ();
+          descendants = Bitset.create ~capacity:64 ();
           d_tid = -1;
           d_label = -1;
           d_event = -1;
@@ -82,11 +95,12 @@ let alloc t ~tid ~label ~event =
       in
       Vec.push t.slots n;
       n
+    end
   in
   n.d_tid <- tid;
   n.d_label <- label;
   n.d_event <- event;
-  Hashtbl.replace t.live_nodes n.slot n;
+  t.live_count <- t.live_count + 1;
   Stats.incr t.counter;
   n
 
@@ -95,42 +109,63 @@ let fresh_ts n =
   n.next_ts <- ts + 1;
   ts
 
-let step_of n ~ts = Step.make ~slot:n.slot ~ts
+let step_of n ~ts = Step.make_unchecked ~slot:n.slot ~ts
 
-let resolve t s =
-  if Step.is_bottom s then None
-  else begin
-    let sl = Step.slot s in
-    if sl >= Vec.length t.slots then None
-    else begin
-      let n = Vec.get t.slots sl in
-      if Step.ts s <= n.collected_upto then None
-      else if not n.live then None
-      else Some n
-    end
+let step_live t s =
+  (not (Step.is_bottom s))
+  &&
+  let sl = Step.slot_unchecked s in
+  sl < Vec.length t.slots
+  &&
+  let n = Vec.unsafe_get t.slots sl in
+  n.live && Step.ts_unchecked s > n.collected_upto
+
+let node_of_step t s = Vec.unsafe_get t.slots (Step.slot_unchecked s)
+
+let resolve t s = if step_live t s then Some (node_of_step t s) else None
+
+(* Clear bit [slot] from the ancestor set of every node named by the bit
+   pattern [x] (bit i of the pattern = slot [base + i]). Tail-recursive so
+   the hot path allocates nothing. *)
+let rec clear_column t ~slot x base =
+  if x <> 0 then begin
+    if x land 1 <> 0 then begin
+      t.clear_work <- t.clear_work + 1;
+      Bitset.clear_bit (Vec.unsafe_get t.slots base).ancestors slot
+    end;
+    if x land 0xff = 0 then clear_column t ~slot (x lsr 8) (base + 8)
+    else clear_column t ~slot (x lsr 1) (base + 1)
   end
 
 let rec collect t n =
   n.live <- false;
   n.collected_upto <- n.next_ts - 1;
-  Hashtbl.remove t.live_nodes n.slot;
+  t.live_count <- t.live_count - 1;
   Stats.decr t.counter;
+  (* Keep the ancestor-set invariant: sets only mention live slots. A node
+     with no incoming edges has an empty ancestor set, and every node it
+     reaches is exactly its descendant set — so the sweep visits only
+     nodes that actually carry this slot's bit, never the whole live
+     set. *)
+  let dwords = Bitset.words n.descendants in
+  for w = 0 to Array.length dwords - 1 do
+    clear_column t ~slot:n.slot dwords.(w) (w * Bitset.bits_per_word)
+  done;
+  Bitset.reset n.descendants;
+  Bitset.reset n.ancestors;
+  Vec.push t.free n.slot;
   (* This node can never again be the target of an edge, so its outgoing
      edges cannot participate in any future cycle; drop them, releasing
      references and possibly cascading. *)
-  let targets = Hashtbl.fold (fun dst _ acc -> dst :: acc) n.out [] in
-  Hashtbl.reset n.out;
-  (* Keep the ancestor-set invariant: sets only mention live nodes. *)
-  Hashtbl.iter (fun _ live -> Hashtbl.remove live.ancestors n.slot) t.live_nodes;
-  Stack.push n.slot t.free;
-  List.iter
-    (fun dst_slot ->
-      match Hashtbl.find_opt t.live_nodes dst_slot with
-      | None -> ()
-      | Some dst ->
-        dst.refcount <- dst.refcount - 1;
-        maybe_collect t dst)
-    targets
+  for i = 0 to Vec.length n.out - 1 do
+    let e = Vec.unsafe_get n.out i in
+    let dst = Vec.unsafe_get t.slots e.dst_slot in
+    if dst.live then begin
+      dst.refcount <- dst.refcount - 1;
+      maybe_collect t dst
+    end
+  done;
+  Vec.clear n.out
 
 and maybe_collect t n =
   if n.live && (not n.active) && n.refcount = 0 then collect t n
@@ -142,43 +177,108 @@ let set_active t n b =
 let sweep = maybe_collect
 
 let happens_before_or_eq _t a b =
-  a.slot = b.slot || Hashtbl.mem b.ancestors a.slot
+  a.slot = b.slot || Bitset.mem b.ancestors a.slot
 
 let find_path t ~src:from_node ~dst:to_node =
   (* DFS over live out-edges from [from_node] to [to_node]. *)
-  let visited = Hashtbl.create 16 in
+  Bitset.reset t.visited;
   let rec go n =
-    if Hashtbl.mem visited n.slot then None
+    if Bitset.mem t.visited n.slot then None
     else begin
-      Hashtbl.replace visited n.slot ();
+      Bitset.set t.visited n.slot;
       let result = ref None in
       (try
-         Hashtbl.iter
-           (fun dst_slot e ->
-             match Hashtbl.find_opt t.live_nodes dst_slot with
-             | None -> ()
-             | Some dst ->
-               if dst.slot = to_node.slot then begin
-                 result := Some [ (n, e, dst) ];
+         for i = 0 to Vec.length n.out - 1 do
+           let e = Vec.unsafe_get n.out i in
+           let dst = Vec.unsafe_get t.slots e.dst_slot in
+           if dst.live then
+             if dst.slot = to_node.slot then begin
+               result := Some [ (n, e, dst) ];
+               raise Exit
+             end
+             else begin
+               match go dst with
+               | Some rest ->
+                 result := Some ((n, e, dst) :: rest);
                  raise Exit
-               end
-               else begin
-                 match go dst with
-                 | Some rest ->
-                   result := Some ((n, e, dst) :: rest);
-                   raise Exit
-                 | None -> ()
-               end)
-           n.out
+               | None -> ()
+             end
+         done
        with Exit -> ());
       !result
     end
   in
   go from_node
 
-let add_edge t ~src ~src_ts ~dst ~dst_ts ?diag () =
+(* Set bit [m_slot] in the descendant set of every node named by the bit
+   pattern [x]: the fresh ancestors [m] just gained. *)
+let rec mirror_descendants t ~m_slot x base =
+  if x <> 0 then begin
+    if x land 1 <> 0 then
+      Bitset.set (Vec.unsafe_get t.slots base).descendants m_slot;
+    if x land 0xff = 0 then mirror_descendants t ~m_slot (x lsr 8) (base + 8)
+    else mirror_descendants t ~m_slot (x lsr 1) (base + 1)
+  end
+
+(* [dst <- dst ∪ src] word-wise, mirroring every newly added ancestor bit
+   into that ancestor's descendant set; returns whether [dst] changed.
+   Hand-rolled rather than [Bitset.union_into_on_new] to keep the event
+   fast path free of closure allocation. *)
+let union_ancestors t ~src ~(m : node) =
+  let sw = Bitset.words src in
+  (* Size from the highest non-zero word, never from raw capacity: sizing
+     one set from another's capacity lets capacities ratchet under
+     repeated unions (each growth may double), and the word loop would
+     then scan ever-larger tails of zeros. *)
+  let top = Bitset.top_word src in
+  if top >= 0 then
+    Bitset.ensure_bits m.ancestors (((top + 1) * Bitset.bits_per_word) - 1);
+  let dw = Bitset.words m.ancestors in
+  let changed = ref false in
+  for w = 0 to top do
+    let s = sw.(w) in
+    if s <> 0 then begin
+      let d = dw.(w) in
+      let fresh = s land lnot d in
+      if fresh <> 0 then begin
+        changed := true;
+        dw.(w) <- d lor s;
+        mirror_descendants t ~m_slot:m.slot fresh (w * Bitset.bits_per_word)
+      end
+    end
+  done;
+  !changed
+
+(* Close the ancestor sets under a new edge src -> dst: push
+   {src} ∪ ancestors(src) into dst and, transitively, into everything dst
+   reaches, stopping as soon as a set stops changing. *)
+let rec push_closure t (src : node) (m : node) =
+  let changed =
+    if Bitset.add m.ancestors src.slot then begin
+      Bitset.set src.descendants m.slot;
+      true
+    end
+    else false
+  in
+  let changed = union_ancestors t ~src:src.ancestors ~m || changed in
+  if changed then
+    for i = 0 to Vec.length m.out - 1 do
+      let d = Vec.unsafe_get t.slots (Vec.unsafe_get m.out i).dst_slot in
+      if d.live then push_closure t src d
+    done
+
+let find_out_index (n : node) dst_slot =
+  let len = Vec.length n.out in
+  let rec go i =
+    if i >= len then -1
+    else if (Vec.unsafe_get n.out i).dst_slot = dst_slot then i
+    else go (i + 1)
+  in
+  go 0
+
+let add_edge_diag t ~src ~src_ts ~dst ~dst_ts ~diag_op ~diag_index =
   if src.slot = dst.slot then `Self
-  else if Hashtbl.mem src.ancestors dst.slot then begin
+  else if Bitset.mem src.ancestors dst.slot then begin
     (* [dst ⇒* src] already holds; the new edge would close a cycle. *)
     match find_path t ~src:dst ~dst:src with
     | Some path ->
@@ -188,58 +288,66 @@ let add_edge t ~src ~src_ts ~dst ~dst_ts ?diag () =
       assert false
   end
   else begin
-    (match Hashtbl.find_opt src.out dst.slot with
-    | Some e ->
+    let i = find_out_index src dst.slot in
+    if i >= 0 then begin
       (* ⊕ keeps one edge per node pair: replace the timestamps. *)
+      let e = Vec.unsafe_get src.out i in
       e.tail_ts <- src_ts;
       e.head_ts <- dst_ts;
-      (match diag with
-      | Some (op, idx) ->
-        e.diag_op <- Some op;
-        e.diag_index <- idx
-      | None -> ());
-      ()
-    | None ->
-      let e =
+      match diag_op with
+      | Some _ ->
+        e.diag_op <- diag_op;
+        e.diag_index <- diag_index
+      | None -> ()
+    end
+    else begin
+      Vec.push src.out
         {
+          dst_slot = dst.slot;
           tail_ts = src_ts;
           head_ts = dst_ts;
-          diag_op = Option.map fst diag;
-          diag_index = (match diag with Some (_, i) -> i | None -> -1);
-        }
-      in
-      Hashtbl.replace src.out dst.slot e;
-      dst.refcount <- dst.refcount + 1);
-    (* Close the ancestor sets under the new edge. *)
-    let extra =
-      src.slot
-      :: Hashtbl.fold (fun s () acc -> s :: acc) src.ancestors []
-    in
-    let rec push n =
-      let changed = ref false in
-      List.iter
-        (fun s ->
-          if s <> n.slot && not (Hashtbl.mem n.ancestors s) then begin
-            Hashtbl.replace n.ancestors s ();
-            changed := true
-          end)
-        extra;
-      if !changed then
-        Hashtbl.iter
-          (fun dst_slot _ ->
-            match Hashtbl.find_opt t.live_nodes dst_slot with
-            | Some m -> push m
-            | None -> ())
-          n.out
-    in
-    push dst;
+          diag_op;
+          diag_index;
+        };
+      dst.refcount <- dst.refcount + 1
+    end;
+    push_closure t src dst;
     `Ok
   end
 
-let live_count t = Hashtbl.length t.live_nodes
+let add_edge t ~src ~src_ts ~dst ~dst_ts ?diag () =
+  let diag_op = Option.map fst diag in
+  let diag_index = match diag with Some (_, i) -> i | None -> -1 in
+  add_edge_diag t ~src ~src_ts ~dst ~dst_ts ~diag_op ~diag_index
+
+let add_edge_op t ~src ~src_ts ~dst ~dst_ts ~op ~index =
+  add_edge_diag t ~src ~src_ts ~dst ~dst_ts ~diag_op:(Some op)
+    ~diag_index:index
+
+let live_count t = t.live_count
 let allocated t = Stats.total_increments t.counter
 let max_alive t = Stats.high_water t.counter
+let clear_work t = t.clear_work
 
 let check_no_live t =
   let k = live_count t in
   if k = 0 then Ok () else Error k
+
+(* --- Introspection for tests ---------------------------------------------- *)
+
+let live_slots t =
+  let acc = ref [] in
+  Vec.iter (fun n -> if n.live then acc := n.slot :: !acc) t.slots;
+  List.rev !acc
+
+let node_of_slot t s =
+  if s < Vec.length t.slots then begin
+    let n = Vec.get t.slots s in
+    if n.live then Some n else None
+  end
+  else None
+
+let out_slots n = List.map (fun (e : edge) -> e.dst_slot) (Vec.to_list n.out)
+
+let ancestor_slots n = Bitset.to_list n.ancestors
+let descendant_slots n = Bitset.to_list n.descendants

@@ -16,6 +16,12 @@
       remembers the last timestamp in use when it was collected, so a step
       minted for an earlier incarnation resolves to ⊥ ({!resolve}).
 
+    {b Representation.} Ancestor sets are {!Velodrome_util.Bitset}s
+    indexed by slot, so membership is a word test and transitive-closure
+    updates are word-parallel ORs. Each node also keeps the mirror
+    descendant set; collecting a node clears its slot's bit-column by
+    visiting exactly the nodes that carry it, never the whole live set.
+
     Edges carry the timestamps of the operations at their tail and head —
     the raw material for blame assignment — plus optional diagnostic
     operations for error graphs. At most one edge is kept per ordered node
@@ -27,6 +33,7 @@ type t
 type node
 
 type edge = {
+  dst_slot : int;  (** slot of the edge's destination node *)
   mutable tail_ts : int;
   mutable head_ts : int;
   mutable diag_op : Op.t option;  (** operation that induced the edge *)
@@ -65,6 +72,14 @@ val resolve : t -> Step.t -> node option
 (** [None] for ⊥ and for stale steps (slot collected since the step was
     minted, even if since recycled). *)
 
+val step_live : t -> Step.t -> bool
+(** Whether {!resolve} would return a node — without allocating the
+    option. The engine fast path pairs this with {!node_of_step}. *)
+
+val node_of_step : t -> Step.t -> node
+(** The node a step belongs to. Only meaningful after {!step_live}
+    returned [true] with no pool mutation in between. *)
+
 val slot : node -> int
 
 val is_live : node -> bool
@@ -96,11 +111,48 @@ val add_edge :
     paper's ⊕). [`Cycle] when the edge would close a cycle; the edge is
     not added and the offending path is returned. *)
 
+val add_edge_op :
+  t ->
+  src:node ->
+  src_ts:int ->
+  dst:node ->
+  dst_ts:int ->
+  op:Op.t ->
+  index:int ->
+  [ `Ok | `Self | `Cycle of cycle ]
+(** {!add_edge} with mandatory diagnostics and no optional-argument
+    boxing; the engine's per-event call. *)
+
 val live_count : t -> int
 val allocated : t -> int
 val max_alive : t -> int
+
+val clear_work : t -> int
+(** Cumulative count of nodes visited while clearing ancestor bit-columns
+    during collection. Freeing a node must cost O(its descendants), not
+    O(live nodes); the regression test pins this down. *)
 
 val check_no_live : t -> (unit, int) result
 (** [Ok ()] if every node has been collected; [Error k] with the number of
     survivors otherwise. Used by tests: after a trace whose transactions
     all finish cycle-free, the GC must have emptied the graph. *)
+
+(** {2 Introspection for tests}
+
+    Structural views of the live graph, for differential checks of the
+    bitset-ancestor representation against reference graph algorithms. *)
+
+val live_slots : t -> int list
+(** Slots of live nodes, ascending. *)
+
+val node_of_slot : t -> int -> node option
+(** The live node at a slot, if any. *)
+
+val out_slots : node -> int list
+(** Destination slots of the node's out-edges, in insertion order. *)
+
+val ancestor_slots : node -> int list
+(** The ancestor set as a sorted slot list. *)
+
+val descendant_slots : node -> int list
+(** The descendant set as a sorted slot list. *)

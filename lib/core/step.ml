@@ -20,6 +20,10 @@ let ts s =
   if is_bottom s then invalid_arg "Step.ts: bottom";
   s land (max_ts - 1)
 
+let slot_unchecked s = s lsr ts_bits
+let ts_unchecked s = s land (max_ts - 1)
+let make_unchecked ~slot ~ts = (slot lsl ts_bits) lor ts
+
 let equal = Int.equal
 
 let pp ppf s =

@@ -28,6 +28,16 @@ val slot : t -> int
 val ts : t -> int
 (** Raises [Invalid_argument] on [bottom]. *)
 
+val slot_unchecked : t -> int
+val ts_unchecked : t -> int
+(** Bit extraction with no bottom check, for the engine hot path; the
+    caller must have established the step is not ⊥. *)
+
+val make_unchecked : slot:int -> ts:int -> t
+(** {!make} without the range checks, for the pool's per-event step
+    minting; the pool guarantees [slot < max_slots] at allocation and
+    timestamps are far below [max_ts] for any physical trace. *)
+
 val max_slots : int
 val max_ts : int
 

@@ -33,15 +33,23 @@ let run ?progress ?(every = default_interval) ?live_nodes backends
       }
   in
   let every = max 1 every in
+  (* Dense array + counted loop: [List.iter] with an inline closure would
+     allocate a closure capturing [e] on every event. *)
+  let bs = Array.of_list backends in
+  let nb = Array.length bs in
   let on_event =
     match progress with
     | None ->
       fun e ->
-        List.iter (fun b -> Backend.on_event b e) backends;
+        for i = 0 to nb - 1 do
+          Backend.on_event bs.(i) e
+        done;
         incr count
     | Some report ->
       fun e ->
-        List.iter (fun b -> Backend.on_event b e) backends;
+        for i = 0 to nb - 1 do
+          Backend.on_event bs.(i) e
+        done;
         incr count;
         if !count mod every = 0 then tick report
   in

@@ -1,0 +1,66 @@
+(** Growable bitsets over non-negative ints.
+
+    The happens-before pool keeps one ancestor set and one descendant set
+    per graph node, keyed by slot index; membership tests and
+    transitive-closure updates are the hottest operations in the checker.
+    This representation makes membership a word test and set union a
+    word-parallel OR over an int array.
+
+    Sets grow on demand ({!set}/{!add}/{!union_into}); reads past the
+    allocated words are simply [false]. All indices must be
+    non-negative. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] is a size hint in bits. *)
+
+val bits_per_word : int
+(** Bits stored per backing word ([Sys.int_size]). *)
+
+val mem : t -> int -> bool
+
+val set : t -> int -> unit
+
+val add : t -> int -> bool
+(** Like {!set}, returning [true] iff the bit was not already set. *)
+
+val clear_bit : t -> int -> unit
+(** No-op when the bit is out of range or already clear. *)
+
+val reset : t -> unit
+(** Clear every bit; capacity is retained. *)
+
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val iter : (int -> unit) -> t -> unit
+(** Set bits in increasing order. *)
+
+val to_list : t -> int list
+(** Set bits in increasing order. *)
+
+val union_into : src:t -> dst:t -> bool
+(** [dst <- dst ∪ src]; returns [true] iff [dst] changed. *)
+
+val union_into_on_new : src:t -> dst:t -> (int -> unit) -> bool
+(** {!union_into} that additionally calls the callback on every bit that
+    was in [src] but not previously in [dst]. *)
+
+val words : t -> int array
+(** The backing words, exposed so the pool's fused union-plus-mirror loop
+    can run without per-call closures. Read-only unless you can prove the
+    write preserves this module's invariants; the array is replaced
+    whenever the set grows, so never cache it across a {!set}, {!add} or
+    {!union_into}. *)
+
+val ensure_bits : t -> int -> unit
+(** Grow the backing array (if needed) so the given bit index is
+    addressable; used together with {!words}. *)
+
+val top_word : t -> int
+(** Index of the highest non-zero backing word, or [-1] when the set is
+    empty. External word loops must iterate (and size their destination)
+    up to here rather than to [Array.length (words t)]: capacities may
+    exceed the highest set bit, and sizing one set from another's raw
+    capacity lets capacities ratchet under repeated unions. *)

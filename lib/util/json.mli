@@ -1,10 +1,10 @@
-(** A minimal JSON document builder and printer.
+(** A minimal JSON document builder, printer and parser.
 
     The repository deliberately has no JSON dependency; this is the small
-    write-only subset the CLI ([velodrome analyze --format json]) and the
-    benchmark emitters need. Output is deterministic — object fields print
-    in the order given, arrays one element per line — so cram tests can
-    pin it verbatim. *)
+    subset the CLI ([velodrome analyze --format json]), the benchmark
+    emitters and the benchmark schema validator need. Output is
+    deterministic — object fields print in the order given, arrays one
+    element per line — so cram tests can pin it verbatim. *)
 
 type t =
   | Null
@@ -20,3 +20,10 @@ val to_string : t -> string
 
 val to_channel : out_channel -> t -> unit
 (** Prints the document followed by a newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON document (objects, arrays, strings with standard
+    escapes, numbers with optional fraction/exponent, booleans, null).
+    Numbers without a fraction or exponent that fit in [int] parse as
+    {!Int}, everything else as {!Float}. [Error] carries a message with
+    the byte offset of the failure. *)

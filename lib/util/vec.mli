@@ -17,10 +17,23 @@ val get : 'a t -> int -> 'a
 
 val set : 'a t -> int -> 'a -> unit
 
+val unsafe_get : 'a t -> int -> 'a
+(** No bounds check at all (not even the runtime's): undefined behaviour
+    out of range. Only for hot loops whose index is already known to be
+    below {!length}. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** See {!unsafe_get}. The index must also be below the current length,
+    not merely the capacity, or {!push} will later overwrite it. *)
+
 val last : 'a t -> 'a option
 
 val pop : 'a t -> 'a option
 (** Removes and returns the last element. *)
+
+val drop_last : 'a t -> unit
+(** Remove the last element without returning it (no option allocation);
+    no-op when empty. *)
 
 val clear : 'a t -> unit
 (** Logical reset; capacity is retained. Elements are not overwritten, so

@@ -508,6 +508,145 @@ let test_engine_stress () =
        (Trace.length tr))
     true (elapsed < 30.0)
 
+(* --- Pool free cost (bitset column clear) ---------------------------------- *)
+
+(* Freeing a node must visit exactly its descendants — clearing its slot's
+   bit-column — never the whole live set. Measured via the pool's
+   clear_work counter with k unrelated live nodes in the background. *)
+let clear_work_of_free k =
+  let p = Pool.create () in
+  for i = 0 to k - 1 do
+    let n = Pool.alloc p ~tid:0 ~label:i ~event:i in
+    Pool.set_active p n true
+  done;
+  let a = Pool.alloc p ~tid:1 ~label:(-1) ~event:k in
+  let b = Pool.alloc p ~tid:1 ~label:(-1) ~event:(k + 1) in
+  Pool.set_active p a true;
+  Pool.set_active p b true;
+  (match Pool.add_edge p ~src:a ~src_ts:1 ~dst:b ~dst_ts:1 () with
+  | `Ok -> ()
+  | _ -> Alcotest.fail "edge rejected");
+  let w0 = Pool.clear_work p in
+  (* a has no incoming edges, so deactivating collects it immediately *)
+  Pool.set_active p a false;
+  check bool "a collected" true (not (Pool.is_live a));
+  Pool.clear_work p - w0
+
+let test_pool_free_cost_flat () =
+  let c100 = clear_work_of_free 100 in
+  let c2000 = clear_work_of_free 2000 in
+  check int "free cost = number of descendants" 1 c100;
+  check int "free cost independent of live-node count" c100 c2000
+
+(* --- Bitset ancestors = reference reachability ----------------------------- *)
+
+(* Forward BFS over the pool's explicit edge lists: the reference
+   implementation the bitset ancestor/descendant sets must agree with. *)
+let bfs_reachable adj s =
+  let visited = Hashtbl.create 16 in
+  let q = Queue.create () in
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.replace visited v ();
+          Queue.push v q
+        end)
+      (try List.assoc u adj with Not_found -> [])
+  done;
+  visited
+
+let pool_matches_reference pool =
+  let slots = Pool.live_slots pool in
+  let node s =
+    match Pool.node_of_slot pool s with
+    | Some n -> n
+    | None -> Alcotest.fail "live slot without node"
+  in
+  let adj = List.map (fun s -> (s, Pool.out_slots (node s))) slots in
+  List.for_all
+    (fun s ->
+      let reach = bfs_reachable adj s in
+      (* no stale bits for collected slots may survive *)
+      List.for_all (fun d -> List.mem d slots)
+        (Pool.descendant_slots (node s))
+      && List.for_all (fun a -> List.mem a slots)
+           (Pool.ancestor_slots (node s))
+      && List.for_all
+           (fun t ->
+             let in_anc = List.mem s (Pool.ancestor_slots (node t)) in
+             let in_desc = List.mem t (Pool.descendant_slots (node s)) in
+             let reachable = t <> s && Hashtbl.mem reach t in
+             in_anc = reachable && in_desc = reachable)
+           slots)
+    slots
+
+let trace_matches_reference tr =
+  let names = Names.create () in
+  let eng =
+    Engine.create ~config:{ Engine.merge = true; record_graphs = false } names
+  in
+  let pool = Engine.debug_pool eng in
+  List.for_all
+    (fun e ->
+      Engine.on_event eng e;
+      pool_matches_reference pool)
+    (Event.of_ops (Trace.to_list tr))
+
+let prop_bitset_ancestors_match_reachability =
+  QCheck.Test.make ~count:300
+    ~name:"bitset ancestors = BFS reachability after every event"
+    (trace_arbitrary Gen.default) trace_matches_reference
+
+(* Fewer vars and more threads force contention, merges and collection, so
+   slots are recycled mid-trace and the check covers reused bit columns. *)
+let prop_bitset_ancestors_match_reachability_dense =
+  QCheck.Test.make ~count:100
+    ~name:"bitset ancestors = BFS reachability (dense, recycled slots)"
+    (trace_arbitrary
+       { Gen.default with threads = 4; vars = 2; locks = 1; steps = 120 })
+    trace_matches_reference
+
+(* --- Allocation-flat no-warning path --------------------------------------- *)
+
+let bytes_for_replay events =
+  let names = Names.create () in
+  let eng =
+    Engine.create ~config:{ Engine.merge = true; record_graphs = false } names
+  in
+  let b0 = Gc.allocated_bytes () in
+  Array.iter (Engine.on_event eng) events;
+  let b1 = Gc.allocated_bytes () in
+  check int "benign trace" 0 (List.length (Engine.warnings eng));
+  b1 -. b0
+
+(* The no-warning path must not build closures, lists or report keys: the
+   marginal allocation of the second half of a double-length benign trace
+   stays within a small constant per event (recycled nodes still allocate
+   fresh edge records and an option per transaction). *)
+let test_engine_allocation_flat () =
+  let iter_ops _ =
+    [
+      bg t0 l0; acq t0 m; wr t0 x; rd t0 y; rel t0 m; en t0;
+      bg t1 l1; acq t1 m; rd t1 x; wr t1 z; rel t1 m; en t1;
+    ]
+  in
+  let events n =
+    Array.of_list (Event.of_ops (List.concat_map iter_ops (List.init n Fun.id)))
+  in
+  let e1 = events 2_000 and e2 = events 4_000 in
+  let b1 = bytes_for_replay e1 in
+  let b2 = bytes_for_replay e2 in
+  let marginal =
+    (b2 -. b1) /. float_of_int (Array.length e2 - Array.length e1)
+  in
+  check bool
+    (Printf.sprintf "marginal bytes/event stays constant (%.1f)" marginal)
+    true
+    (marginal < 64.0)
+
 let suite =
   ( "core",
     [
@@ -551,5 +690,10 @@ let suite =
       QCheck_alcotest.to_alcotest prop_first_error_is_minimal_violating_prefix;
       QCheck_alcotest.to_alcotest prop_blamed_not_self_serializable;
       QCheck_alcotest.to_alcotest prop_filtered_stream_never_adds_errors;
+      Alcotest.test_case "pool free cost flat" `Quick test_pool_free_cost_flat;
+      QCheck_alcotest.to_alcotest prop_bitset_ancestors_match_reachability;
+      QCheck_alcotest.to_alcotest prop_bitset_ancestors_match_reachability_dense;
+      Alcotest.test_case "engine allocation flat" `Quick
+        test_engine_allocation_flat;
       Alcotest.test_case "engine stress" `Slow test_engine_stress;
     ] )

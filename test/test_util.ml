@@ -201,6 +201,179 @@ let test_dot_render () =
   check bool "dashed edge" true (contains s "style=dashed");
   check bool "emphasized node" true (contains s "peripheries=2")
 
+(* --- Bitset ---------------------------------------------------------------- *)
+
+module ISet = Set.Make (Int)
+
+let test_bitset_basics () =
+  let b = Bitset.create () in
+  check bool "fresh set empty" true (Bitset.is_empty b);
+  check int "empty top_word" (-1) (Bitset.top_word b);
+  Bitset.set b 3;
+  Bitset.set b 200;
+  check bool "mem 3" true (Bitset.mem b 3);
+  check bool "mem 200" true (Bitset.mem b 200);
+  check bool "not mem 4" false (Bitset.mem b 4);
+  check bool "mem past capacity is false" false (Bitset.mem b 100_000);
+  check int "cardinal" 2 (Bitset.cardinal b);
+  check bool "add existing" false (Bitset.add b 3);
+  check bool "add fresh" true (Bitset.add b 4);
+  check (Alcotest.list int) "to_list ascending" [ 3; 4; 200 ] (Bitset.to_list b);
+  let seen = ref [] in
+  Bitset.iter (fun i -> seen := i :: !seen) b;
+  check (Alcotest.list int) "iter ascending" [ 3; 4; 200 ] (List.rev !seen);
+  Bitset.clear_bit b 4;
+  check bool "cleared" false (Bitset.mem b 4);
+  Bitset.clear_bit b 100_000;
+  (* out of range: no-op *)
+  check int "top_word tracks highest bit" (200 / Bitset.bits_per_word)
+    (Bitset.top_word b);
+  Bitset.reset b;
+  check bool "reset empty" true (Bitset.is_empty b);
+  check int "reset cardinal" 0 (Bitset.cardinal b)
+
+let test_bitset_union_into () =
+  let a = Bitset.create () and b = Bitset.create () in
+  List.iter (Bitset.set a) [ 1; 64; 130 ];
+  List.iter (Bitset.set b) [ 2; 64 ];
+  check bool "union changes dst" true (Bitset.union_into ~src:a ~dst:b);
+  check (Alcotest.list int) "union" [ 1; 2; 64; 130 ] (Bitset.to_list b);
+  check bool "union idempotent" false (Bitset.union_into ~src:a ~dst:b);
+  check (Alcotest.list int) "src untouched" [ 1; 64; 130 ] (Bitset.to_list a)
+
+let test_bitset_union_on_new () =
+  let a = Bitset.create () and b = Bitset.create () in
+  List.iter (Bitset.set a) [ 0; 63; 64; 200 ];
+  Bitset.set b 63;
+  let fresh = ref [] in
+  let changed =
+    Bitset.union_into_on_new ~src:a ~dst:b (fun i -> fresh := i :: !fresh)
+  in
+  check bool "changed" true changed;
+  check (Alcotest.list int) "callback sees only new bits" [ 0; 64; 200 ]
+    (List.sort compare !fresh)
+
+(* Repeated unions in both directions must not grow the backing arrays
+   past the highest set bit: sizing a union destination from the source's
+   raw capacity lets capacities ratchet exponentially (the bug top_word
+   exists to prevent). *)
+let test_bitset_union_no_capacity_ratchet () =
+  let a = Bitset.create () and b = Bitset.create () in
+  Bitset.set a 700;
+  Bitset.set b 900;
+  for _ = 1 to 50 do
+    ignore (Bitset.union_into ~src:a ~dst:b);
+    ignore (Bitset.union_into ~src:b ~dst:a)
+  done;
+  let cap t = Array.length (Bitset.words t) * Bitset.bits_per_word in
+  check bool "capacity bounded by highest bit" true
+    (cap a < 8 * 1024 && cap b < 8 * 1024)
+
+let prop_bitset_matches_set_model =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map (fun i -> `Set (0, i)) (int_bound 320));
+          (6, map (fun i -> `Set (1, i)) (int_bound 320));
+          (3, map (fun i -> `Clear (0, i)) (int_bound 320));
+          (3, map (fun i -> `Clear (1, i)) (int_bound 320));
+          (2, return `Union01);
+          (2, return `Union10);
+          (1, return `Reset0);
+        ])
+  in
+  Test.make ~count:400 ~name:"bitset = int-set model"
+    (make Gen.(list_size (int_bound 120) op_gen))
+    (fun ops ->
+      let b = [| Bitset.create (); Bitset.create () |] in
+      let m = [| ISet.empty; ISet.empty |] in
+      let ok = ref true in
+      let expect c = if not c then ok := false in
+      List.iter
+        (function
+          | `Set (k, i) ->
+            expect (Bitset.add b.(k) i = not (ISet.mem i m.(k)));
+            m.(k) <- ISet.add i m.(k)
+          | `Clear (k, i) ->
+            Bitset.clear_bit b.(k) i;
+            m.(k) <- ISet.remove i m.(k)
+          | `Union01 ->
+            expect
+              (Bitset.union_into ~src:b.(0) ~dst:b.(1)
+              = not (ISet.subset m.(0) m.(1)));
+            m.(1) <- ISet.union m.(0) m.(1)
+          | `Union10 ->
+            expect
+              (Bitset.union_into ~src:b.(1) ~dst:b.(0)
+              = not (ISet.subset m.(1) m.(0)));
+            m.(0) <- ISet.union m.(1) m.(0)
+          | `Reset0 ->
+            Bitset.reset b.(0);
+            m.(0) <- ISet.empty)
+        ops;
+      let agrees k =
+        Bitset.to_list b.(k) = ISet.elements m.(k)
+        && Bitset.cardinal b.(k) = ISet.cardinal m.(k)
+        && Bitset.top_word b.(k)
+           = (match ISet.max_elt_opt m.(k) with
+             | None -> -1
+             | Some mx -> mx / Bitset.bits_per_word)
+        && ISet.for_all (Bitset.mem b.(k)) m.(k)
+      in
+      !ok && agrees 0 && agrees 1)
+
+(* --- Json parsing ---------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("fixture", Json.String "raja");
+        ("rate", Json.Float 1.5);
+        ("events", Json.Int 123456);
+        ("neg", Json.Int (-7));
+        ("ok", Json.Bool true);
+        ("missing", Json.Null);
+        ("tags", Json.List [ Json.String "a\"b\\c\nd"; Json.Bool false ]);
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> check bool "round trip" true (doc = doc')
+  | Error msg -> Alcotest.fail msg
+
+let test_json_numbers () =
+  let p = Json.of_string in
+  check bool "int" true (p "42" = Ok (Json.Int 42));
+  check bool "negative" true (p "-3" = Ok (Json.Int (-3)));
+  check bool "float" true (p "2.5" = Ok (Json.Float 2.5));
+  check bool "exponent" true (p "1e3" = Ok (Json.Float 1000.));
+  check bool "neg exponent" true (p "25e-1" = Ok (Json.Float 2.5));
+  (* The printer renders integral floats as JSON integers, so they come
+     back as Int — which is why the bench validator accepts Int|Float for
+     numeric fields. *)
+  check bool "integral float reparses as int" true
+    (p (Json.to_string (Json.Float 3.0)) = Ok (Json.Int 3))
+
+let test_json_escapes () =
+  check bool "standard + \\u escapes" true
+    (Json.of_string {|"a\"b\\c\nd\te\u0041"|}
+    = Ok (Json.String "a\"b\\c\nd\teA"))
+
+let test_json_errors () =
+  let bad s = match Json.of_string s with Ok _ -> false | Error _ -> true in
+  check bool "empty input" true (bad "");
+  check bool "unclosed object" true (bad "{\"a\": 1");
+  check bool "unclosed array" true (bad "[1, 2");
+  check bool "bare word" true (bad "tru");
+  check bool "unterminated string" true (bad "\"abc");
+  check bool "trailing garbage" true (bad "1 x");
+  check bool "bad escape" true (bad "\"\\q\"");
+  check bool "lone minus" true (bad "-")
+
 let suite =
   ( "util",
     [
@@ -223,4 +396,14 @@ let suite =
       Alcotest.test_case "stats basics" `Quick test_stats_basics;
       Alcotest.test_case "stats counter" `Quick test_stats_counter;
       Alcotest.test_case "dot render" `Quick test_dot_render;
+      Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+      Alcotest.test_case "bitset union" `Quick test_bitset_union_into;
+      Alcotest.test_case "bitset union on new" `Quick test_bitset_union_on_new;
+      Alcotest.test_case "bitset no capacity ratchet" `Quick
+        test_bitset_union_no_capacity_ratchet;
+      QCheck_alcotest.to_alcotest prop_bitset_matches_set_model;
+      Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json numbers" `Quick test_json_numbers;
+      Alcotest.test_case "json escapes" `Quick test_json_escapes;
+      Alcotest.test_case "json errors" `Quick test_json_errors;
     ] )

@@ -584,22 +584,36 @@ type statics_row = {
   s_size : string;
   blocks : int;
   proved : int;
+  proved_global : int;  (** under the legacy whole-variable guard rule *)
+  races : int;  (** static race pairs (pairwise rule) *)
   events_total : int;
   events_suppressed : int;
+  events_suppressed_global : int;
   suppressed_pct : float;
+  suppressed_pct_global : float;
   unfiltered_sec : float;
   filtered_sec : float;
   speedup : float;
   warnings_identical : bool;
 }
 
+(* Each fixture is analyzed under both mover rules; the delta between
+   [proved] and [proved_global] (and between the two suppressed-event
+   counts) is the precision the pairwise race detector buys. Timing runs
+   use the pairwise filter only. *)
 let statics_bench ~repeats ~size ~size_name fixture =
   let w = Option.get (Workload.find fixture) in
   let program = w.Workload.build size in
   let names = program.Velodrome_sim.Ast.names in
   let st = Statics.analyze program in
-  let proved, suppress_var = Statics.filter_predicates st in
-  let static_filter b = Filters.static_atomic ~proved ~suppress_var b in
+  let st_global =
+    Statics.analyze ~rule:Velodrome_statics.Movers.Global_guard program
+  in
+  let filter_of st b =
+    let proved, suppress_var = Statics.filter_predicates st in
+    Filters.static_atomic ~proved ~suppress_var b
+  in
+  let static_filter = filter_of st in
   let config =
     {
       Velodrome_sim.Run.default_config with
@@ -614,6 +628,7 @@ let statics_bench ~repeats ~size ~size_name fixture =
   in
   let events_total = count_with Fun.id in
   let events_filtered = count_with static_filter in
+  let events_filtered_global = count_with (filter_of st_global) in
   let velodrome_run wrap =
     (Velodrome_sim.Run.run ~config program
        [ wrap (Backend.make (Velodrome_core.Engine.backend ()) names) ])
@@ -630,16 +645,23 @@ let statics_bench ~repeats ~size ~size_name fixture =
     = projected st names (velodrome_run static_filter)
   in
   let suppressed = events_total - events_filtered in
+  let suppressed_global = events_total - events_filtered_global in
+  let pct n =
+    if events_total = 0 then 0.
+    else 100. *. float_of_int n /. float_of_int events_total
+  in
   {
     s_fixture = fixture;
     s_size = size_name;
     blocks = Statics.block_count st;
     proved = Statics.proved_count st;
+    proved_global = Statics.proved_count st_global;
+    races = Statics.race_pair_count st;
     events_total;
     events_suppressed = suppressed;
-    suppressed_pct =
-      (if events_total = 0 then 0.
-       else 100. *. float_of_int suppressed /. float_of_int events_total);
+    events_suppressed_global = suppressed_global;
+    suppressed_pct = pct suppressed;
+    suppressed_pct_global = pct suppressed_global;
     unfiltered_sec;
     filtered_sec;
     speedup = (if filtered_sec > 0. then unfiltered_sec /. filtered_sec else 1.);
@@ -654,9 +676,14 @@ let statics_row_json r =
       ("size", String r.s_size);
       ("blocks", Int r.blocks);
       ("proved", Int r.proved);
+      ("proved_global", Int r.proved_global);
+      ("proved_delta", Int (r.proved - r.proved_global));
+      ("races", Int r.races);
       ("events_total", Int r.events_total);
       ("events_suppressed", Int r.events_suppressed);
+      ("events_suppressed_global", Int r.events_suppressed_global);
       ("suppressed_pct", Float r.suppressed_pct);
+      ("suppressed_pct_global", Float r.suppressed_pct_global);
       ("unfiltered_sec", Float r.unfiltered_sec);
       ("filtered_sec", Float r.filtered_sec);
       ("speedup", Float r.speedup);
@@ -664,7 +691,7 @@ let statics_row_json r =
     ]
 
 let run_statics_benches ~smoke =
-  let fixtures = [ "multiset"; "jbb"; "mtrt"; "raja" ] in
+  let fixtures = [ "multiset"; "jbb"; "mtrt"; "raja"; "handoff" ] in
   let rows =
     if smoke then
       List.map
@@ -675,13 +702,16 @@ let run_statics_benches ~smoke =
         (statics_bench ~repeats:3 ~size:Workload.Medium ~size_name:"medium")
         fixtures
   in
-  Printf.printf "%-12s %-7s %7s %7s %9s %11s %7s %9s %10s\n" "fixture" "size"
-    "blocks" "proved" "events" "suppressed" "supp-%" "speedup" "warn-same";
+  Printf.printf "%-12s %-7s %7s %11s %6s %9s %11s %7s %8s %9s %10s\n" "fixture"
+    "size" "blocks" "prv/global" "races" "events" "suppressed" "supp-%"
+    "glob-%" "speedup" "warn-same";
   List.iter
     (fun r ->
-      Printf.printf "%-12s %-7s %7d %7d %9d %11d %6.1f%% %8.2fx %10b\n"
-        r.s_fixture r.s_size r.blocks r.proved r.events_total
-        r.events_suppressed r.suppressed_pct r.speedup r.warnings_identical)
+      Printf.printf
+        "%-12s %-7s %7d %7d/%3d %6d %9d %11d %6.1f%% %7.1f%% %8.2fx %10b\n"
+        r.s_fixture r.s_size r.blocks r.proved r.proved_global r.races
+        r.events_total r.events_suppressed r.suppressed_pct
+        r.suppressed_pct_global r.speedup r.warnings_identical)
     rows;
   let oc = open_out "BENCH_statics.json" in
   Fun.protect
@@ -720,9 +750,14 @@ let full_run () =
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let engine_only = Array.exists (( = ) "--engine") Sys.argv in
+  let statics_only = Array.exists (( = ) "--statics") Sys.argv in
   if engine_only then begin
     print_endline "=== Engine checking throughput ===";
     run_engine_benches ~smoke
+  end
+  else if statics_only then begin
+    print_endline "=== Static instrumentation pruning ===";
+    run_statics_benches ~smoke
   end
   else begin
     print_endline "=== Streaming ingestion throughput ===";

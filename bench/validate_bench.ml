@@ -1,11 +1,13 @@
-(* Schema check for the benchmark artifacts (BENCH_stream.json,
-   BENCH_engine.json, BENCH_statics.json). CI runs the bench smoke pass
-   and then this validator, so a refactor that breaks an emitter — wrong
-   field name, NaN printed as "nan", truncated file — fails the build
-   instead of silently uploading a malformed artifact.
+(* Schema check for the benchmark and report artifacts (BENCH_*.json,
+   plus the race and analyze reports the CLI emits). CI runs the bench
+   smoke pass and the analyze/races commands and then this validator, so
+   a refactor that breaks an emitter — wrong field name, NaN printed as
+   "nan", truncated file — fails the build instead of silently uploading
+   a malformed artifact.
 
    Usage: validate_bench.exe FILE KIND [FILE KIND ...]
-   where KIND is one of stream | engine | statics. *)
+   where KIND is one of stream | engine | statics (flat row tables) or
+   races | analyze (nested report documents). *)
 
 open Velodrome_util
 
@@ -43,9 +45,14 @@ let schema = function
       ("size", S);
       ("blocks", I);
       ("proved", I);
+      ("proved_global", I);
+      ("proved_delta", I);
+      ("races", I);
       ("events_total", I);
       ("events_suppressed", I);
+      ("events_suppressed_global", I);
       ("suppressed_pct", N);
+      ("suppressed_pct_global", N);
       ("unfiltered_sec", N);
       ("filtered_sec", N);
       ("speedup", N);
@@ -90,6 +97,134 @@ let check_row ~file ~kind i row =
             (Printf.sprintf "%s: row %d field %S is not finite" file i name))
     (schema kind)
 
+(* --- nested report documents (races, analyze) ----------------------------- *)
+
+let fail ctx msg = failwith (Printf.sprintf "%s: %s" ctx msg)
+
+let obj_fields ctx = function
+  | Json.Obj fields -> fields
+  | _ -> fail ctx "not an object"
+
+let get ctx fields name =
+  match List.assoc_opt name fields with
+  | Some v -> v
+  | None -> fail ctx (Printf.sprintf "missing field %S" name)
+
+let expect ctx ty v =
+  if not (type_ok ty v) then
+    fail ctx (Printf.sprintf "expected a %s" (ty_name ty))
+
+let expect_field ctx fields name ty =
+  expect (ctx ^ "." ^ name) ty (get ctx fields name)
+
+let check_ints ctx fields names =
+  List.iter (fun n -> expect_field ctx fields n I) names
+
+let check_position ctx = function
+  | Json.Null -> ()
+  | v ->
+    let f = obj_fields ctx v in
+    check_ints ctx f [ "line"; "col" ]
+
+let check_race_access ctx v =
+  let f = obj_fields ctx v in
+  expect_field ctx f "site" S;
+  (match get ctx f "access" with
+  | Json.String ("read" | "write") -> ()
+  | _ -> fail ctx "access is not \"read\" or \"write\"");
+  (match get ctx f "locks" with
+  | Json.List ls -> List.iter (expect (ctx ^ ".locks[]") S) ls
+  | _ -> fail ctx "locks is not an array");
+  (match get ctx f "atomic" with
+  | Json.Null | Json.String _ -> ()
+  | _ -> fail ctx "atomic is not a string or null");
+  check_position (ctx ^ ".position") (get ctx f "position")
+
+let check_races_doc ctx v =
+  let f = obj_fields ctx v in
+  (match List.assoc_opt "file" f with
+  | None -> ()
+  | Some v -> expect (ctx ^ ".file") S v);
+  let pairs =
+    match get ctx f "pairs" with
+    | Json.List ps -> ps
+    | _ -> fail ctx "pairs is not an array"
+  in
+  List.iteri
+    (fun i p ->
+      let ctx = Printf.sprintf "%s.pairs[%d]" ctx i in
+      let pf = obj_fields ctx p in
+      expect_field ctx pf "var" S;
+      expect_field ctx pf "explanation" S;
+      check_race_access (ctx ^ ".a") (get ctx pf "a");
+      check_race_access (ctx ^ ".b") (get ctx pf "b"))
+    pairs;
+  let s = obj_fields (ctx ^ ".summary") (get ctx f "summary") in
+  check_ints (ctx ^ ".summary") s
+    [ "pairs"; "racy_vars"; "access_sites"; "blocks"; "proved" ];
+  (* Internal consistency: the summary must count the pairs array. *)
+  match List.assoc_opt "pairs" s with
+  | Some (Json.Int n) when n <> List.length pairs ->
+    fail ctx
+      (Printf.sprintf "summary.pairs = %d but %d pairs listed" n
+         (List.length pairs))
+  | _ -> ()
+
+let check_analyze_doc ctx v =
+  let f = obj_fields ctx v in
+  (match List.assoc_opt "file" f with
+  | None -> ()
+  | Some v -> expect (ctx ^ ".file") S v);
+  (match get ctx f "blocks" with
+  | Json.List bs ->
+    List.iteri
+      (fun i b ->
+        let ctx = Printf.sprintf "%s.blocks[%d]" ctx i in
+        let bf = obj_fields ctx b in
+        expect_field ctx bf "label" S;
+        match get ctx bf "verdict" with
+        | Json.String ("proved-atomic" | "unknown") -> ()
+        | _ -> fail ctx "verdict is not \"proved-atomic\" or \"unknown\"")
+      bs
+  | _ -> fail ctx "blocks is not an array");
+  let s = obj_fields (ctx ^ ".summary") (get ctx f "summary") in
+  check_ints (ctx ^ ".summary") s
+    [ "blocks"; "proved"; "unknown"; "race_pairs"; "racy_vars" ];
+  (match List.assoc_opt "gate" f with
+  | None -> ()
+  | Some g ->
+    let ctx = ctx ^ ".gate" in
+    let gf = obj_fields ctx g in
+    check_ints ctx gf [ "schedules"; "dynamic_warnings" ];
+    expect_field ctx gf "ok" B;
+    (match get ctx gf "mismatches" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "mismatches is not an array");
+    match get ctx gf "uncovered_races" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "uncovered_races is not an array");
+  match List.assoc_opt "races" f with
+  | None -> ()
+  | Some r -> check_races_doc (ctx ^ ".races") r
+
+let check_report ~file kind doc =
+  let check_doc =
+    match kind with
+    | "races" -> check_races_doc
+    | "analyze" -> check_analyze_doc
+    | _ -> assert false
+  in
+  match doc with
+  | Json.List [] -> failwith (Printf.sprintf "%s: no documents" file)
+  | Json.List docs ->
+    List.iteri
+      (fun i d -> check_doc (Printf.sprintf "%s: doc %d" file i) d)
+      docs;
+    Printf.printf "%s: %d %s documents ok\n" file (List.length docs) kind
+  | doc ->
+    check_doc file doc;
+    Printf.printf "%s: 1 %s document ok\n" file kind
+
 let check_file file kind =
   let contents =
     try In_channel.with_open_bin file In_channel.input_all
@@ -97,6 +232,8 @@ let check_file file kind =
   in
   match Json.of_string contents with
   | Error msg -> failwith (Printf.sprintf "%s: parse error: %s" file msg)
+  | Ok doc when kind = "races" || kind = "analyze" ->
+    check_report ~file kind doc
   | Ok (Json.List []) -> failwith (Printf.sprintf "%s: no rows" file)
   | Ok (Json.List rows) ->
     List.iteri (check_row ~file ~kind) rows;

@@ -316,11 +316,15 @@ let build_program name size = fst (build_program_info name size)
 module Statics = Velodrome_statics.Statics
 
 (* The dynamic soundness gate behind [analyze --gate]: replay the program
-   under round-robin, seeded-random and adversarial schedules with the
-   full Velodrome engine and check that no statically-proved block is ever
-   refuted by the blame analysis. Theorem 1 makes blame a completeness
-   claim (the transaction really is non-serializable), so a single
-   mismatch is a statics bug, not scheduling noise. *)
+   under round-robin, seeded-random and adversarial schedules and check
+   both directions of the static story. The full Velodrome engine must
+   never refute a statically-proved block (Theorem 1 makes blame a
+   completeness claim — the transaction really is non-serializable — so a
+   single mismatch is a statics bug, not scheduling noise), and every
+   dynamic race warning from the Eraser and happens-before back-ends must
+   land on a variable the pairwise static detector also flags: a
+   variable in no static race pair is race-free on every execution, so
+   an uncovered dynamic race warning is likewise a statics bug. *)
 let gate_schedules seeds =
   ("round-robin", Velodrome_sim.Run.Round_robin, false)
   :: List.concat_map
@@ -333,14 +337,30 @@ let gate_schedules seeds =
          ])
        seeds
 
+type gate_result = {
+  gate_warnings : int;  (** dynamic warnings across all schedules *)
+  blame_mismatches : (string * string) list;  (** schedule, proved label *)
+  uncovered_races : (string * string * string) list;
+      (** schedule, analysis, variable with a dynamic race warning but no
+          static race pair *)
+}
+
+let gate_ok g = g.blame_mismatches = [] && g.uncovered_races = []
+
 let run_gate program st seeds =
   let names = program.Velodrome_sim.Ast.names in
+  let races = Statics.races st in
   let warnings = ref 0 in
-  let mismatches = ref [] in
+  let blame = ref [] in
+  let uncovered = ref [] in
   List.iter
     (fun (desc, policy, adversarial) ->
       let backends =
-        [ Backend.make (Velodrome_core.Engine.backend ()) names ]
+        [
+          Backend.make (Velodrome_core.Engine.backend ()) names;
+          Backend.make (Velodrome_eraser.Eraser.backend ()) names;
+          Backend.make (Velodrome_hbrace.Hbrace.backend ()) names;
+        ]
       in
       let config =
         { Velodrome_sim.Run.default_config with policy; adversarial }
@@ -352,13 +372,25 @@ let run_gate program st seeds =
           List.iter
             (fun l ->
               if Statics.proved st l then
-                mismatches :=
-                  (desc, Velodrome_trace.Names.label_name names l)
-                  :: !mismatches)
-            w.Warning.refuted)
+                blame :=
+                  (desc, Velodrome_trace.Names.label_name names l) :: !blame)
+            w.Warning.refuted;
+          match (w.Warning.kind, w.Warning.var) with
+          | Warning.Race, Some x
+            when not (Velodrome_statics.Races.racy_var races x) ->
+            uncovered :=
+              ( desc,
+                w.Warning.analysis,
+                Velodrome_trace.Names.var_name names x )
+              :: !uncovered
+          | _ -> ())
         res.Velodrome_sim.Run.warnings)
     (gate_schedules seeds);
-  (!warnings, List.rev !mismatches)
+  {
+    gate_warnings = !warnings;
+    blame_mismatches = List.rev !blame;
+    uncovered_races = List.sort_uniq compare !uncovered;
+  }
 
 let analyze_cmd =
   let target =
@@ -379,7 +411,17 @@ let analyze_cmd =
             "Soundness gate: additionally replay each program under \
              round-robin, random and adversarial schedules (one run per \
              --seeds entry each) and fail if dynamic Velodrome ever blames \
-             a statically-proved block.")
+             a statically-proved block, or if Eraser or the \
+             happens-before detector warns about a variable in no static \
+             race pair.")
+  in
+  let races_flag =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Also report every static race pair (as the races subcommand \
+             does).")
   in
   let seeds =
     Arg.(
@@ -388,7 +430,7 @@ let analyze_cmd =
       & info [ "seeds" ] ~docv:"LIST"
           ~doc:"Scheduler seeds for the --gate runs.")
   in
-  let run target all fmt gate size seeds =
+  let run target all fmt gate races size seeds =
     let targets =
       if all then
         List.map
@@ -423,9 +465,9 @@ let analyze_cmd =
             any_unknown := true;
           let gate_result =
             if gate then begin
-              let warnings, mismatches = run_gate program st seeds in
-              if mismatches <> [] then gate_failed := true;
-              Some (warnings, mismatches)
+              let g = run_gate program st seeds in
+              if not (gate_ok g) then gate_failed := true;
+              Some g
             end
             else None
           in
@@ -439,21 +481,29 @@ let analyze_cmd =
         (fun (name, pos, st, gate_result) ->
           if all then Format.printf "== %s ==@." name;
           Format.printf "%a" (Statics.pp_human ~pos) st;
+          if races then Format.printf "%a" (Statics.pp_races_human ~pos) st;
           match gate_result with
           | None -> ()
-          | Some (warnings, []) ->
+          | Some g when gate_ok g ->
             Format.printf
               "soundness gate: OK (%d schedules, %d dynamic warnings, no \
-               proved block blamed)@."
-              schedules warnings
-          | Some (_, mismatches) ->
+               proved block blamed, every dynamic race statically covered)@."
+              schedules g.gate_warnings
+          | Some g ->
             List.iter
               (fun (sched, label) ->
                 Format.printf
                   "soundness gate: FAILED: proved block %s blamed under \
                    %s@."
                   label sched)
-              mismatches)
+              g.blame_mismatches;
+            List.iter
+              (fun (sched, analysis, var) ->
+                Format.printf
+                  "soundness gate: FAILED: %s warned about %s under %s but \
+                   no static race pair covers it@."
+                  analysis var sched)
+              g.uncovered_races)
         results
     | `Json ->
       let open Velodrome_util.Json in
@@ -461,30 +511,48 @@ let analyze_cmd =
         List.map
           (fun (name, pos, st, gate_result) ->
             let base = Statics.to_json ~pos ~file:name st in
-            match (base, gate_result) with
-            | Obj fields, Some (warnings, mismatches) ->
-              Obj
-                (fields
-                @ [
-                    ( "gate",
-                      Obj
-                        [
-                          ("schedules", Int schedules);
-                          ("dynamic_warnings", Int warnings);
-                          ( "mismatches",
-                            List
-                              (List.map
-                                 (fun (sched, label) ->
-                                   Obj
-                                     [
-                                       ("label", String label);
-                                       ("schedule", String sched);
-                                     ])
-                                 mismatches) );
-                          ("ok", Bool (mismatches = []));
-                        ] );
-                  ])
-            | doc, _ -> doc)
+            let with_races doc =
+              match doc with
+              | Obj fields when races ->
+                Obj (fields @ [ ("races", Statics.races_to_json ~pos st) ])
+              | doc -> doc
+            in
+            with_races
+              (match (base, gate_result) with
+              | Obj fields, Some g ->
+                Obj
+                  (fields
+                  @ [
+                      ( "gate",
+                        Obj
+                          [
+                            ("schedules", Int schedules);
+                            ("dynamic_warnings", Int g.gate_warnings);
+                            ( "mismatches",
+                              List
+                                (List.map
+                                   (fun (sched, label) ->
+                                     Obj
+                                       [
+                                         ("label", String label);
+                                         ("schedule", String sched);
+                                       ])
+                                   g.blame_mismatches) );
+                            ( "uncovered_races",
+                              List
+                                (List.map
+                                   (fun (sched, analysis, var) ->
+                                     Obj
+                                       [
+                                         ("var", String var);
+                                         ("analysis", String analysis);
+                                         ("schedule", String sched);
+                                       ])
+                                   g.uncovered_races) );
+                            ("ok", Bool (gate_ok g));
+                          ] );
+                    ])
+              | doc, _ -> doc))
           results
       in
       let out = match docs with [ d ] when not all -> d | ds -> List ds in
@@ -501,7 +569,85 @@ let analyze_cmd =
           otherwise (or on a failed --gate)."
        ~exits)
     Term.(
-      const run $ target $ all $ format_arg $ gate $ size_arg $ seeds)
+      const run $ target $ all $ format_arg $ gate $ races_flag $ size_arg
+      $ seeds)
+
+(* --- races ------------------------------------------------------------------- *)
+
+let races_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:"A .vel program file or workload name (omit with --all).")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Report every workload.")
+  in
+  let run target all fmt size =
+    let targets =
+      if all then
+        List.map
+          (fun w ->
+            (w.Workload.name, w.Workload.build size, fun _ -> None))
+          Workload.all
+      else
+        match target with
+        | None ->
+          Printf.eprintf "races: a TARGET (or --all) is required\n";
+          exit 2
+        | Some name ->
+          let program, pos = build_program_info name size in
+          [ (name, program, pos) ]
+    in
+    let any_races = ref false in
+    let results =
+      List.map
+        (fun (name, program, pos) ->
+          (match Velodrome_lang.Check.check_program program with
+          | Ok () -> ()
+          | Error errs ->
+            List.iter
+              (fun e ->
+                Format.eprintf "%s: %a@." name Velodrome_lang.Check.pp_error
+                  e)
+              errs;
+            exit 2);
+          let st = Statics.analyze program in
+          if Statics.race_pair_count st > 0 then any_races := true;
+          (name, pos, st))
+        targets
+    in
+    (match fmt with
+    | `Human ->
+      List.iter
+        (fun (name, pos, st) ->
+          if all then Format.printf "== %s ==@." name;
+          Format.printf "%a" (Statics.pp_races_human ~pos) st)
+        results
+    | `Json ->
+      let open Velodrome_util.Json in
+      let docs =
+        List.map
+          (fun (name, pos, st) -> Statics.races_to_json ~pos ~file:name st)
+          results
+      in
+      let out = match docs with [ d ] when not all -> d | ds -> List ds in
+      print_endline (to_string out));
+    if !any_races then exit 1
+  in
+  Cmd.v
+    (Cmd.info "races"
+       ~doc:
+         "Whole-program pairwise static race detection: for every ordered \
+          pair of conflicting access sites that may run in parallel, \
+          intersect their must-locksets and report the pairs with no \
+          common lock, with the atomic blocks each pair endangers. Exits \
+          0 when no race pair is found, 1 when at least one is reported, \
+          2 on unparseable or ill-formed input."
+       ~exits)
+    Term.(const run $ target $ all $ format_arg $ size_arg)
 
 (* --- trace files ------------------------------------------------------------ *)
 
@@ -956,9 +1102,9 @@ let () =
     Cmd.eval
       (Cmd.group info
          [
-           list_cmd; run_cmd; check_cmd; analyze_cmd; print_cmd; record_cmd;
-           check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd; table1_cmd;
-           table2_cmd; study_cmd;
+           list_cmd; run_cmd; check_cmd; analyze_cmd; races_cmd; print_cmd;
+           record_cmd; check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd;
+           table1_cmd; table2_cmd; study_cmd;
          ])
   in
   (* Fold cmdliner's usage-error code into the documented 2. *)

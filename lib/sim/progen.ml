@@ -32,6 +32,23 @@ type ctx = {
   mutable labels : int;
 }
 
+(* Single-writer/many-reader publication: thread 0 writes [pub] holding
+   every per-reader pair lock, then raises [flag] under the handshake
+   lock; reader [t] re-checks the flag under the handshake lock and only
+   then reads [pub] under its own pair lock [pair.(t-1)]. Every
+   conflicting access pair thus shares one pair lock — statically
+   race-free under the pairwise rule — yet no single lock covers all
+   sites, so the legacy global-guard rule cannot prove the enclosing
+   atomic blocks. The flag handshake orders every write before any read
+   on every schedule, which keeps the dynamic race detectors (Eraser,
+   happens-before) quiet too. *)
+type publish = {
+  pub : Var.t;
+  flag : Var.t;
+  handshake : Lock.t;
+  pair : Lock.t array;  (** pair.(t-1) guards writer vs. reader [t] *)
+}
+
 let fresh_label ctx =
   ctx.labels <- ctx.labels + 1;
   Builder.label ctx.b (Printf.sprintf "gen.b%d" ctx.labels)
@@ -139,6 +156,55 @@ let generate ?(config = default) rng =
       labels = 0;
     }
   in
+  let publish =
+    if nthreads >= 3 && Rng.int rng 3 > 0 then
+      Some
+        {
+          pub = Builder.var b "pub";
+          flag = Builder.var b "pubflag";
+          handshake = Builder.lock b "h";
+          pair =
+            Array.init (nthreads - 1) (fun i ->
+                Builder.lock b (Printf.sprintf "g%d" (i + 1)));
+        }
+    else None
+  in
+  let publish_items t =
+    match publish with
+    | None -> []
+    | Some pb ->
+      if t = 0 then
+        let writes =
+          [
+            Builder.write pb.pub (Builder.i (Rng.int ctx.rng 64));
+            Builder.write pb.pub (Builder.i (Rng.int ctx.rng 64));
+          ]
+        in
+        let nested =
+          Array.fold_right (fun m body -> Builder.sync m body) pb.pair writes
+        in
+        Builder.atomic (Builder.label ctx.b "gen.pub.publish") nested
+        :: Builder.sync pb.handshake
+             [ Builder.write pb.flag (Builder.i 1) ]
+      else begin
+        let rf = Builder.fresh_reg ctx.b in
+        let r1 = Builder.fresh_reg ctx.b in
+        let r2 = Builder.fresh_reg ctx.b in
+        Builder.sync pb.handshake [ Builder.read rf pb.flag ]
+        @ [
+            Builder.if_
+              Builder.(r rf ==: i 1)
+              [
+                Builder.atomic
+                  (Builder.label ctx.b (Printf.sprintf "gen.pub.read%d" t))
+                  (Builder.sync
+                     pb.pair.(t - 1)
+                     [ Builder.read r1 pb.pub; Builder.read r2 pb.pub ]);
+              ]
+              [];
+          ]
+      end
+  in
   Builder.threads b nthreads (fun t ->
       let private_var = Builder.var ctx.b (Printf.sprintf "p%d" t) in
       let items =
@@ -155,5 +221,5 @@ let generate ?(config = default) rng =
       in
       (* Every thread carries at least one atomic block so each program
          exercises the reduction check. *)
-      atomic_block ctx ~depth:2 :: items);
+      publish_items t @ (atomic_block ctx ~depth:2 :: items));
   Builder.program b

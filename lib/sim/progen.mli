@@ -7,7 +7,16 @@
     same source. Programs are well-formed by construction (balanced lock
     discipline, bounded loops) and deliberately mix provably-atomic
     blocks (consistently guarded or thread-local state) with racy ones,
-    so both verdicts of the reduction check occur with useful frequency. *)
+    so both verdicts of the reduction check occur with useful frequency.
+
+    Programs with at least three threads usually also carry a
+    single-writer/many-reader publication family: one variable written by
+    thread 0 under {e every} per-reader pair lock and read by each other
+    thread under its own distinct pair lock, with a lock-guarded flag
+    handshake ordering all writes before any read. The variable is
+    race-free pairwise (each conflicting pair shares a lock) but has no
+    global guard, exercising exactly the precision the pairwise race
+    detector adds over the whole-variable common-lock rule. *)
 
 type config = {
   max_threads : int;  (** threads drawn from [2 .. max_threads] *)

@@ -4,13 +4,16 @@ open Velodrome_trace.Ids
 module IntSet = Set.Make (Int)
 module IntMap = Map.Make (Int)
 
+type rule = Pairwise | Global_guard
+
 type why_both =
   | Guarded of Lock.t
   | Thread_local
   | Read_only
+  | Race_free
   | Reentrant
 
-type why_non = Volatile_access | Unguarded
+type why_non = Volatile_access | Unguarded | Racy of Cfg.site
 
 type klass =
   | Both of why_both
@@ -26,6 +29,9 @@ type var_facts = {
 }
 
 type t = {
+  rule : rule;
+  names : Names.t;
+  races : Races.t;
   vars : var_facts IntMap.t;
   by_site : (int * int list, klass) Hashtbl.t;
 }
@@ -37,7 +43,9 @@ let var_facts t x =
 
 (* Pass 1: global per-variable facts — which threads access it, whether it
    is ever written, and the intersection of must-locksets over all access
-   sites (program-wide consistent guarding). *)
+   sites. Under the pairwise rule these only pick the most specific
+   both-mover witness; under the legacy global rule they ARE the
+   classification. *)
 let collect_vars cfg locksets =
   let vars = ref IntMap.empty in
   Cfg.iter_nodes
@@ -67,18 +75,41 @@ let collect_vars cfg locksets =
     cfg;
   !vars
 
-let classify_access names vars x =
-  let f = Option.value ~default:empty_facts (IntMap.find_opt (Var.to_int x) vars) in
-  if IntSet.cardinal f.threads <= 1 then Both Thread_local
-  else if not f.written then Both Read_only
-  else
-    match f.guards with
-    | Some g when not (IntSet.is_empty g) ->
-      Both (Guarded (Lock.of_int (IntSet.min_elt g)))
-    | _ ->
-      if Names.is_volatile names x then Non Volatile_access else Non Unguarded
+let global_guard (f : var_facts) =
+  match f.guards with
+  | Some g when not (IntSet.is_empty g) -> Some (Lock.of_int (IntSet.min_elt g))
+  | _ -> None
 
-let analyze names cfg locksets =
+(* The most specific both-mover witness for a race-free access, so the
+   legacy explanations survive where they still apply and only the newly
+   provable class reads "race-free". *)
+let why_race_free (f : var_facts) =
+  if IntSet.cardinal f.threads <= 1 then Thread_local
+  else if not f.written then Read_only
+  else match global_guard f with Some g -> Guarded g | None -> Race_free
+
+let classify_access rule names races vars (n : Cfg.node) x =
+  let f =
+    Option.value ~default:empty_facts (IntMap.find_opt (Var.to_int x) vars)
+  in
+  if Names.is_volatile names x then Non Volatile_access
+  else
+    match rule with
+    | Pairwise -> (
+      (* Atomizer's rule verbatim: an access is a both-mover exactly when
+         it is race-free, i.e. it appears in no static race pair. *)
+      match Races.witness races n.Cfg.site with
+      | Some p -> Non (Racy (Races.other_end p n.Cfg.site).Races.site)
+      | None -> Both (why_race_free f))
+    | Global_guard ->
+      if IntSet.cardinal f.threads <= 1 then Both Thread_local
+      else if not f.written then Both Read_only
+      else (
+        match global_guard f with
+        | Some g -> Both (Guarded g)
+        | None -> Non Unguarded)
+
+let analyze ?(rule = Pairwise) names cfg locksets races =
   let vars = collect_vars cfg locksets in
   let by_site = Hashtbl.create 256 in
   Cfg.iter_nodes
@@ -86,7 +117,8 @@ let analyze names cfg locksets =
       let site = (n.Cfg.site.Cfg.thread, n.Cfg.site.Cfg.path) in
       let record k = Hashtbl.replace by_site site k in
       match n.Cfg.eff with
-      | Cfg.Read x | Cfg.Write x -> record (classify_access names vars x)
+      | Cfg.Read x | Cfg.Write x ->
+        record (classify_access rule names races vars n x)
       | Cfg.Acquire m ->
         record
           (if Lockset.depth_before locksets n.Cfg.id m >= 1 then
@@ -99,7 +131,7 @@ let analyze names cfg locksets =
            else Left)
       | Cfg.Enter _ | Cfg.Exit _ | Cfg.Silent -> ())
     cfg;
-  { vars; by_site }
+  { rule; names; races; vars; by_site }
 
 let at_site t (site : Cfg.site) =
   Hashtbl.find_opt t.by_site (site.Cfg.thread, site.Cfg.path)
@@ -107,9 +139,11 @@ let at_site t (site : Cfg.site) =
 (* A variable whose accesses can be elided inside statically proved
    blocks without changing any back-end's verdict elsewhere: every access
    is either confined to one thread (no cross-thread conflict edges at
-   all) or performed under a program-wide common guard, whose
-   acquire/release events — which the filter keeps — already order the
-   access against every conflicting one. Read-only variables are proof
+   all), performed under a program-wide common guard, or — pairwise rule
+   only — free of race pairs altogether, in which case every conflicting
+   access pair shares some lock whose acquire/release events (which the
+   filter keeps) already order the accesses against each other exactly as
+   the elided communication edges would. Read-only variables are proof
    material but deliberately NOT suppressible: lockset back-ends
    (Eraser's state machine, the Atomizer's embedded oracle) do observe
    lock-free reads of them, and eliding those would perturb verdicts on
@@ -119,9 +153,10 @@ let suppressible t x =
   | None -> false
   | Some f ->
     IntSet.cardinal f.threads <= 1
-    || (match f.guards with
-       | Some g -> not (IntSet.is_empty g)
-       | None -> false)
+    || Option.is_some (global_guard f)
+    || t.rule = Pairwise && f.written
+       && (not (Names.is_volatile t.names x))
+       && not (Races.racy_var t.races x)
 
 let pp_why_both names ppf = function
   | Guarded m ->
@@ -129,11 +164,15 @@ let pp_why_both names ppf = function
       (Names.lock_name names m)
   | Thread_local -> Format.pp_print_string ppf "thread-local"
   | Read_only -> Format.pp_print_string ppf "read-only"
+  | Race_free ->
+    Format.pp_print_string ppf "race-free (every conflicting pair shares a lock)"
   | Reentrant -> Format.pp_print_string ppf "re-entrant"
 
 let pp_why_non ppf = function
   | Volatile_access -> Format.pp_print_string ppf "volatile"
   | Unguarded -> Format.pp_print_string ppf "no common guard"
+  | Racy other ->
+    Format.fprintf ppf "races with %s" (Cfg.site_to_string other)
 
 let pp_klass names ppf = function
   | Both w -> Format.fprintf ppf "both-mover (%a)" (pp_why_both names) w

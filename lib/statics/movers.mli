@@ -1,32 +1,50 @@
 (** Lipton mover classification of every observable operation site.
 
-    Combines whole-program variable facts (accessing threads, ever
-    written, intersection of must-locksets over all access sites) with the
-    per-site lockset results:
+    Lock operations classify as before: an acquire is a {e right}-mover,
+    a release a {e left}-mover, re-entrant ones (definite depth from the
+    {!Lockset} dataflow) both-movers. Shared accesses now follow
+    Atomizer's race-freedom condition {e per site}, driven by the
+    pairwise {!Races} relation:
 
-    - a lock acquire is a {e right}-mover, a release a {e left}-mover;
-      re-entrant ones (definite depth from the dataflow) are both-movers;
-    - a shared access is a {e both}-mover when its variable is
-      thread-local, read-only, or consistently guarded — some lock is
-      definitely held at {b every} access site program-wide;
-    - anything else is a {e non}-mover, volatile accesses included.
+    - under the default {!Pairwise} rule a non-volatile access is a
+      {e both}-mover iff it appears in {b no} static race pair. This
+      strictly subsumes the legacy thread-local / read-only /
+      globally-guarded conditions (each implies pair-freedom) and newly
+      proves sites like the guarded reads of a variable whose only
+      unsynchronized accesses are reads in some other thread, or
+      single-writer variables protected by per-reader-pair distinct
+      locks. The [why_both] witness keeps the most specific legacy
+      explanation and falls back to [Race_free] for the new class; a
+      racy access carries the opposing site as its [Racy] witness.
+    - the legacy {!Global_guard} rule (a variable is a both-mover only
+      when thread-local, read-only, or guarded by one common lock at
+      every access program-wide) is kept for precision-delta
+      measurement and comparison benches.
 
-    All three both-mover conditions are global, so they hold on every
-    execution, which is what {!Reduce}'s [Proved_atomic] verdicts and the
-    [static_atomic] event filter rely on. *)
+    Race pairs over-approximate true races ({!Races}), so both-mover
+    claims hold on every execution — what {!Reduce}'s [Proved_atomic]
+    verdicts and the [static_atomic] event filter rely on. *)
 
 open Velodrome_trace
 open Velodrome_trace.Ids
 
 module IntSet : Set.S with type elt = int
 
+type rule = Pairwise | Global_guard
+
 type why_both =
   | Guarded of Lock.t  (** witness guard (the smallest-id common lock) *)
   | Thread_local
   | Read_only
+  | Race_free
+      (** in no race pair: every conflicting access shares some lock,
+          though no single lock covers all sites *)
   | Reentrant
 
-type why_non = Volatile_access | Unguarded
+type why_non =
+  | Volatile_access
+  | Unguarded  (** legacy rule only, and the conservative default *)
+  | Racy of Cfg.site  (** the opposing end of a witnessing race pair *)
 
 type klass = Both of why_both | Right | Left | Non of why_non
 
@@ -38,7 +56,8 @@ type var_facts = {
 
 type t
 
-val analyze : Names.t -> Cfg.t -> Lockset.t -> t
+val analyze : ?rule:rule -> Names.t -> Cfg.t -> Lockset.t -> Races.t -> t
+(** [rule] defaults to {!Pairwise}. *)
 
 val at_site : t -> Cfg.site -> klass option
 (** [None] for sites with no observable effect (silent statements). *)
@@ -48,8 +67,10 @@ val var_facts : t -> Var.t -> var_facts
 val suppressible : t -> Var.t -> bool
 (** True when accesses to the variable may be elided inside proved blocks
     without changing any back-end's warnings elsewhere: the variable is
-    thread-local or consistently guarded (read-only is excluded — see the
-    implementation note). *)
+    thread-local, consistently guarded, or (pairwise rule) written but
+    free of race pairs — every conflicting pair then shares a lock whose
+    kept acquire/release events subsume the elided ordering edges.
+    Read-only is excluded — see the implementation note. *)
 
 val pp_klass : Names.t -> Format.formatter -> klass -> unit
 val pp_why_both : Names.t -> Format.formatter -> why_both -> unit

@@ -14,16 +14,20 @@ type t = {
   names : Names.t;
   cfg : Cfg.t;
   locksets : Lockset.t;
+  mhp : Mhp.t;
+  races : Races.t;
   movers : Movers.t;
   blocks : block list;
   proved_ids : IntSet.t;
 }
 
-let analyze (p : Ast.program) =
+let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
   let names = p.Ast.names in
   let cfg = Cfg.of_program p in
   let locksets = Lockset.analyze cfg in
-  let movers = Movers.analyze names cfg locksets in
+  let mhp = Mhp.analyze cfg in
+  let races = Races.analyze names cfg locksets mhp in
+  let movers = Movers.analyze ~rule names cfg locksets races in
   let occs = Reduce.occurrences names movers p in
   let by_label = Hashtbl.create 16 in
   List.iter
@@ -65,11 +69,16 @@ let analyze (p : Ast.program) =
         | Reduce.Unknown _ -> acc)
       IntSet.empty blocks
   in
-  { names; cfg; locksets; movers; blocks; proved_ids }
+  { names; cfg; locksets; mhp; races; movers; blocks; proved_ids }
 
 let blocks t = t.blocks
 let cfg t = t.cfg
 let locksets t = t.locksets
+let mhp t = t.mhp
+let races t = t.races
+let race_pairs t = Races.pairs t.races
+let race_pair_count t = Races.pair_count t.races
+let names t = t.names
 let movers t = t.movers
 let proved t l = IntSet.mem (Label.to_int l) t.proved_ids
 let proved_count t = IntSet.cardinal t.proved_ids
@@ -156,6 +165,97 @@ let to_json ?(pos = fun _ -> None) ?file t =
                  ("blocks", Int (block_count t));
                  ("proved", Int (proved_count t));
                  ("unknown", Int (block_count t - proved_count t));
+                 ("race_pairs", Int (race_pair_count t));
+                 ("racy_vars", Int (Races.racy_var_count t.races));
+               ] );
+         ];
+       ])
+
+(* --- race report --------------------------------------------------------- *)
+
+(* A race-pair access has no label of its own; the innermost enclosing
+   atomic block is the closest stable anchor a source position can hang
+   off. *)
+let access_position pos (acc : Races.access) =
+  match acc.Races.atomics with [] -> None | l :: _ -> pos l
+
+let pp_races_human ?(pos = fun _ -> None) ppf t =
+  let pair_no = ref 0 in
+  List.iter
+    (fun (p : Races.pair) ->
+      incr pair_no;
+      let endpoint (acc : Races.access) =
+        let where =
+          match access_position pos acc with
+          | Some (line, col) -> Printf.sprintf " (%d:%d)" line col
+          | None -> ""
+        in
+        Format.fprintf ppf "    %s at %s%s@."
+          (if acc.Races.write then "write" else "read")
+          (Cfg.site_to_string acc.Races.site)
+          where
+      in
+      Format.fprintf ppf "race #%d on %s: %s@." !pair_no
+        (Names.var_name t.names p.Races.var)
+        (Races.explain t.names p);
+      endpoint p.Races.a;
+      endpoint p.Races.b)
+    (race_pairs t);
+  Format.fprintf ppf "%d race pair%s on %d variable%s (%d access sites)@."
+    (race_pair_count t)
+    (if race_pair_count t = 1 then "" else "s")
+    (Races.racy_var_count t.races)
+    (if Races.racy_var_count t.races = 1 then "" else "s")
+    (Races.access_sites t.races)
+
+let races_to_json ?(pos = fun _ -> None) ?file t =
+  let open Velodrome_util.Json in
+  let access_json (acc : Races.access) =
+    let position =
+      match access_position pos acc with
+      | Some (line, col) -> Obj [ ("line", Int line); ("col", Int col) ]
+      | None -> Null
+    in
+    Obj
+      [
+        ("site", String (Cfg.site_to_string acc.Races.site));
+        ("access", String (if acc.Races.write then "write" else "read"));
+        ( "locks",
+          List
+            (List.map
+               (fun l ->
+                 String (Names.lock_name t.names (Lock.of_int l)))
+               acc.Races.locks) );
+        ( "atomic",
+          match acc.Races.atomics with
+          | [] -> Null
+          | l :: _ -> String (Names.label_name t.names l) );
+        ("position", position);
+      ]
+  in
+  let pair_json (p : Races.pair) =
+    Obj
+      [
+        ("var", String (Names.var_name t.names p.Races.var));
+        ("a", access_json p.Races.a);
+        ("b", access_json p.Races.b);
+        ("explanation", String (Races.explain t.names p));
+      ]
+  in
+  Obj
+    (List.concat
+       [
+         (match file with Some f -> [ ("file", String f) ] | None -> []);
+         [
+           ("pairs", List (List.map pair_json (race_pairs t)));
+           ( "summary",
+             Obj
+               [
+                 ("pairs", Int (race_pair_count t));
+                 ("racy_vars", Int (Races.racy_var_count t.races));
+                 ("access_sites", Int (Races.access_sites t.races));
+                 ("blocks", Int (block_count t));
+                 ("proved", Int (proved_count t));
                ] );
          ];
        ])

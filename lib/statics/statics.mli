@@ -25,11 +25,19 @@ type block = {
 
 type t
 
-val analyze : Velodrome_sim.Ast.program -> t
+val analyze : ?rule:Movers.rule -> Velodrome_sim.Ast.program -> t
+(** [rule] defaults to {!Movers.Pairwise}; pass {!Movers.Global_guard} to
+    reproduce the legacy whole-variable common-lock classification for
+    precision-delta comparisons. *)
 
 val blocks : t -> block list
 val cfg : t -> Cfg.t
 val locksets : t -> Lockset.t
+val mhp : t -> Mhp.t
+val races : t -> Races.t
+val race_pairs : t -> Races.pair list
+val race_pair_count : t -> int
+val names : t -> Velodrome_trace.Names.t
 val movers : t -> Movers.t
 
 val proved : t -> Label.t -> bool
@@ -53,3 +61,17 @@ val to_json :
   Velodrome_util.Json.t
 (** Stable JSON verdict document; [pos] supplies source positions for
     labels parsed from a [.vel] file. *)
+
+val pp_races_human :
+  ?pos:(Label.t -> (int * int) option) -> Format.formatter -> t -> unit
+(** Human race-pair report: one entry per pair with both endpoints, their
+    held locks, and the atomic blocks each pair endangers. *)
+
+val races_to_json :
+  ?pos:(Label.t -> (int * int) option) ->
+  ?file:string ->
+  t ->
+  Velodrome_util.Json.t
+(** Stable race-pair document ([pairs] array + [summary]); source
+    positions anchor to each access's innermost enclosing atomic block
+    when available. *)

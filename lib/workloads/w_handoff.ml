@@ -1,0 +1,76 @@
+(* handoff — single-writer publication guarded by per-reader pair locks.
+   The writer updates the payload while holding every pair lock, then
+   raises a ready flag under the handshake lock; each reader re-checks the
+   flag under the handshake lock and only then reads the payload under its
+   own pair lock. Every conflicting payload access pair shares exactly one
+   pair lock, yet no single lock guards every site, so the pairwise static
+   race detector proves both methods where the whole-variable common-lock
+   rule cannot prove either — this workload exists to pin that precision
+   delta. The flag handshake orders every payload write before any read on
+   every schedule, so the dynamic race detectors stay quiet too. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "handoff"
+
+let description =
+  "single-writer publication guarded by per-reader pair locks"
+
+let methods =
+  [ ("Handoff.publish", true, false); ("Handoff.consume", true, false) ]
+
+let build size =
+  let b = create () in
+  let readers = Sizes.scale size (2, 3, 4) in
+  let rounds = Sizes.scale size (2, 8, 24) in
+  let payload = var b "payload" in
+  let flag = var b "ready" in
+  let handshake = lock b "handshake" in
+  let pair =
+    Array.init readers (fun k -> lock b (Printf.sprintf "pair%d" k))
+  in
+  let nested body = Array.fold_right (fun m acc -> sync m acc) pair body in
+  threads b (readers + 1) (fun t ->
+      if t = 0 then begin
+        let k = fresh_reg b in
+        let v = fresh_reg b in
+        [
+          local k (i 0);
+          while_ (r k <: i rounds)
+            [
+              work 5;
+              atomic (label b "Handoff.publish")
+                (nested [ read v payload; write payload (r v +: i 1) ]);
+              local k (r k +: i 1);
+            ];
+        ]
+        (* The flag is raised once, after the last payload write, so
+           every reader access is ordered after every write. *)
+        @ sync handshake [ write flag (i 1) ]
+      end
+      else begin
+        let k = fresh_reg b in
+        let rf = fresh_reg b in
+        let v1 = fresh_reg b in
+        let v2 = fresh_reg b in
+        [
+          local k (i 0);
+          while_ (r k <: i rounds)
+            (work 3
+            :: (sync handshake [ read rf flag ]
+               @ [
+                   if_
+                     (r rf ==: i 1)
+                     [
+                       atomic (label b "Handoff.consume")
+                         (sync
+                            pair.(t - 1)
+                            [ read v1 payload; read v2 payload ]);
+                     ]
+                     [];
+                   local k (r k +: i 1);
+                 ]));
+        ]
+      end);
+  program b

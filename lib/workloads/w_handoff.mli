@@ -1,0 +1,10 @@
+(** See the header comment in [w_handoff.ml] for what this benchmark
+    models. *)
+
+val name : string
+val description : string
+
+val methods : (string * bool * bool) list
+(** (label, truly atomic, violation is schedule-rare) ground truth. *)
+
+val build : Sizes.size -> Velodrome_sim.Ast.program

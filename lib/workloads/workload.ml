@@ -39,6 +39,8 @@ let all =
       W_multiset.methods;
     lift W_webl.name W_webl.description W_webl.build W_webl.methods;
     lift W_jigsaw.name W_jigsaw.description W_jigsaw.build W_jigsaw.methods;
+    lift W_handoff.name W_handoff.description W_handoff.build
+      W_handoff.methods;
   ]
 
 let find name = List.find_opt (fun w -> w.name = name) all

@@ -1,7 +1,10 @@
 (** Benchmark workloads.
 
     Fifteen programs mirroring the synchronization skeletons of the
-    paper's benchmark suite (Section 6). Each declares its {e methods}
+    paper's benchmark suite (Section 6), plus [handoff], a synthetic
+    single-writer publication pattern that pins the precision the
+    pairwise static race detector adds over the whole-variable
+    common-lock rule. Each declares its {e methods}
     (atomic-block labels) together with ground truth: whether the method
     is genuinely atomic (so any warning against it is a false alarm) or
     has a real atomicity violation. The evaluation harness uses this to

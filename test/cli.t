@@ -28,7 +28,7 @@ dynamic soundness gate. A fully guarded program proves every block (exit
   Counter.incr             (13:12) proved atomic (2 occurrences)
   Counter.flush            (21:10) proved atomic (2 occurrences)
   2/2 blocks proved atomic
-  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed)
+  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every dynamic race statically covered)
 
   $ velodrome analyze ../examples/account.vel --format json
   {
@@ -48,11 +48,11 @@ dynamic soundness gate. A fully guarded program proves every block (exit
                   "reasons": [
                                {
                                  "site": "t0:1.0.3",
-                                 "detail": "write of balance is a second non-mover (no common guard) after the commit point"
+                                 "detail": "write of balance is a second non-mover (races with t1:1.0.3) after the commit point"
                                },
                                {
                                  "site": "t1:1.0.3",
-                                 "detail": "write of balance is a second non-mover (no common guard) after the commit point"
+                                 "detail": "write of balance is a second non-mover (races with t0:1.0.3) after the commit point"
                                }
                   ]
                 },
@@ -73,10 +73,124 @@ dynamic soundness gate. A fully guarded program proves every block (exit
     "summary": {
                  "blocks": 2,
                  "proved": 1,
-                 "unknown": 1
+                 "unknown": 1,
+                 "race_pairs": 3,
+                 "racy_vars": 1
     }
   }
   [1]
+
+The pairwise static race detector: account.vel's unguarded balance gives
+race pairs (exit 1), fully guarded programs report none (exit 0), and the
+JSON document passes the schema validator:
+
+  $ velodrome races ../examples/account.vel
+  race #1 on balance: read at t0:1.0.0 holding no locks and write at t1:1.0.3 holding no locks share no lock (endangers Teller.deposit)
+      read at t0:1.0.0 (14:12)
+      write at t1:1.0.3 (14:12)
+  race #2 on balance: write at t0:1.0.3 holding no locks and read at t1:1.0.0 holding no locks share no lock (endangers Teller.deposit)
+      write at t0:1.0.3 (14:12)
+      read at t1:1.0.0 (14:12)
+  race #3 on balance: write at t0:1.0.3 holding no locks and write at t1:1.0.3 holding no locks share no lock (endangers Teller.deposit)
+      write at t0:1.0.3 (14:12)
+      write at t1:1.0.3 (14:12)
+  3 race pairs on 1 variable (8 access sites)
+  [1]
+
+  $ velodrome races ../examples/guarded.vel
+  0 race pairs on 0 variables (10 access sites)
+
+  $ velodrome races ../examples/account.vel --format json
+  {
+    "file": "../examples/account.vel",
+    "pairs": [
+               {
+                 "var": "balance",
+                 "a": {
+                        "site": "t0:1.0.0",
+                        "access": "read",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "b": {
+                        "site": "t1:1.0.3",
+                        "access": "write",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "explanation": "read at t0:1.0.0 holding no locks and write at t1:1.0.3 holding no locks share no lock (endangers Teller.deposit)"
+               },
+               {
+                 "var": "balance",
+                 "a": {
+                        "site": "t0:1.0.3",
+                        "access": "write",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "b": {
+                        "site": "t1:1.0.0",
+                        "access": "read",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "explanation": "write at t0:1.0.3 holding no locks and read at t1:1.0.0 holding no locks share no lock (endangers Teller.deposit)"
+               },
+               {
+                 "var": "balance",
+                 "a": {
+                        "site": "t0:1.0.3",
+                        "access": "write",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "b": {
+                        "site": "t1:1.0.3",
+                        "access": "write",
+                        "locks": [],
+                        "atomic": "Teller.deposit",
+                        "position": {
+                                      "line": 14,
+                                      "col": 12
+                        }
+                 },
+                 "explanation": "write at t0:1.0.3 holding no locks and write at t1:1.0.3 holding no locks share no lock (endangers Teller.deposit)"
+               }
+    ],
+    "summary": {
+                 "pairs": 3,
+                 "racy_vars": 1,
+                 "access_sites": 8,
+                 "blocks": 2,
+                 "proved": 1
+    }
+  }
+  [1]
+
+  $ velodrome races ../examples/account.vel --format json > races.json
+  [1]
+  $ ../bench/validate_bench.exe races.json races
+  races.json: 1 races document ok
 
 An atomicity spec can silence methods:
 

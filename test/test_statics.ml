@@ -9,6 +9,8 @@ open Velodrome_sim
 open Velodrome_analysis
 module Cfg = Velodrome_statics.Cfg
 module Lockset = Velodrome_statics.Lockset
+module Mhp = Velodrome_statics.Mhp
+module Races = Velodrome_statics.Races
 module Movers = Velodrome_statics.Movers
 module Reduce = Velodrome_statics.Reduce
 module Statics = Velodrome_statics.Statics
@@ -111,11 +113,116 @@ let test_lockset_join_drops () =
   let n = write_of cfg p.Ast.names "x" in
   check Alcotest.(list int) "join drops m" [] (Lockset.locks_held ls n.Cfg.id)
 
+(* --- mhp -------------------------------------------------------------------- *)
+
+let test_mhp () =
+  let b = Builder.create () in
+  let x = Builder.var b "x" in
+  let outer = Builder.label b "outer" in
+  let inner = Builder.label b "inner" in
+  Builder.thread b
+    [
+      Builder.atomic outer
+        [ Builder.atomic inner [ Builder.write x (Builder.i 1) ] ];
+    ];
+  Builder.thread b [ Builder.work 2; Builder.yield ];
+  Builder.thread b [ Builder.read (Builder.fresh_reg b) x ];
+  let p = Builder.program b in
+  let names = p.Ast.names in
+  let cfg = Cfg.of_program p in
+  let mhp = Mhp.analyze cfg in
+  check Alcotest.int "three threads" 3 (Mhp.thread_count mhp);
+  check Alcotest.bool "writer thread effectful" true (Mhp.effectful mhp 0);
+  check Alcotest.bool "silent thread not effectful" false
+    (Mhp.effectful mhp 1);
+  check Alcotest.bool "writer MHP reader" true (Mhp.threads mhp 0 2);
+  check Alcotest.bool "no MHP with a silent thread" false
+    (Mhp.threads mhp 0 1);
+  check Alcotest.bool "no MHP with itself" false (Mhp.threads mhp 0 0);
+  let w = write_of cfg names "x" in
+  check
+    Alcotest.(list string)
+    "enclosing atomics innermost first" [ "inner"; "outer" ]
+    (List.map
+       (Velodrome_trace.Names.label_name names)
+       (Mhp.enclosing_atomics mhp w.Cfg.id));
+  check Alcotest.bool "reachable write" true (Mhp.reachable mhp w.Cfg.id)
+
+(* --- races ------------------------------------------------------------------- *)
+
+let races_of p =
+  let cfg = Cfg.of_program p in
+  let ls = Lockset.analyze cfg in
+  (cfg, Races.analyze p.Ast.names cfg ls (Mhp.analyze cfg))
+
+(* The single-writer/many-reader shape: the writer holds both pair locks,
+   each reader holds its own. Every conflicting pair shares a lock — no
+   race pair — yet no single lock guards all sites. *)
+let pairwise_free_src =
+  "var x; lock a; lock b; thread { sync a { sync b { x = 1; } } } thread { \
+   sync a { q <- x; } } thread { sync b { q <- x; } }"
+
+let test_races_pairwise_free () =
+  let p = parse pairwise_free_src in
+  let _, races = races_of p in
+  check Alcotest.int "no race pairs" 0 (Races.pair_count races);
+  check Alcotest.int "no racy vars" 0 (Races.racy_var_count races);
+  check Alcotest.int "three access sites" 3 (Races.access_sites races)
+
+let test_races_pairs () =
+  (* Same shape plus an unlocked reader: only the pairs against the
+     writer's write appear (read/read does not conflict), and only the
+     sites actually in a pair are racy. *)
+  let p =
+    parse
+      "var x; lock a; lock b; thread { sync a { sync b { x = 1; } } } \
+       thread { sync a { q <- x; } } thread { q <- x; }"
+  in
+  let cfg, races = races_of p in
+  check Alcotest.int "one race pair" 1 (Races.pair_count races);
+  let write_node = write_of cfg p.Ast.names "x" in
+  let x =
+    match write_node.Cfg.eff with Cfg.Write v -> v | _ -> assert false
+  in
+  check Alcotest.bool "x is racy" true (Races.racy_var races x);
+  let write_site = write_node.Cfg.site in
+  check Alcotest.bool "write site is racy" true
+    (Races.racy_site races write_site);
+  let bare_read =
+    find_node cfg (fun n ->
+        match n.Cfg.eff with
+        | Cfg.Read _ -> n.Cfg.site.Cfg.thread = 2
+        | _ -> false)
+  in
+  let locked_read =
+    find_node cfg (fun n ->
+        match n.Cfg.eff with
+        | Cfg.Read _ -> n.Cfg.site.Cfg.thread = 1
+        | _ -> false)
+  in
+  check Alcotest.bool "bare read is racy" true
+    (Races.racy_site races bare_read.Cfg.site);
+  check Alcotest.bool "locked read is pair-free" false
+    (Races.racy_site races locked_read.Cfg.site);
+  let pair = Option.get (Races.witness races write_site) in
+  check Alcotest.bool "witness joins write and bare read" true
+    (Cfg.site_compare (Races.other_end pair write_site).Races.site
+       bare_read.Cfg.site
+    = 0)
+
+let test_races_ignore_volatile () =
+  let p = parse "volatile v; thread 2 { v = 1; q <- v; }" in
+  let _, races = races_of p in
+  check Alcotest.int "volatiles never race statically" 0
+    (Races.pair_count races)
+
 (* --- movers ----------------------------------------------------------------- *)
 
-let movers_of p =
+let movers_of ?rule p =
   let cfg = Cfg.of_program p in
-  Movers.analyze p.Ast.names cfg (Lockset.analyze cfg)
+  let ls = Lockset.analyze cfg in
+  let mhp = Mhp.analyze cfg in
+  Movers.analyze ?rule p.Ast.names cfg ls (Races.analyze p.Ast.names cfg ls mhp)
 
 let klass_at p mv cfg name kind =
   let n =
@@ -144,10 +251,16 @@ let test_mover_classes () =
       k);
   check Alcotest.bool "ro is read-only both-mover" true
     (klass_at p mv cfg "ro" `R = Movers.Both Movers.Read_only);
-  check Alcotest.bool "u is unguarded non-mover" true
-    (klass_at p mv cfg "u" `W = Movers.Non Movers.Unguarded);
+  check Alcotest.bool "u is racy non-mover" true
+    (match klass_at p mv cfg "u" `W with
+    | Movers.Non (Movers.Racy _) -> true
+    | _ -> false);
   check Alcotest.bool "volatile is non-mover" true
-    (klass_at p mv cfg "w" `W = Movers.Non Movers.Volatile_access)
+    (klass_at p mv cfg "w" `W = Movers.Non Movers.Volatile_access);
+  (* The legacy rule still reports the coarse witness. *)
+  let mv_g = movers_of ~rule:Movers.Global_guard p in
+  check Alcotest.bool "u is unguarded under the global rule" true
+    (klass_at p mv_g cfg "u" `W = Movers.Non Movers.Unguarded)
 
 let test_mover_thread_local () =
   let p = parse "var p; var u; thread { p = 1; } thread { u = 1; }" in
@@ -155,6 +268,65 @@ let test_mover_thread_local () =
   let mv = movers_of p in
   check Alcotest.bool "single-thread var is both-mover" true
     (klass_at p mv cfg "p" `W = Movers.Both Movers.Thread_local)
+
+let test_mover_race_free () =
+  (* The pairwise rule proves the single-writer/many-reader shape that
+     has no global guard; the legacy rule cannot. *)
+  let p = parse pairwise_free_src in
+  let cfg = Cfg.of_program p in
+  let mv = movers_of p in
+  let write_node = write_of cfg p.Ast.names "x" in
+  let x =
+    match write_node.Cfg.eff with Cfg.Write v -> v | _ -> assert false
+  in
+  check Alcotest.bool "write is race-free both-mover" true
+    (Movers.at_site mv write_node.Cfg.site
+    = Some (Movers.Both Movers.Race_free));
+  check Alcotest.bool "race-free written var is suppressible" true
+    (Movers.suppressible mv x);
+  let mv_g = movers_of ~rule:Movers.Global_guard p in
+  check Alcotest.bool "global rule keeps it a non-mover" true
+    (Movers.at_site mv_g write_node.Cfg.site
+    = Some (Movers.Non Movers.Unguarded));
+  check Alcotest.bool "not suppressible under the global rule" false
+    (Movers.suppressible mv_g x)
+
+let test_mover_per_site () =
+  (* Per-site precision: one variable, a guarded reader and a bare
+     reader. Only the pair (write, bare read) races, so the guarded read
+     keeps its both-mover class while the bare read turns non-mover with
+     the write as witness. *)
+  let p =
+    parse
+      "var x; lock a; thread { sync a { x = 1; } } thread { sync a { q <- \
+       x; } } thread { q <- x; }"
+  in
+  let cfg = Cfg.of_program p in
+  let mv = movers_of p in
+  let locked_read =
+    find_node cfg (fun n ->
+        match n.Cfg.eff with
+        | Cfg.Read _ -> n.Cfg.site.Cfg.thread = 1
+        | _ -> false)
+  in
+  let bare_read =
+    find_node cfg (fun n ->
+        match n.Cfg.eff with
+        | Cfg.Read _ -> n.Cfg.site.Cfg.thread = 2
+        | _ -> false)
+  in
+  let write_node = write_of cfg p.Ast.names "x" in
+  check Alcotest.bool "guarded read stays a both-mover" true
+    (match Movers.at_site mv locked_read.Cfg.site with
+    | Some (Movers.Both _) -> true
+    | _ -> false);
+  check Alcotest.bool "bare read races with the write" true
+    (Movers.at_site mv bare_read.Cfg.site
+    = Some (Movers.Non (Movers.Racy write_node.Cfg.site)));
+  check Alcotest.bool "write races too" true
+    (match Movers.at_site mv write_node.Cfg.site with
+    | Some (Movers.Non (Movers.Racy _)) -> true
+    | _ -> false)
 
 let test_mover_lock_ops () =
   let p = parse "var g; lock m; thread 2 { sync m { sync m { g = 1; } } }" in
@@ -232,6 +404,42 @@ let test_reduce_single_non_mover () =
     (proved
        (verdict_of "var x; thread 2 { atomic \"a\" { x = 1; } }" "a"))
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let test_reduce_while_acquire_release () =
+  (* Regression for the While fixpoint: a body that acquires AND releases
+     the lock re-enters the loop head in the post phase, so the join at
+     the head must converge (not oscillate) and flag the second
+     iteration's acquire as a right-mover past the commit point. *)
+  let v =
+    verdict_of
+      "var g; lock m; thread 2 { atomic \"a\" { k = 0; while (k < 2) { \
+       acquire m; g = g + 1; release m; k = k + 1; } } }"
+      "a"
+  in
+  check Alcotest.bool "acquire/release loop body is unknown" false (proved v);
+  (match v with
+  | Reduce.Unknown reasons ->
+    check Alcotest.bool "the looping acquire is the reason" true
+      (List.exists
+         (fun (r : Reduce.reason) ->
+           contains r.Reduce.detail "right-mover after the commit point")
+         reasons)
+  | Reduce.Proved_atomic -> ());
+  (* The fixpoint must not poison the sound variant: hoisting the
+     acquire/release around the loop keeps the block proved. *)
+  check Alcotest.bool "hoisted acquire/release still proved" true
+    (proved
+       (verdict_of
+          "var g; lock m; thread 2 { atomic \"a\" { acquire m; k = 0; \
+           while (k < 2) { g = g + 1; k = k + 1; } release m; } }"
+          "a"))
+
 (* --- whole-pipeline sanity over the workload suite -------------------------- *)
 
 let test_workloads_analyze () =
@@ -259,6 +467,23 @@ let test_workloads_analyze () =
   in
   check Alcotest.bool "multiset keeps unproved blocks" true
     (Statics.proved_count multiset < Statics.block_count multiset)
+
+let test_handoff_precision () =
+  (* The acceptance example for the pairwise rule: the handoff workload
+     is fully proved pairwise yet completely unprovable under the legacy
+     global-guard rule, because the payload has per-reader pair locks and
+     no common guard. *)
+  let program =
+    (Option.get (Workload.find "handoff")).Workload.build Workload.Small
+  in
+  let st = Statics.analyze program in
+  let st_global = Statics.analyze ~rule:Movers.Global_guard program in
+  check Alcotest.int "handoff has no race pairs" 0
+    (Statics.race_pair_count st);
+  check Alcotest.int "pairwise proves both methods"
+    (Statics.block_count st) (Statics.proved_count st);
+  check Alcotest.int "global rule proves neither" 0
+    (Statics.proved_count st_global)
 
 (* --- generated programs ------------------------------------------------------ *)
 
@@ -288,17 +513,41 @@ let gate_configs seed =
     { Run.default_config with policy = Run.Random seed; adversarial = true };
   ]
 
-(* Run dynamic Velodrome and return every label the blame analysis
-   refuted. *)
-let refuted_labels program config =
+(* Run dynamic Velodrome plus the two race detectors; return every label
+   the blame analysis refuted and every variable Eraser or the
+   happens-before detector warned about. *)
+let dynamic_results program config =
   let names = program.Ast.names in
-  let backend = Backend.make (Velodrome_core.Engine.backend ()) names in
-  let res = Run.run ~config program [ backend ] in
-  List.concat_map (fun (w : Warning.t) -> w.Warning.refuted) res.Run.warnings
+  let backends =
+    [
+      Backend.make (Velodrome_core.Engine.backend ()) names;
+      Backend.make (Velodrome_eraser.Eraser.backend ()) names;
+      Backend.make (Velodrome_hbrace.Hbrace.backend ()) names;
+    ]
+  in
+  let res = Run.run ~config program backends in
+  let refuted =
+    List.concat_map (fun (w : Warning.t) -> w.Warning.refuted) res.Run.warnings
+  in
+  let race_vars =
+    List.filter_map
+      (fun (w : Warning.t) ->
+        match (w.Warning.kind, w.Warning.var) with
+        | Warning.Race, Some x -> Some x
+        | _ -> None)
+      res.Run.warnings
+  in
+  (refuted, race_vars)
 
+(* Both directions of the soundness gate: no proved block is ever refuted
+   by dynamic Velodrome, and every dynamic race warning is covered by a
+   static race pair on the same variable (a pair-free variable is
+   race-free on every execution). *)
 let assert_gate what program st =
+  let races = Statics.races st in
   List.iteri
     (fun k config ->
+      let refuted, race_vars = dynamic_results program config in
       List.iter
         (fun l ->
           if Statics.proved st l then
@@ -308,7 +557,17 @@ let assert_gate what program st =
               what
               (Velodrome_trace.Names.label_name program.Ast.names l)
               k)
-        (refuted_labels program config))
+        refuted;
+      List.iter
+        (fun x ->
+          if not (Velodrome_statics.Races.racy_var races x) then
+            Alcotest.failf
+              "%s: dynamic race on %s covered by no static race pair \
+               (schedule %d)"
+              what
+              (Velodrome_trace.Names.var_name program.Ast.names x)
+              k)
+        race_vars)
     (gate_configs 7)
 
 let prop_gate_generated =
@@ -413,14 +672,25 @@ let suite =
       Alcotest.test_case "cfg loop back edge" `Quick test_cfg_loop_backedge;
       Alcotest.test_case "lockset must" `Quick test_lockset_must;
       Alcotest.test_case "lockset join drops" `Quick test_lockset_join_drops;
+      Alcotest.test_case "mhp" `Quick test_mhp;
+      Alcotest.test_case "races pairwise-free" `Quick
+        test_races_pairwise_free;
+      Alcotest.test_case "races pairs" `Quick test_races_pairs;
+      Alcotest.test_case "races ignore volatile" `Quick
+        test_races_ignore_volatile;
       Alcotest.test_case "mover classes" `Quick test_mover_classes;
       Alcotest.test_case "mover thread-local" `Quick test_mover_thread_local;
+      Alcotest.test_case "mover race-free" `Quick test_mover_race_free;
+      Alcotest.test_case "mover per-site" `Quick test_mover_per_site;
       Alcotest.test_case "mover lock ops" `Quick test_mover_lock_ops;
       Alcotest.test_case "reduce proved" `Quick test_reduce_proved;
       Alcotest.test_case "reduce unknown" `Quick test_reduce_unknown;
       Alcotest.test_case "reduce commit point" `Quick
         test_reduce_single_non_mover;
+      Alcotest.test_case "reduce while acquire/release" `Quick
+        test_reduce_while_acquire_release;
       Alcotest.test_case "workloads analyze" `Quick test_workloads_analyze;
+      Alcotest.test_case "handoff precision" `Quick test_handoff_precision;
       QCheck_alcotest.to_alcotest prop_generated_wellformed;
       QCheck_alcotest.to_alcotest prop_gate_generated;
       Alcotest.test_case "gate: workloads" `Quick test_gate_workloads;

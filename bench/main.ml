@@ -14,6 +14,10 @@
 
    Run with: dune exec bench/main.exe *)
 
+(* Raw monotonic timestamps; aliased before the opens because Toolkit
+   shadows [Monotonic_clock] with its MEASURE instance. *)
+module Mclock = Monotonic_clock
+
 open Bechamel
 open Toolkit
 open Velodrome_trace
@@ -584,18 +588,41 @@ type statics_row = {
   s_size : string;
   blocks : int;
   proved : int;
+  proved_lipton : int;  (** proof-rule breakdown: Lipton reduction *)
+  proved_cycle_free : int;  (** conflict-graph cycle-freedom *)
+  may_violate : int;
+  unknown : int;
   proved_global : int;  (** under the legacy whole-variable guard rule *)
   races : int;  (** static race pairs (pairwise rule) *)
+  analysis_ms : float;
+      (** wall time of one full static analysis, monotonic clock *)
   events_total : int;
   events_suppressed : int;
+  events_suppressed_lipton : int;
+      (** with the proved set restricted to Lipton-proved blocks — the
+          delta against [events_suppressed] is what cycle-freedom buys *)
   events_suppressed_global : int;
   suppressed_pct : float;
+  suppressed_pct_lipton : float;
   suppressed_pct_global : float;
   unfiltered_sec : float;
   filtered_sec : float;
   speedup : float;
   warnings_identical : bool;
 }
+
+(* The bench artifact records how long the static pre-pass itself takes;
+   gettimeofday can step under NTP, so this one is measured on the
+   monotonic clock. *)
+let time_ms_best ~repeats f =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Mclock.now () in
+    f ();
+    let dt = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e6 in
+    if dt < !best then best := dt
+  done;
+  !best
 
 (* Each fixture is analyzed under both mover rules; the delta between
    [proved] and [proved_global] (and between the two suppressed-event
@@ -609,8 +636,11 @@ let statics_bench ~repeats ~size ~size_name fixture =
   let st_global =
     Statics.analyze ~rule:Velodrome_statics.Movers.Global_guard program
   in
-  let filter_of st b =
-    let proved, suppress_var = Statics.filter_predicates st in
+  let analysis_ms =
+    time_ms_best ~repeats (fun () -> ignore (Statics.analyze program))
+  in
+  let filter_of ?lipton_only st b =
+    let proved, suppress_var = Statics.filter_predicates ?lipton_only st in
     Filters.static_atomic ~proved ~suppress_var b
   in
   let static_filter = filter_of st in
@@ -628,6 +658,7 @@ let statics_bench ~repeats ~size ~size_name fixture =
   in
   let events_total = count_with Fun.id in
   let events_filtered = count_with static_filter in
+  let events_filtered_lipton = count_with (filter_of ~lipton_only:true st) in
   let events_filtered_global = count_with (filter_of st_global) in
   let velodrome_run wrap =
     (Velodrome_sim.Run.run ~config program
@@ -645,6 +676,7 @@ let statics_bench ~repeats ~size ~size_name fixture =
     = projected st names (velodrome_run static_filter)
   in
   let suppressed = events_total - events_filtered in
+  let suppressed_lipton = events_total - events_filtered_lipton in
   let suppressed_global = events_total - events_filtered_global in
   let pct n =
     if events_total = 0 then 0.
@@ -655,12 +687,19 @@ let statics_bench ~repeats ~size ~size_name fixture =
     s_size = size_name;
     blocks = Statics.block_count st;
     proved = Statics.proved_count st;
+    proved_lipton = Statics.proved_lipton_count st;
+    proved_cycle_free = Statics.proved_cycle_free_count st;
+    may_violate = Statics.may_violate_count st;
+    unknown = Statics.unknown_count st;
     proved_global = Statics.proved_count st_global;
     races = Statics.race_pair_count st;
+    analysis_ms;
     events_total;
     events_suppressed = suppressed;
+    events_suppressed_lipton = suppressed_lipton;
     events_suppressed_global = suppressed_global;
     suppressed_pct = pct suppressed;
+    suppressed_pct_lipton = pct suppressed_lipton;
     suppressed_pct_global = pct suppressed_global;
     unfiltered_sec;
     filtered_sec;
@@ -676,13 +715,20 @@ let statics_row_json r =
       ("size", String r.s_size);
       ("blocks", Int r.blocks);
       ("proved", Int r.proved);
+      ("proved_lipton", Int r.proved_lipton);
+      ("proved_cycle_free", Int r.proved_cycle_free);
+      ("may_violate", Int r.may_violate);
+      ("unknown", Int r.unknown);
       ("proved_global", Int r.proved_global);
       ("proved_delta", Int (r.proved - r.proved_global));
       ("races", Int r.races);
+      ("analysis_ms", Float r.analysis_ms);
       ("events_total", Int r.events_total);
       ("events_suppressed", Int r.events_suppressed);
+      ("events_suppressed_lipton", Int r.events_suppressed_lipton);
       ("events_suppressed_global", Int r.events_suppressed_global);
       ("suppressed_pct", Float r.suppressed_pct);
+      ("suppressed_pct_lipton", Float r.suppressed_pct_lipton);
       ("suppressed_pct_global", Float r.suppressed_pct_global);
       ("unfiltered_sec", Float r.unfiltered_sec);
       ("filtered_sec", Float r.filtered_sec);
@@ -691,7 +737,9 @@ let statics_row_json r =
     ]
 
 let run_statics_benches ~smoke =
-  let fixtures = [ "multiset"; "jbb"; "mtrt"; "raja"; "handoff" ] in
+  let fixtures =
+    [ "multiset"; "jbb"; "mtrt"; "raja"; "handoff"; "snapshot" ]
+  in
   let rows =
     if smoke then
       List.map
@@ -702,16 +750,18 @@ let run_statics_benches ~smoke =
         (statics_bench ~repeats:3 ~size:Workload.Medium ~size_name:"medium")
         fixtures
   in
-  Printf.printf "%-12s %-7s %7s %11s %6s %9s %11s %7s %8s %9s %10s\n" "fixture"
-    "size" "blocks" "prv/global" "races" "events" "suppressed" "supp-%"
-    "glob-%" "speedup" "warn-same";
+  Printf.printf "%-12s %-7s %7s %9s %11s %6s %9s %9s %7s %7s %8s %9s %10s\n"
+    "fixture" "size" "blocks" "lip/cf" "prv/global" "races" "anls-ms"
+    "events" "supp-%" "lip-%" "glob-%" "speedup" "warn-same";
   List.iter
     (fun r ->
       Printf.printf
-        "%-12s %-7s %7d %7d/%3d %6d %9d %11d %6.1f%% %7.1f%% %8.2fx %10b\n"
-        r.s_fixture r.s_size r.blocks r.proved r.proved_global r.races
-        r.events_total r.events_suppressed r.suppressed_pct
-        r.suppressed_pct_global r.speedup r.warnings_identical)
+        "%-12s %-7s %7d %5d/%3d %7d/%3d %6d %9.2f %9d %6.1f%% %6.1f%% \
+         %7.1f%% %8.2fx %10b\n"
+        r.s_fixture r.s_size r.blocks r.proved_lipton r.proved_cycle_free
+        r.proved r.proved_global r.races r.analysis_ms r.events_total
+        r.suppressed_pct r.suppressed_pct_lipton r.suppressed_pct_global
+        r.speedup r.warnings_identical)
     rows;
   let oc = open_out "BENCH_statics.json" in
   Fun.protect

@@ -45,13 +45,20 @@ let schema = function
       ("size", S);
       ("blocks", I);
       ("proved", I);
+      ("proved_lipton", I);
+      ("proved_cycle_free", I);
+      ("may_violate", I);
+      ("unknown", I);
       ("proved_global", I);
       ("proved_delta", I);
       ("races", I);
+      ("analysis_ms", N);
       ("events_total", I);
       ("events_suppressed", I);
+      ("events_suppressed_lipton", I);
       ("events_suppressed_global", I);
       ("suppressed_pct", N);
+      ("suppressed_pct_lipton", N);
       ("suppressed_pct_global", N);
       ("unfiltered_sec", N);
       ("filtered_sec", N);
@@ -182,14 +189,29 @@ let check_analyze_doc ctx v =
         let ctx = Printf.sprintf "%s.blocks[%d]" ctx i in
         let bf = obj_fields ctx b in
         expect_field ctx bf "label" S;
-        match get ctx bf "verdict" with
-        | Json.String ("proved-atomic" | "unknown") -> ()
-        | _ -> fail ctx "verdict is not \"proved-atomic\" or \"unknown\"")
+        (match get ctx bf "verdict" with
+        | Json.String ("proved-atomic" | "may-violate" | "unknown") -> ()
+        | _ ->
+          fail ctx
+            "verdict is not \"proved-atomic\", \"may-violate\" or \
+             \"unknown\"");
+        match get ctx bf "proof" with
+        | Json.Null | Json.String ("lipton" | "cycle-free") -> ()
+        | _ -> fail ctx "proof is not \"lipton\", \"cycle-free\" or null")
       bs
   | _ -> fail ctx "blocks is not an array");
   let s = obj_fields (ctx ^ ".summary") (get ctx f "summary") in
   check_ints (ctx ^ ".summary") s
-    [ "blocks"; "proved"; "unknown"; "race_pairs"; "racy_vars" ];
+    [
+      "blocks";
+      "proved";
+      "proved_lipton";
+      "proved_cycle_free";
+      "may_violate";
+      "unknown";
+      "race_pairs";
+      "racy_vars";
+    ];
   (match List.assoc_opt "gate" f with
   | None -> ()
   | Some g ->
@@ -200,6 +222,9 @@ let check_analyze_doc ctx v =
     (match get ctx gf "mismatches" with
     | Json.List _ -> ()
     | _ -> fail ctx "mismatches is not an array");
+    (match get ctx gf "uncovered_blames" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "uncovered_blames is not an array");
     match get ctx gf "uncovered_races" with
     | Json.List _ -> ()
     | _ -> fail ctx "uncovered_races is not an array");

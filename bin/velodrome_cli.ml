@@ -320,7 +320,11 @@ module Statics = Velodrome_statics.Statics
    both directions of the static story. The full Velodrome engine must
    never refute a statically-proved block (Theorem 1 makes blame a
    completeness claim — the transaction really is non-serializable — so a
-   single mismatch is a statics bug, not scheduling noise), and every
+   single mismatch is a statics bug, not scheduling noise); every block
+   it does blame must be statically may-violate, since the conflict
+   graph over-approximates every dynamic happens-before edge and a blame
+   is a real cycle (a blamed block that is merely Unknown means the
+   budget valve fired, which these program sizes never reach); and every
    dynamic race warning from the Eraser and happens-before back-ends must
    land on a variable the pairwise static detector also flags: a
    variable in no static race pair is race-free on every execution, so
@@ -340,18 +344,33 @@ let gate_schedules seeds =
 type gate_result = {
   gate_warnings : int;  (** dynamic warnings across all schedules *)
   blame_mismatches : (string * string) list;  (** schedule, proved label *)
+  uncovered_blames : (string * string) list;
+      (** schedule, dynamically blamed label whose static verdict is not
+          may-violate — the coverage direction of the gate *)
   uncovered_races : (string * string * string) list;
       (** schedule, analysis, variable with a dynamic race warning but no
           static race pair *)
 }
 
-let gate_ok g = g.blame_mismatches = [] && g.uncovered_races = []
+let gate_ok g =
+  g.blame_mismatches = [] && g.uncovered_blames = [] && g.uncovered_races = []
+
+let may_violate st l =
+  List.exists
+    (fun b ->
+      Velodrome_trace.Ids.Label.equal b.Statics.label l
+      &&
+      match b.Statics.verdict with
+      | Statics.May_violate _ -> true
+      | _ -> false)
+    (Statics.blocks st)
 
 let run_gate program st seeds =
   let names = program.Velodrome_sim.Ast.names in
   let races = Statics.races st in
   let warnings = ref 0 in
   let blame = ref [] in
+  let unblamed = ref [] in
   let uncovered = ref [] in
   List.iter
     (fun (desc, policy, adversarial) ->
@@ -373,7 +392,11 @@ let run_gate program st seeds =
             (fun l ->
               if Statics.proved st l then
                 blame :=
-                  (desc, Velodrome_trace.Names.label_name names l) :: !blame)
+                  (desc, Velodrome_trace.Names.label_name names l) :: !blame
+              else if not (may_violate st l) then
+                unblamed :=
+                  (desc, Velodrome_trace.Names.label_name names l)
+                  :: !unblamed)
             w.Warning.refuted;
           match (w.Warning.kind, w.Warning.var) with
           | Warning.Race, Some x
@@ -389,8 +412,27 @@ let run_gate program st seeds =
   {
     gate_warnings = !warnings;
     blame_mismatches = List.rev !blame;
+    uncovered_blames = List.sort_uniq compare !unblamed;
     uncovered_races = List.sort_uniq compare !uncovered;
   }
+
+(* A gate failure on a generated program is only actionable if it can be
+   replayed. Print the progen seed, the program's structured families and
+   the offending schedule on stderr, plus the single command that
+   reproduces the run. The shape is pinned by `analyze --replay-demo` in
+   the cram suite, so scripts can rely on it. *)
+let print_generated_replay ~gen_seed ~families ~schedule ~seeds =
+  Printf.eprintf
+    "gate: generated program FAILED: progen seed %d, family %s, schedule \
+     %s\n"
+    gen_seed
+    (String.concat "+" families)
+    schedule;
+  Printf.eprintf
+    "gate: replay: velodrome analyze --generated 1 --gen-seed %d --seeds \
+     %s --gate\n"
+    gen_seed
+    (String.concat "," (List.map string_of_int seeds))
 
 let analyze_cmd =
   let target =
@@ -430,27 +472,90 @@ let analyze_cmd =
       & info [ "seeds" ] ~docv:"LIST"
           ~doc:"Scheduler seeds for the --gate runs.")
   in
-  let run target all fmt gate races size seeds =
-    let targets =
+  let graph =
+    Arg.(
+      value & flag
+      & info [ "graph" ]
+          ~doc:
+            "Also report the static transactional conflict graph: node \
+             and edge counts by sort, budget status, and one witness \
+             cycle per may-violate block.")
+  in
+  let dot_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write the static conflict graph and each witness cycle as \
+             dot files, mirroring the dynamic error graphs of 'run \
+             --dot'.")
+  in
+  let generated =
+    Arg.(
+      value & opt int 0
+      & info [ "generated" ] ~docv:"N"
+          ~doc:
+            "Additionally analyze (and with --gate, replay) N generated \
+             programs with consecutive progen seeds starting at \
+             --gen-seed.")
+  in
+  let gen_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "gen-seed" ] ~docv:"S"
+          ~doc:"First progen seed for --generated.")
+  in
+  let replay_demo =
+    Arg.(
+      value & flag
+      & info [ "replay-demo" ]
+          ~doc:
+            "Print the replay message a failing generated gate would \
+             emit (for pinning its shape in tests) and exit.")
+  in
+  let run target all fmt gate races graph dot_dir generated gen_seed
+      replay_demo size seeds =
+    if replay_demo then begin
+      print_generated_replay ~gen_seed:7
+        ~families:[ "publication"; "snapshot" ]
+        ~schedule:"adversarial(seed 2)" ~seeds;
+      exit 0
+    end;
+    let named =
       if all then
         List.map
           (fun w ->
-            (w.Workload.name, w.Workload.build size, fun _ -> None))
+            (w.Workload.name, w.Workload.build size, (fun _ -> None), None))
           Workload.all
       else
         match target with
+        | None when generated > 0 -> []
         | None ->
           Printf.eprintf "analyze: a TARGET (or --all) is required\n";
           exit 2
         | Some name ->
           let program, pos = build_program_info name size in
-          [ (name, program, pos) ]
+          [ (name, program, pos, None) ]
+    in
+    let targets =
+      named
+      @ List.init generated (fun k ->
+            let s = gen_seed + k in
+            let program, info =
+              Velodrome_sim.Progen.generate_info
+                (Velodrome_util.Rng.create s)
+            in
+            ( Printf.sprintf "generated(progen seed %d)" s,
+              program,
+              (fun _ -> None),
+              Some (s, info.Velodrome_sim.Progen.families) ))
     in
     let any_unknown = ref false in
     let gate_failed = ref false in
     let results =
       List.map
-        (fun (name, program, pos) ->
+        (fun (name, program, pos, origin) ->
           (match Velodrome_lang.Check.check_program program with
           | Ok () -> ()
           | Error errs ->
@@ -466,7 +571,26 @@ let analyze_cmd =
           let gate_result =
             if gate then begin
               let g = run_gate program st seeds in
-              if not (gate_ok g) then gate_failed := true;
+              if not (gate_ok g) then begin
+                gate_failed := true;
+                match origin with
+                | Some (s, families) ->
+                  let schedule =
+                    match
+                      ( g.blame_mismatches,
+                        g.uncovered_blames,
+                        g.uncovered_races )
+                    with
+                    | (sched, _) :: _, _, _
+                    | _, (sched, _) :: _, _
+                    | _, _, (sched, _, _) :: _ ->
+                      sched
+                    | [], [], [] -> "unknown"
+                  in
+                  print_generated_replay ~gen_seed:s ~families ~schedule
+                    ~seeds
+                | None -> ()
+              end;
               Some g
             end
             else None
@@ -479,15 +603,17 @@ let analyze_cmd =
     | `Human ->
       List.iter
         (fun (name, pos, st, gate_result) ->
-          if all then Format.printf "== %s ==@." name;
+          if all || generated > 0 then Format.printf "== %s ==@." name;
           Format.printf "%a" (Statics.pp_human ~pos) st;
           if races then Format.printf "%a" (Statics.pp_races_human ~pos) st;
+          if graph then Format.printf "%a" Statics.pp_graph_human st;
           match gate_result with
           | None -> ()
           | Some g when gate_ok g ->
             Format.printf
               "soundness gate: OK (%d schedules, %d dynamic warnings, no \
-               proved block blamed, every dynamic race statically covered)@."
+               proved block blamed, every blamed block may-violate, every \
+               dynamic race statically covered)@."
               schedules g.gate_warnings
           | Some g ->
             List.iter
@@ -497,6 +623,13 @@ let analyze_cmd =
                    %s@."
                   label sched)
               g.blame_mismatches;
+            List.iter
+              (fun (sched, label) ->
+                Format.printf
+                  "soundness gate: FAILED: blamed block %s is not \
+                   statically may-violate under %s@."
+                  label sched)
+              g.uncovered_blames;
             List.iter
               (fun (sched, analysis, var) ->
                 Format.printf
@@ -511,13 +644,22 @@ let analyze_cmd =
         List.map
           (fun (name, pos, st, gate_result) ->
             let base = Statics.to_json ~pos ~file:name st in
-            let with_races doc =
+            let with_extras doc =
               match doc with
-              | Obj fields when races ->
-                Obj (fields @ [ ("races", Statics.races_to_json ~pos st) ])
+              | Obj fields ->
+                let fields =
+                  if races then
+                    fields @ [ ("races", Statics.races_to_json ~pos st) ]
+                  else fields
+                in
+                let fields =
+                  if graph then fields @ [ ("graph", Statics.graph_json st) ]
+                  else fields
+                in
+                Obj fields
               | doc -> doc
             in
-            with_races
+            with_extras
               (match (base, gate_result) with
               | Obj fields, Some g ->
                 Obj
@@ -538,6 +680,16 @@ let analyze_cmd =
                                          ("schedule", String sched);
                                        ])
                                    g.blame_mismatches) );
+                            ( "uncovered_blames",
+                              List
+                                (List.map
+                                   (fun (sched, label) ->
+                                     Obj
+                                       [
+                                         ("label", String label);
+                                         ("schedule", String sched);
+                                       ])
+                                   g.uncovered_blames) );
                             ( "uncovered_races",
                               List
                                 (List.map
@@ -555,8 +707,37 @@ let analyze_cmd =
               | doc, _ -> doc))
           results
       in
-      let out = match docs with [ d ] when not all -> d | ds -> List ds in
+      let out =
+        match docs with
+        | [ d ] when (not all) && generated = 0 -> d
+        | ds -> List ds
+      in
       print_endline (to_string out));
+    Option.iter
+      (fun dir ->
+        (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+        List.iter
+          (fun (name, _, st, _) ->
+            let slug =
+              String.map
+                (function '.' | '/' | '(' | ')' | ' ' -> '_' | c -> c)
+                name
+            in
+            List.iter
+              (fun (kind, dot) ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "%s.%s.dot" slug kind)
+                in
+                let oc = open_out path in
+                output_string oc dot;
+                close_out oc;
+                match fmt with
+                | `Human -> Printf.printf "static graph written to %s\n" path
+                | `Json -> ())
+              (Statics.graph_dots st))
+          results)
+      dot_dir;
     if !gate_failed then exit 1;
     if (not gate) && !any_unknown then exit 1
   in
@@ -564,13 +745,14 @@ let analyze_cmd =
     (Cmd.info "analyze"
        ~doc:
          "Static atomicity pre-pass: per-thread CFGs, must-lockset \
-          dataflow, Lipton mover classification and a reduction check per \
-          atomic block. Exits 0 when every block is proved atomic, 1 \
-          otherwise (or on a failed --gate)."
+          dataflow, Lipton mover classification, a reduction check per \
+          atomic block and a transactional conflict-graph cycle search. \
+          Exits 0 when every block is proved atomic, 1 otherwise (or on \
+          a failed --gate)."
        ~exits)
     Term.(
-      const run $ target $ all $ format_arg $ gate $ races_flag $ size_arg
-      $ seeds)
+      const run $ target $ all $ format_arg $ gate $ races_flag $ graph
+      $ dot_dir $ generated $ gen_seed $ replay_demo $ size_arg $ seeds)
 
 (* --- races ------------------------------------------------------------------- *)
 

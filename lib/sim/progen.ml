@@ -124,7 +124,9 @@ and atomic_block ctx ~depth =
   in
   Builder.atomic label body
 
-let generate ?(config = default) rng =
+type info = { families : string list }
+
+let generate_info ?(config = default) rng =
   let b = Builder.create () in
   let nthreads = 2 + Rng.int rng (max 1 (config.max_threads - 1)) in
   let locks =
@@ -222,4 +224,63 @@ let generate ?(config = default) rng =
       (* Every thread carries at least one atomic block so each program
          exercises the reduction check. *)
       publish_items t @ (atomic_block ctx ~depth:2 :: items));
-  Builder.program b
+  (* Read-shared snapshot + one-way publish: a few fresh cells, each
+     written once by its own dedicated writer thread; one collector
+     thread reading every cell in a single atomic block; and a data/flag
+     pair written in order by one thread and checked flag-then-data by
+     one gate reader. Both multi-read blocks race (Lipton rejects them —
+     two racy reads are two non-movers) yet are serializable on every
+     execution, so only the conflict-graph cycle-freedom rule proves
+     them. The shape is deliberately rigid: the cells live outside the
+     guarded/free pools and the extra threads carry nothing random, so
+     no generated item can add a second reader block over the same cells
+     or a single writer covering two of them — the two perturbations
+     that make the pattern genuinely violable. *)
+  let snapshot = Rng.int rng 3 > 0 in
+  if snapshot then begin
+    let ncells = 2 + Rng.int rng 2 in
+    let cells =
+      Array.init ncells (fun i -> Builder.var b (Printf.sprintf "snap%d" i))
+    in
+    Array.iteri
+      (fun i c ->
+        Builder.thread b
+          [
+            Builder.work (1 + (i mod 3));
+            Builder.write c (Builder.i (Rng.int rng 64));
+          ])
+      cells;
+    Builder.thread b
+      (let regs = Array.map (fun _ -> Builder.fresh_reg b) cells in
+       [
+         Builder.work 2;
+         Builder.atomic
+           (Builder.label b "gen.snap.collect")
+           (Array.to_list
+              (Array.mapi (fun i reg -> Builder.read reg cells.(i)) regs));
+       ]);
+    let data = Builder.var b "snapdata" in
+    let flag = Builder.var b "snapflag" in
+    Builder.thread b
+      [
+        Builder.write data (Builder.i (Rng.int rng 64));
+        Builder.write flag (Builder.i 1);
+      ];
+    Builder.thread b
+      (let f = Builder.fresh_reg b in
+       let d = Builder.fresh_reg b in
+       [
+         Builder.work 1;
+         Builder.atomic
+           (Builder.label b "gen.snap.check")
+           [ Builder.read f flag; Builder.read d data ];
+       ])
+  end;
+  let families =
+    (if publish <> None then [ "publication" ] else [])
+    @ if snapshot then [ "snapshot" ] else []
+  in
+  let families = if families = [] then [ "core" ] else families in
+  (Builder.program b, { families })
+
+let generate ?config rng = fst (generate_info ?config rng)

@@ -27,6 +27,17 @@ type config = {
 
 val default : config
 
+type info = {
+  families : string list;
+      (** which structured families the program carries —
+          ["publication"] and/or ["snapshot"], or ["core"] when only the
+          random mix was emitted. Gate failures report this so a failing
+          generated program can be triaged by shape. *)
+}
+
 val generate : ?config:config -> Velodrome_util.Rng.t -> Ast.program
 (** Deterministic in the generator state: equal seeds give equal
     programs. *)
+
+val generate_info : ?config:config -> Velodrome_util.Rng.t -> Ast.program * info
+(** [generate] plus the family breakdown of the emitted program. *)

@@ -1,0 +1,92 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type kind = Var_conflict of Var.t | Lock_order of Lock.t
+
+type edge = { src : int; dst : int; kind : kind }
+
+(* Ascending int lists share no element. *)
+let rec disjoint xs ys =
+  match (xs, ys) with
+  | [], _ | _, [] -> true
+  | x :: xs', y :: ys' ->
+    if x = y then false
+    else if x < y then disjoint xs' ys
+    else disjoint xs ys'
+
+let edges (cfg : Cfg.t) locksets mhp =
+  let by_var : (int, (Cfg.node * bool * int list) list ref) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let releases : (int, Cfg.node list ref) Hashtbl.t = Hashtbl.create 16 in
+  let acquires : (int, Cfg.node list ref) Hashtbl.t = Hashtbl.create 16 in
+  let push tbl k v =
+    match Hashtbl.find_opt tbl k with
+    | Some l -> l := v :: !l
+    | None -> Hashtbl.replace tbl k (ref [ v ])
+  in
+  Cfg.iter_nodes
+    (fun n ->
+      if Mhp.reachable mhp n.Cfg.id then
+        match n.Cfg.eff with
+        | Cfg.Read x ->
+          push by_var (Var.to_int x)
+            (n, false, Lockset.locks_held locksets n.Cfg.id)
+        | Cfg.Write x ->
+          push by_var (Var.to_int x)
+            (n, true, Lockset.locks_held locksets n.Cfg.id)
+        | Cfg.Acquire m -> push acquires (Lock.to_int m) n
+        | Cfg.Release m -> push releases (Lock.to_int m) n
+        | Cfg.Enter _ | Cfg.Exit _ | Cfg.Silent -> ())
+    cfg;
+  let out = ref [] in
+  Hashtbl.iter
+    (fun var_id accs ->
+      let var = Var.of_int var_id in
+      let accs = Array.of_list !accs in
+      let n = Array.length accs in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          let a, aw, al = accs.(i) and b, bw, bl = accs.(j) in
+          if
+            (aw || bw)
+            && Mhp.concurrent mhp a b
+            && disjoint al bl
+          then begin
+            out :=
+              { src = a.Cfg.id; dst = b.Cfg.id; kind = Var_conflict var }
+              :: { src = b.Cfg.id; dst = a.Cfg.id; kind = Var_conflict var }
+              :: !out
+          end
+        done
+      done)
+    by_var;
+  Hashtbl.iter
+    (fun lock_id rels ->
+      let lock = Lock.of_int lock_id in
+      let acqs =
+        match Hashtbl.find_opt acquires lock_id with
+        | Some l -> !l
+        | None -> []
+      in
+      List.iter
+        (fun (r : Cfg.node) ->
+          List.iter
+            (fun (a : Cfg.node) ->
+              if r.Cfg.site.Cfg.thread <> a.Cfg.site.Cfg.thread then
+                out :=
+                  { src = r.Cfg.id; dst = a.Cfg.id; kind = Lock_order lock }
+                  :: !out)
+            acqs)
+        !rels)
+    releases;
+  List.sort
+    (fun a b ->
+      match compare a.src b.src with
+      | 0 -> compare a.dst b.dst
+      | c -> c)
+    !out
+
+let kind_string names = function
+  | Var_conflict x -> Printf.sprintf "conflict %s" (Names.var_name names x)
+  | Lock_order m -> Printf.sprintf "lock %s" (Names.lock_name names m)

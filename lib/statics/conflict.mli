@@ -1,0 +1,39 @@
+(** Strict cross-thread edges of the static transactional conflict graph.
+
+    Velodrome's dynamic happens-before graph acquires a cross-thread edge
+    in exactly three situations: a read sees another thread's last write
+    (w→r), a write follows reads or the last write of the variable
+    (r→w, w→w), or an acquire follows another thread's last release of
+    the same lock (rel→acq). This module over-approximates all of them
+    from the CFG:
+
+    - {b Variable conflicts}: two reachable access sites of the same
+      shared variable — {e volatiles included}, because the engine draws
+      the same edges through them — on distinct threads with at least one
+      write and {e disjoint} must-locksets. Conflict direction is not
+      statically provable, so both orientations are emitted. Pairs whose
+      must-locksets intersect are deliberately {e omitted}: the lock
+      serializes the two critical sections, so every dynamic edge between
+      them runs parallel to a release→acquire path that the lock edges
+      below already cover (arriving at the acquire site, from which
+      program order reaches the access).
+
+    - {b Lock order}: release site → acquire site of the same lock across
+      threads. These are the provably-oriented edges — a dynamic lock
+      edge always points from a release to a later acquire.
+
+    {!Txgraph} adds the same-thread (program-order, cross-instance) and
+    intra-transaction (passage) edges on top of these. *)
+
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type kind = Var_conflict of Var.t | Lock_order of Lock.t
+
+type edge = { src : int; dst : int; kind : kind }
+(** [src]/[dst] are {!Cfg} node ids of reachable effectful sites. *)
+
+val edges : Cfg.t -> Lockset.t -> Mhp.t -> edge list
+(** Every strict cross-thread edge, deterministic order. *)
+
+val kind_string : Names.t -> kind -> string

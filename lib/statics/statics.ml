@@ -3,11 +3,19 @@ open Velodrome_trace.Ids
 open Velodrome_sim
 module IntSet = Set.Make (Int)
 
+type proof = Lipton | Cycle_free
+
+type verdict =
+  | Proved_atomic of proof
+  | May_violate of Txgraph.witness
+  | Unknown of Reduce.reason list
+
 type block = {
   label : Label.t;
   name : string;
   sites : Cfg.site list;
-  verdict : Reduce.verdict;
+  verdict : verdict;
+  lipton_reasons : Reduce.reason list;
 }
 
 type t = {
@@ -17,8 +25,10 @@ type t = {
   mhp : Mhp.t;
   races : Races.t;
   movers : Movers.t;
+  graph : Txgraph.t;
   blocks : block list;
-  proved_ids : IntSet.t;
+  proved_ids : IntSet.t;  (** either proof rule *)
+  lipton_ids : IntSet.t;
 }
 
 let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
@@ -29,6 +39,7 @@ let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
   let races = Races.analyze names cfg locksets mhp in
   let movers = Movers.analyze ~rule names cfg locksets races in
   let occs = Reduce.occurrences names movers p in
+  let graph = Txgraph.build names cfg locksets mhp occs in
   let by_label = Hashtbl.create 16 in
   List.iter
     (fun (o : Reduce.occurrence) ->
@@ -43,33 +54,40 @@ let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
     Hashtbl.fold
       (fun k (sites, reasons) acc ->
         let label = Label.of_int k in
-        let reasons =
+        let sites = List.sort Cfg.site_compare sites in
+        let lipton_reasons =
           List.sort_uniq Reduce.reason_compare reasons
         in
         let verdict =
-          match reasons with
-          | [] -> Reduce.Proved_atomic
-          | rs -> Reduce.Unknown rs
+          if lipton_reasons = [] then Proved_atomic Lipton
+          else if Txgraph.exhausted graph then Unknown lipton_reasons
+          else if List.for_all (Txgraph.cycle_free graph) sites then
+            Proved_atomic Cycle_free
+          else
+            match List.find_map (Txgraph.witness_for graph) sites with
+            | Some w -> May_violate w
+            | None -> Unknown lipton_reasons
         in
-        {
-          label;
-          name = Names.label_name names label;
-          sites = List.sort Cfg.site_compare sites;
-          verdict;
-        }
+        { label; name = Names.label_name names label; sites; verdict;
+          lipton_reasons }
         :: acc)
       by_label []
     |> List.sort (fun a b -> Label.compare a.label b.label)
   in
-  let proved_ids =
+  let ids pred =
     List.fold_left
       (fun acc b ->
-        match b.verdict with
-        | Reduce.Proved_atomic -> IntSet.add (Label.to_int b.label) acc
-        | Reduce.Unknown _ -> acc)
+        if pred b.verdict then IntSet.add (Label.to_int b.label) acc else acc)
       IntSet.empty blocks
   in
-  { names; cfg; locksets; mhp; races; movers; blocks; proved_ids }
+  let proved_ids =
+    ids (function Proved_atomic _ -> true | _ -> false)
+  in
+  let lipton_ids =
+    ids (function Proved_atomic Lipton -> true | _ -> false)
+  in
+  { names; cfg; locksets; mhp; races; movers; graph; blocks; proved_ids;
+    lipton_ids }
 
 let blocks t = t.blocks
 let cfg t = t.cfg
@@ -80,21 +98,37 @@ let race_pairs t = Races.pairs t.races
 let race_pair_count t = Races.pair_count t.races
 let names t = t.names
 let movers t = t.movers
+let txgraph t = t.graph
 let proved t l = IntSet.mem (Label.to_int l) t.proved_ids
 let proved_count t = IntSet.cardinal t.proved_ids
+let proved_lipton_count t = IntSet.cardinal t.lipton_ids
+let proved_cycle_free_count t = proved_count t - proved_lipton_count t
+
+let count_verdict t pred = List.length (List.filter (fun b -> pred b.verdict) t.blocks)
+
+let may_violate_count t =
+  count_verdict t (function May_violate _ -> true | _ -> false)
+
+let unknown_count t =
+  count_verdict t (function Unknown _ -> true | _ -> false)
+
 let block_count t = List.length t.blocks
 let suppressible_var t x = Movers.suppressible t.movers x
 
-let filter_predicates t =
-  let proved_id l = IntSet.mem l t.proved_ids in
+let filter_predicates ?(lipton_only = false) t =
+  let ids = if lipton_only then t.lipton_ids else t.proved_ids in
+  let proved_id l = IntSet.mem l ids in
   let suppress_var x = Movers.suppressible t.movers (Var.of_int x) in
   (proved_id, suppress_var)
 
 (* --- rendering ----------------------------------------------------------- *)
 
 let verdict_string = function
-  | Reduce.Proved_atomic -> "proved-atomic"
-  | Reduce.Unknown _ -> "unknown"
+  | Proved_atomic _ -> "proved-atomic"
+  | May_violate _ -> "may-violate"
+  | Unknown _ -> "unknown"
+
+let proof_string = function Lipton -> "lipton" | Cycle_free -> "cycle-free"
 
 let pp_human ?(pos = fun _ -> None) ppf t =
   List.iter
@@ -104,23 +138,43 @@ let pp_human ?(pos = fun _ -> None) ppf t =
         | Some (line, col) -> Printf.sprintf " (%d:%d)" line col
         | None -> ""
       in
-      (match b.verdict with
-      | Reduce.Proved_atomic ->
-        Format.fprintf ppf "%-24s%s proved atomic (%d occurrence%s)@." b.name
-          where (List.length b.sites)
+      let occs =
+        Printf.sprintf "%d occurrence%s" (List.length b.sites)
           (if List.length b.sites = 1 then "" else "s")
-      | Reduce.Unknown reasons ->
-        Format.fprintf ppf "%-24s%s UNKNOWN (%d occurrence%s)@." b.name where
-          (List.length b.sites)
-          (if List.length b.sites = 1 then "" else "s");
+      in
+      match b.verdict with
+      | Proved_atomic proof ->
+        Format.fprintf ppf "%-24s%s proved atomic by %s (%s)@." b.name where
+          (proof_string proof) occs
+      | May_violate w ->
+        Format.fprintf ppf "%-24s%s MAY VIOLATE (%s)@." b.name where occs;
+        Format.fprintf ppf "    %s@." (Txgraph.explain t.graph w)
+      | Unknown reasons ->
+        Format.fprintf ppf "%-24s%s UNKNOWN (%s)@." b.name where occs;
         List.iter
           (fun (r : Reduce.reason) ->
             Format.fprintf ppf "    %a: %s@." Cfg.pp_site r.Reduce.site
               r.Reduce.detail)
-          reasons))
+          reasons)
     t.blocks;
-  Format.fprintf ppf "%d/%d blocks proved atomic@." (proved_count t)
-    (block_count t)
+  Format.fprintf ppf
+    "%d/%d blocks proved atomic (%d lipton, %d cycle-free), %d may-violate@."
+    (proved_count t) (block_count t) (proved_lipton_count t)
+    (proved_cycle_free_count t) (may_violate_count t)
+
+let summary_json t =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("blocks", Int (block_count t));
+      ("proved", Int (proved_count t));
+      ("proved_lipton", Int (proved_lipton_count t));
+      ("proved_cycle_free", Int (proved_cycle_free_count t));
+      ("may_violate", Int (may_violate_count t));
+      ("unknown", Int (unknown_count t));
+      ("race_pairs", Int (race_pair_count t));
+      ("racy_vars", Int (Races.racy_var_count t.races));
+    ]
 
 let to_json ?(pos = fun _ -> None) ?file t =
   let open Velodrome_util.Json in
@@ -131,26 +185,35 @@ let to_json ?(pos = fun _ -> None) ?file t =
       | None -> Null
     in
     let reasons =
+      List.map
+        (fun (r : Reduce.reason) ->
+          Obj
+            [
+              ("site", String (Cfg.site_to_string r.Reduce.site));
+              ("detail", String r.Reduce.detail);
+            ])
+        b.lipton_reasons
+    in
+    let proof =
       match b.verdict with
-      | Reduce.Proved_atomic -> []
-      | Reduce.Unknown rs ->
-        List.map
-          (fun (r : Reduce.reason) ->
-            Obj
-              [
-                ("site", String (Cfg.site_to_string r.Reduce.site));
-                ("detail", String r.Reduce.detail);
-              ])
-          rs
+      | Proved_atomic p -> String (proof_string p)
+      | May_violate _ | Unknown _ -> Null
+    in
+    let witness =
+      match b.verdict with
+      | May_violate w -> Txgraph.witness_json t.graph w
+      | Proved_atomic _ | Unknown _ -> Null
     in
     Obj
       [
         ("label", String b.name);
         ("verdict", String (verdict_string b.verdict));
+        ("proof", proof);
         ("position", position);
         ( "occurrences",
           List (List.map (fun s -> String (Cfg.site_to_string s)) b.sites) );
         ("reasons", List reasons);
+        ("witness", witness);
       ]
   in
   Obj
@@ -159,17 +222,78 @@ let to_json ?(pos = fun _ -> None) ?file t =
          (match file with Some f -> [ ("file", String f) ] | None -> []);
          [
            ("blocks", List (List.map block_json t.blocks));
-           ( "summary",
-             Obj
-               [
-                 ("blocks", Int (block_count t));
-                 ("proved", Int (proved_count t));
-                 ("unknown", Int (block_count t - proved_count t));
-                 ("race_pairs", Int (race_pair_count t));
-                 ("racy_vars", Int (Races.racy_var_count t.races));
-               ] );
+           ("summary", summary_json t);
          ];
        ])
+
+(* --- conflict-graph report ----------------------------------------------- *)
+
+let pp_graph_human ppf t =
+  let s = Txgraph.stats t.graph in
+  Format.fprintf ppf
+    "conflict graph: %d ops in %d regions; %d conflict, %d lock, %d \
+     program-order, %d cross-instance edges; %d passage (%d slack, %d \
+     accepted)@."
+    s.Txgraph.ops s.Txgraph.regions s.Txgraph.conflict_edges
+    s.Txgraph.lock_edges s.Txgraph.po_edges s.Txgraph.cross_instance_edges
+    s.Txgraph.passage_edges s.Txgraph.slack_edges
+    s.Txgraph.accepted_slack_edges;
+  if Txgraph.exhausted t.graph then
+    Format.fprintf ppf "graph search exhausted its budget@.";
+  List.iter
+    (fun b ->
+      match b.verdict with
+      | May_violate w ->
+        Format.fprintf ppf "%-24s %s@." b.name (Txgraph.explain t.graph w)
+      | Proved_atomic _ | Unknown _ -> ())
+    t.blocks
+
+let graph_json t =
+  let open Velodrome_util.Json in
+  let s = Txgraph.stats t.graph in
+  Obj
+    [
+      ( "stats",
+        Obj
+          [
+            ("ops", Int s.Txgraph.ops);
+            ("regions", Int s.Txgraph.regions);
+            ("conflict_edges", Int s.Txgraph.conflict_edges);
+            ("lock_edges", Int s.Txgraph.lock_edges);
+            ("po_edges", Int s.Txgraph.po_edges);
+            ("cross_instance_edges", Int s.Txgraph.cross_instance_edges);
+            ("passage_edges", Int s.Txgraph.passage_edges);
+            ("slack_edges", Int s.Txgraph.slack_edges);
+            ("accepted_slack_edges", Int s.Txgraph.accepted_slack_edges);
+          ] );
+      ("exhausted", Bool (Txgraph.exhausted t.graph));
+      ( "witnesses",
+        List
+          (List.filter_map
+             (fun b ->
+               match b.verdict with
+               | May_violate w -> Some (Txgraph.witness_json t.graph w)
+               | Proved_atomic _ | Unknown _ -> None)
+             t.blocks) );
+    ]
+
+let slug s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let graph_dots t =
+  ("txgraph", Txgraph.to_dot t.graph)
+  :: List.filter_map
+       (fun b ->
+         match b.verdict with
+         | May_violate w ->
+           Some ("cycle_" ^ slug b.name, Txgraph.witness_dot t.graph w)
+         | Proved_atomic _ | Unknown _ -> None)
+       t.blocks
 
 (* --- race report --------------------------------------------------------- *)
 

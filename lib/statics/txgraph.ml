@@ -1,0 +1,557 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+
+type edge_kind =
+  | Strict of Conflict.kind
+  | Program_order
+  | Cross_instance
+  | Passage of { slack : bool }
+
+type hop = { node : Cfg.node; via : edge_kind }
+
+type witness = {
+  label : Label.t;
+  occurrence : Cfg.site;
+  arrival : Cfg.node;
+  departure : Cfg.node;
+  pivot : Cfg.node;
+  path : hop list;
+}
+
+type stats = {
+  ops : int;
+  regions : int;
+  conflict_edges : int;
+  lock_edges : int;
+  po_edges : int;
+  cross_instance_edges : int;
+  passage_edges : int;
+  slack_edges : int;
+  accepted_slack_edges : int;
+}
+
+type region = {
+  occ : (Cfg.site * Label.t) option;  (* None = singleton unary region *)
+  rops : int list;
+  multi : bool;
+}
+
+type t = {
+  names : Names.t;
+  cfg : Cfg.t;
+  region_of : int array;
+  regions : region array;
+  adj : (int * edge_kind) list array;
+  accepted : (int * witness) list;  (* arrival node id, ascending *)
+  exhausted : bool;
+  stats : stats;
+}
+
+(* Generous safety valves: the search is abandoned (and every occurrence
+   conservatively unproven) rather than ever running unbounded. *)
+let max_ops = 5_000
+let max_decisions = 20_000
+
+exception Budget
+
+let rec is_prefix p q =
+  match (p, q) with
+  | [], _ -> true
+  | _, [] -> false
+  | a :: p', b :: q' -> a = b && is_prefix p' q'
+
+let is_op = function
+  | Cfg.Acquire _ | Cfg.Release _ | Cfg.Read _ | Cfg.Write _ -> true
+  | Cfg.Enter _ | Cfg.Exit _ | Cfg.Silent -> false
+
+let build names cfg locksets mhp occs =
+  let n = Cfg.node_count cfg in
+  let ops = ref [] in
+  Cfg.iter_nodes
+    (fun nd ->
+      if is_op nd.Cfg.eff && Mhp.reachable mhp nd.Cfg.id then
+        ops := nd.Cfg.id :: !ops)
+    cfg;
+  let ops = List.rev !ops in
+  let op_count = List.length ops in
+  let exhausted = ref (op_count > max_ops) in
+  (* >=1-edge reachability from [start] through nodes satisfying [inside] *)
+  let cfg_reach_plus ~inside start =
+    let seen = Array.make n false in
+    let q = Queue.create () in
+    let push v =
+      if inside v && not seen.(v) then begin
+        seen.(v) <- true;
+        Queue.add v q
+      end
+    in
+    List.iter push (Cfg.succs cfg start);
+    while not (Queue.is_empty q) do
+      List.iter push (Cfg.succs cfg (Queue.pop q))
+    done;
+    seen
+  in
+  let everywhere _ = true in
+  (* Regions: one per outermost atomic occurrence, a singleton for every
+     unary op. Occurrence membership is by site-path prefix, which is
+     exact because an atomic's body nodes extend its own path. *)
+  let outermost =
+    List.filter
+      (fun (o : Reduce.occurrence) ->
+        not
+          (List.exists
+             (fun (o' : Reduce.occurrence) ->
+               o'.Reduce.site.Cfg.thread = o.Reduce.site.Cfg.thread
+               && o'.Reduce.site.Cfg.path <> o.Reduce.site.Cfg.path
+               && is_prefix o'.Reduce.site.Cfg.path o.Reduce.site.Cfg.path)
+             occs))
+      occs
+  in
+  let region_of = Array.make n (-1) in
+  let rev_regions = ref [] in
+  let region_count = ref 0 in
+  let add_region r =
+    rev_regions := r :: !rev_regions;
+    incr region_count;
+    !region_count - 1
+  in
+  let inside_occ (site : Cfg.site) v =
+    let nd = Cfg.node cfg v in
+    nd.Cfg.site.Cfg.thread = site.Cfg.thread
+    && is_prefix site.Cfg.path nd.Cfg.site.Cfg.path
+  in
+  List.iter
+    (fun (o : Reduce.occurrence) ->
+      let site = o.Reduce.site in
+      let rops = List.filter (inside_occ site) ops in
+      (* An occurrence whose exit reaches its entry executes as several
+         distinct transactions in unknown relative order. *)
+      let enter = ref (-1) and exit_ = ref (-1) in
+      Cfg.iter_nodes
+        (fun nd ->
+          if Cfg.site_compare nd.Cfg.site site = 0 then
+            match nd.Cfg.eff with
+            | Cfg.Enter l when Label.equal l o.Reduce.label ->
+              enter := nd.Cfg.id
+            | Cfg.Exit l when Label.equal l o.Reduce.label ->
+              exit_ := nd.Cfg.id
+            | _ -> ())
+        cfg;
+      let multi =
+        !enter >= 0 && !exit_ >= 0
+        && (cfg_reach_plus ~inside:everywhere !exit_).(!enter)
+      in
+      let rid = add_region { occ = Some (site, o.Reduce.label); rops; multi } in
+      List.iter (fun v -> region_of.(v) <- rid) rops)
+    outermost;
+  List.iter
+    (fun v ->
+      if region_of.(v) = -1 then
+        region_of.(v) <- add_region { occ = None; rops = [ v ]; multi = false })
+    ops;
+  let regions = Array.of_list (List.rev !rev_regions) in
+  let adj = Array.make n [] in
+  let radj = Array.make n [] in
+  let conflict_edges = ref 0
+  and lock_edges = ref 0
+  and po_edges = ref 0
+  and cross_instance_edges = ref 0
+  and passage_edges = ref 0
+  and slack_edges = ref 0 in
+  let add_edge u v k =
+    adj.(u) <- (v, k) :: adj.(u);
+    radj.(v) <- (u, k) :: radj.(v)
+  in
+  let region_slack = Array.make (Array.length regions) [] in
+  if not !exhausted then begin
+    List.iter
+      (fun (e : Conflict.edge) ->
+        if region_of.(e.Conflict.src) >= 0 && region_of.(e.Conflict.dst) >= 0
+        then begin
+          (match e.Conflict.kind with
+          | Conflict.Var_conflict _ -> incr conflict_edges
+          | Conflict.Lock_order _ -> incr lock_edges);
+          add_edge e.Conflict.src e.Conflict.dst (Strict e.Conflict.kind)
+        end)
+      (Conflict.edges cfg locksets mhp);
+    (* Program order between different regions of one thread; CFG edges
+       never cross threads, so the closure stays within the thread. *)
+    List.iter
+      (fun u ->
+        let reach = cfg_reach_plus ~inside:everywhere u in
+        List.iter
+          (fun v ->
+            if v <> u && reach.(v) && region_of.(v) <> region_of.(u) then begin
+              incr po_edges;
+              add_edge u v Program_order
+            end)
+          ops)
+      ops;
+    Array.iteri
+      (fun rid r ->
+        if r.multi then
+          List.iter
+            (fun u ->
+              List.iter
+                (fun v ->
+                  if u <> v then begin
+                    incr cross_instance_edges;
+                    add_edge u v Cross_instance
+                  end)
+                r.rops)
+            r.rops;
+        match r.occ with
+        | None -> ()
+        | Some (site, _) ->
+          let rp =
+            List.map
+              (fun u -> (u, cfg_reach_plus ~inside:(inside_occ site) u))
+              r.rops
+          in
+          let reaches u v = (List.assoc u rp).(v) in
+          (* Passage a->x: arrive at [a], depart at [x]; slack when [x]
+             can precede [a] within one instance. The self pair a = x is
+             slack exactly on an intra-region cycle. *)
+          let slack_pairs = ref [] in
+          List.iter
+            (fun a ->
+              List.iter
+                (fun x ->
+                  if a = x then begin
+                    if reaches a a then slack_pairs := (a, x) :: !slack_pairs
+                  end
+                  else begin
+                    let fwd = reaches a x and bwd = reaches x a in
+                    if fwd || bwd then begin
+                      incr passage_edges;
+                      if bwd then begin
+                        incr slack_edges;
+                        slack_pairs := (a, x) :: !slack_pairs
+                      end;
+                      add_edge a x (Passage { slack = bwd })
+                    end
+                  end)
+                r.rops)
+            r.rops;
+          region_slack.(rid) <- List.rev !slack_pairs)
+      regions
+  end;
+  (* Decide each slack passage (a, x): can the graph realize the rest of
+     the cycle — a path from x back to a through another thread? The
+     closing in-edge and the departure out-edge are cross-thread strict
+     edges dynamically, so first and last hops must be strict; a
+     single-instance region is visited once, so the path avoids its other
+     ops and its passage edges. *)
+  let accepted_at = Array.make n false in
+  let accepted = ref [] in
+  let decisions = ref 0 in
+  let accepted_count = ref 0 in
+  let decide rid ~single (site, label) a x =
+    let allowed v = (not single) || region_of.(v) <> rid || v = a || v = x in
+    let edge_ok src k =
+      match k with
+      | Passage _ when single && region_of.(src) = rid -> false
+      | _ -> true
+    in
+    let parent = Array.make n (-1, Program_order) in
+    let fseen = Array.make n false in
+    let order = ref [] in
+    let q = Queue.create () in
+    fseen.(x) <- true;
+    List.iter
+      (fun (v, k) ->
+        match k with
+        | Strict _ when allowed v && not fseen.(v) ->
+          fseen.(v) <- true;
+          parent.(v) <- (x, k);
+          order := v :: !order;
+          if v <> a then Queue.add v q
+        | _ -> ())
+      adj.(x);
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, k) ->
+          if edge_ok u k && allowed v && not fseen.(v) then begin
+            fseen.(v) <- true;
+            parent.(v) <- (u, k);
+            order := v :: !order;
+            if v <> a then Queue.add v q
+          end)
+        adj.(u)
+    done;
+    let nxt = Array.make n (-1, Program_order) in
+    let rseen = Array.make n false in
+    rseen.(a) <- true;
+    let q = Queue.create () in
+    List.iter
+      (fun (u, k) ->
+        match k with
+        | Strict _ when allowed u && not rseen.(u) ->
+          rseen.(u) <- true;
+          nxt.(u) <- (a, k);
+          if u <> x then Queue.add u q
+        | _ -> ())
+      radj.(a);
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      List.iter
+        (fun (u, k) ->
+          if edge_ok u k && allowed u && not rseen.(u) then begin
+            rseen.(u) <- true;
+            nxt.(u) <- (v, k);
+            if u <> x then Queue.add u q
+          end)
+        radj.(v)
+    done;
+    let athread = (Cfg.node cfg a).Cfg.site.Cfg.thread in
+    match
+      List.find_opt
+        (fun v ->
+          rseen.(v) && (Cfg.node cfg v).Cfg.site.Cfg.thread <> athread)
+        (List.rev !order)
+    with
+    | None -> None
+    | Some y ->
+      let rec back v acc =
+        if v = x then acc
+        else
+          let p, k = parent.(v) in
+          back p ({ node = Cfg.node cfg v; via = k } :: acc)
+      in
+      let rec forth v acc =
+        if v = a then List.rev acc
+        else
+          let w, k = nxt.(v) in
+          forth w ({ node = Cfg.node cfg w; via = k } :: acc)
+      in
+      Some
+        {
+          label;
+          occurrence = site;
+          arrival = Cfg.node cfg a;
+          departure = Cfg.node cfg x;
+          pivot = Cfg.node cfg y;
+          path = back y [] @ forth y [];
+        }
+  in
+  if not !exhausted then begin
+    try
+      Array.iteri
+        (fun rid r ->
+          match r.occ with
+          | None -> ()
+          | Some occ ->
+            List.iter
+              (fun (a, x) ->
+                if not accepted_at.(a) then begin
+                  incr decisions;
+                  if !decisions > max_decisions then raise Budget;
+                  match decide rid ~single:(not r.multi) occ a x with
+                  | Some w ->
+                    accepted_at.(a) <- true;
+                    incr accepted_count;
+                    accepted := (a, w) :: !accepted
+                  | None -> ()
+                end)
+              region_slack.(rid))
+        regions
+    with Budget -> exhausted := true
+  end;
+  let accepted =
+    List.sort (fun (a, _) (b, _) -> compare a b) !accepted
+  in
+  {
+    names;
+    cfg;
+    region_of;
+    regions;
+    adj;
+    accepted;
+    exhausted = !exhausted;
+    stats =
+      {
+        ops = op_count;
+        regions = Array.length regions;
+        conflict_edges = !conflict_edges;
+        lock_edges = !lock_edges;
+        po_edges = !po_edges;
+        cross_instance_edges = !cross_instance_edges;
+        passage_edges = !passage_edges;
+        slack_edges = !slack_edges;
+        accepted_slack_edges = !accepted_count;
+      };
+  }
+
+let exhausted t = t.exhausted
+let stats t = t.stats
+
+let subtree_witnesses t (site : Cfg.site) =
+  List.filter
+    (fun (a, _) ->
+      let nd = Cfg.node t.cfg a in
+      nd.Cfg.site.Cfg.thread = site.Cfg.thread
+      && is_prefix site.Cfg.path nd.Cfg.site.Cfg.path)
+    t.accepted
+
+let cycle_free t site = (not t.exhausted) && subtree_witnesses t site = []
+
+let witness_for t site =
+  match subtree_witnesses t site with [] -> None | (_, w) :: _ -> Some w
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let op_string t (nd : Cfg.node) =
+  let op =
+    match nd.Cfg.eff with
+    | Cfg.Acquire m -> "acq(" ^ Names.lock_name t.names m ^ ")"
+    | Cfg.Release m -> "rel(" ^ Names.lock_name t.names m ^ ")"
+    | Cfg.Read x -> "r(" ^ Names.var_name t.names x ^ ")"
+    | Cfg.Write x -> "w(" ^ Names.var_name t.names x ^ ")"
+    | Cfg.Enter l | Cfg.Exit l -> Names.label_name t.names l
+    | Cfg.Silent -> "silent"
+  in
+  Printf.sprintf "t%d:%s" nd.Cfg.site.Cfg.thread op
+
+let edge_kind_string t = function
+  | Strict k -> Conflict.kind_string t.names k
+  | Program_order -> "program-order"
+  | Cross_instance -> "cross-instance"
+  | Passage { slack } -> if slack then "slack passage" else "passage"
+
+let explain t w =
+  let chain = Buffer.create 64 in
+  Buffer.add_string chain (op_string t w.departure);
+  List.iter
+    (fun h ->
+      Buffer.add_string chain
+        (Printf.sprintf " -[%s]-> %s" (edge_kind_string t h.via)
+           (op_string t h.node)))
+    w.path;
+  Printf.sprintf "cycle re-enters %s at %s after its out-edge at %s: %s"
+    (Names.label_name t.names w.label)
+    (op_string t w.arrival) (op_string t w.departure) (Buffer.contents chain)
+
+let node_json t (nd : Cfg.node) =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("site", String (Cfg.site_to_string nd.Cfg.site));
+      ("op", String (op_string t nd));
+    ]
+
+let witness_json t w =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("label", String (Names.label_name t.names w.label));
+      ("occurrence", String (Cfg.site_to_string w.occurrence));
+      ("arrival", node_json t w.arrival);
+      ("departure", node_json t w.departure);
+      ("pivot", node_json t w.pivot);
+      ( "path",
+        List
+          (List.map
+             (fun h ->
+               Obj
+                 [
+                   ("via", String (edge_kind_string t h.via));
+                   ("node", node_json t h.node);
+                 ])
+             w.path) );
+    ]
+
+let region_dot_label t rid =
+  let r = t.regions.(rid) in
+  match r.occ with
+  | Some (site, l) ->
+    Printf.sprintf "%s %s"
+      (Names.label_name t.names l)
+      (Cfg.site_to_string site)
+  | None -> (
+    match r.rops with
+    | [ op ] -> Printf.sprintf "unary %s" (op_string t (Cfg.node t.cfg op))
+    | _ -> "unary")
+
+let witness_dot t w =
+  let open Velodrome_util.Dot in
+  let home = t.region_of.(w.departure.Cfg.id) in
+  (* Collapse the op path to the sequence of regions it visits; each
+     region is one dot node, like a transaction in the dynamic error
+     graph. *)
+  let seq, _ =
+    List.fold_left
+      (fun (seq, cur) h ->
+        let rid = t.region_of.(h.node.Cfg.id) in
+        if rid = cur then (seq, cur) else ((rid, h.via) :: seq, rid))
+      ([], home) w.path
+  in
+  let seq = List.rev seq in
+  let rids =
+    List.sort_uniq compare (home :: List.map fst seq)
+  in
+  let nodes =
+    List.map
+      (fun rid ->
+        {
+          id = "r" ^ string_of_int rid;
+          label = region_dot_label t rid;
+          emphasized = rid = home;
+        })
+      rids
+  in
+  let edges, _ =
+    List.fold_left
+      (fun (edges, prev) (rid, via) ->
+        ( {
+            src = "r" ^ string_of_int prev;
+            dst = "r" ^ string_of_int rid;
+            edge_label = edge_kind_string t via;
+            dashed = rid = home;
+          }
+          :: edges,
+          rid ))
+      ([], home) seq
+  in
+  render ~name:"static_cycle" nodes (List.rev edges)
+
+let to_dot t =
+  let open Velodrome_util.Dot in
+  let arrivals = List.map fst t.accepted in
+  let nodes = ref [] in
+  Cfg.iter_nodes
+    (fun nd ->
+      if t.region_of.(nd.Cfg.id) >= 0 then
+        nodes :=
+          {
+            id = "n" ^ string_of_int nd.Cfg.id;
+            label =
+              Printf.sprintf "%s\n%s" (op_string t nd)
+                (Cfg.site_to_string nd.Cfg.site);
+            emphasized = List.mem nd.Cfg.id arrivals;
+          }
+          :: !nodes)
+    t.cfg;
+  let edges = ref [] in
+  Array.iteri
+    (fun u out ->
+      List.iter
+        (fun (v, k) ->
+          let short =
+            match k with
+            | Strict ck -> Conflict.kind_string t.names ck
+            | Program_order -> "po"
+            | Cross_instance -> "xinst"
+            | Passage { slack } -> if slack then "slack" else ""
+          in
+          edges :=
+            {
+              src = "n" ^ string_of_int u;
+              dst = "n" ^ string_of_int v;
+              edge_label = short;
+              dashed = (match k with Passage _ -> true | _ -> false);
+            }
+            :: !edges)
+        out)
+    t.adj;
+  render ~name:"txgraph" (List.rev !nodes) (List.rev !edges)

@@ -1,0 +1,87 @@
+(* snapshot — read-shared aggregation and one-way publish, the shapes the
+   cycle-freedom rule exists for. Sensor threads each publish one reading
+   with a single unary write to their own cell; one aggregator takes an
+   atomic snapshot reading every cell once; per-cell spot checkers read a
+   single cell; a publisher writes a payload then raises a flag, and one
+   gate reader checks flag-then-payload atomically. Every multi-read
+   block races (so Lipton reduction rejects it — two racy reads are two
+   non-movers), yet each is serializable on every execution: with one
+   dedicated single-write writer per cell and a single reader block over
+   those cells, no transactional happens-before cycle can close into the
+   block. The static conflict graph proves exactly that, which is this
+   workload's reason to exist: Snapshot.collect and Snapshot.checkReady
+   are provable by cycle-freedom and by nothing else in the pipeline.
+
+   The shape is tight: give the aggregator a second occurrence over the
+   same cells, or the cells a second reader block, and the pattern
+   becomes the torn-snapshot violation (reader A sees old/new, reader B
+   new/old — unserializable). The sibling readers here are kept on
+   disjoint variables for that reason. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "snapshot"
+
+let description =
+  "read-shared snapshot aggregation with one-way publish; serializable \
+   but irreducible"
+
+let methods =
+  [
+    ("Snapshot.collect", true, false);
+    ("Snapshot.checkReady", true, false);
+    ("Snapshot.spot", true, false);
+  ]
+
+let build size =
+  let b = create () in
+  let cells_n = Sizes.scale size (2, 4, 8) in
+  let cells =
+    Array.init cells_n (fun k -> var b (Printf.sprintf "cell%d" k))
+  in
+  (* Read-only calibration data: shared by every reader, written by
+     nobody, so it contributes reads without conflict edges. *)
+  let calib = var ~init:7 b "calib" in
+  let pub_data = var b "pubData" in
+  let pub_flag = var b "pubFlag" in
+  (* Sensors: one dedicated writer per cell, a single unary write. *)
+  Array.iteri
+    (fun k cell -> thread b [ work (2 + k); write cell (i (100 + k)) ])
+    cells;
+  (* Aggregator: one atomic snapshot over every cell, each read once. *)
+  thread b
+    (let regs = Array.map (fun _ -> fresh_reg b) cells in
+     let c = fresh_reg b in
+     [
+       work 1;
+       atomic
+         (label b "Snapshot.collect")
+         (read c calib
+         :: Array.to_list
+              (Array.mapi (fun k reg -> read reg cells.(k)) regs));
+     ]);
+  (* Spot checkers: a single racy read each — Lipton handles these. *)
+  Array.iteri
+    (fun k cell ->
+      thread b
+        (let v = fresh_reg b in
+         let c = fresh_reg b in
+         [
+           work (3 + k);
+           atomic (label b "Snapshot.spot") [ read c calib; read v cell ];
+         ]))
+    cells;
+  (* One-way publish: payload then flag, consumed by a single gate
+     reader checking flag-then-payload. *)
+  thread b [ write pub_data (i 41); write pub_flag (i 1) ];
+  thread b
+    (let f = fresh_reg b in
+     let d = fresh_reg b in
+     [
+       work 2;
+       atomic
+         (label b "Snapshot.checkReady")
+         [ read f pub_flag; read d pub_data ];
+     ]);
+  program b

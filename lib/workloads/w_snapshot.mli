@@ -1,0 +1,8 @@
+(** Read-shared snapshot aggregation and one-way publish: every
+    multi-read block is racy (Lipton-irreducible) yet serializable on all
+    executions — the shapes only the static cycle-freedom rule proves. *)
+
+val name : string
+val description : string
+val methods : (string * bool * bool) list
+val build : Sizes.size -> Velodrome_sim.Ast.program

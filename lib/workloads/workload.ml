@@ -41,6 +41,8 @@ let all =
     lift W_jigsaw.name W_jigsaw.description W_jigsaw.build W_jigsaw.methods;
     lift W_handoff.name W_handoff.description W_handoff.build
       W_handoff.methods;
+    lift W_snapshot.name W_snapshot.description W_snapshot.build
+      W_snapshot.methods;
   ]
 
 let find name = List.find_opt (fun w -> w.name = name) all

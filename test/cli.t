@@ -25,10 +25,33 @@ dynamic soundness gate. A fully guarded program proves every block (exit
 0); account.vel leaves the racy deposit unproved, so analyze exits 1:
 
   $ velodrome analyze ../examples/guarded.vel --gate
-  Counter.incr             (13:12) proved atomic (2 occurrences)
-  Counter.flush            (21:10) proved atomic (2 occurrences)
-  2/2 blocks proved atomic
-  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every dynamic race statically covered)
+  Counter.incr             (13:12) proved atomic by lipton (2 occurrences)
+  Counter.flush            (21:10) proved atomic by lipton (2 occurrences)
+  2/2 blocks proved atomic (2 lipton, 0 cycle-free), 0 may-violate
+  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered)
+
+The static transactional conflict graph behind the cycle-free verdicts:
+--graph reports its size and one witness cycle per may-violate block,
+--dot-dir exports the graph and cycles as dot files, and the snapshot
+workload shows cycle-freedom proving blocks Lipton cannot:
+
+  $ velodrome analyze ../examples/account.vel --graph 2>&1 | tail -2
+  conflict graph: 12 ops in 4 regions; 6 conflict, 2 lock, 32 program-order, 28 cross-instance edges; 28 passage (14 slack, 2 accepted)
+  Teller.deposit           cycle re-enters Teller.deposit at t0:w(balance) after its out-edge at t0:r(balance): t0:r(balance) -[conflict balance]-> t1:w(balance) -[conflict balance]-> t0:w(balance)
+
+  $ velodrome analyze snapshot --dot-dir dots
+  Snapshot.collect         proved atomic by cycle-free (1 occurrence)
+  Snapshot.spot            proved atomic by lipton (4 occurrences)
+  Snapshot.checkReady      proved atomic by cycle-free (1 occurrence)
+  3/3 blocks proved atomic (1 lipton, 2 cycle-free), 0 may-violate
+  static graph written to dots/snapshot.txgraph.dot
+
+A failing gate over a generated program prints a replayable report on
+stderr; --replay-demo pins its shape:
+
+  $ velodrome analyze --replay-demo 2>&1
+  gate: generated program FAILED: progen seed 7, family publication+snapshot, schedule adversarial(seed 2)
+  gate: replay: velodrome analyze --generated 1 --gen-seed 7 --seeds 1,2,3 --gate
 
   $ velodrome analyze ../examples/account.vel --format json
   {
@@ -36,7 +59,8 @@ dynamic soundness gate. A fully guarded program proves every block (exit
     "blocks": [
                 {
                   "label": "Teller.deposit",
-                  "verdict": "unknown",
+                  "verdict": "may-violate",
+                  "proof": null,
                   "position": {
                                 "line": 14,
                                 "col": 12
@@ -54,11 +78,44 @@ dynamic soundness gate. A fully guarded program proves every block (exit
                                  "site": "t1:1.0.3",
                                  "detail": "write of balance is a second non-mover (races with t0:1.0.3) after the commit point"
                                }
-                  ]
+                  ],
+                  "witness": {
+                               "label": "Teller.deposit",
+                               "occurrence": "t0:1.0",
+                               "arrival": {
+                                            "site": "t0:1.0.3",
+                                            "op": "t0:w(balance)"
+                               },
+                               "departure": {
+                                              "site": "t0:1.0.0",
+                                              "op": "t0:r(balance)"
+                               },
+                               "pivot": {
+                                          "site": "t1:1.0.3",
+                                          "op": "t1:w(balance)"
+                               },
+                               "path": [
+                                         {
+                                           "via": "conflict balance",
+                                           "node": {
+                                                     "site": "t1:1.0.3",
+                                                     "op": "t1:w(balance)"
+                                           }
+                                         },
+                                         {
+                                           "via": "conflict balance",
+                                           "node": {
+                                                     "site": "t0:1.0.3",
+                                                     "op": "t0:w(balance)"
+                                           }
+                                         }
+                               ]
+                  }
                 },
                 {
                   "label": "Teller.audit",
                   "verdict": "proved-atomic",
+                  "proof": "lipton",
                   "position": {
                                 "line": 19,
                                 "col": 12
@@ -67,13 +124,17 @@ dynamic soundness gate. A fully guarded program proves every block (exit
                                    "t0:1.1",
                                    "t1:1.1"
                   ],
-                  "reasons": []
+                  "reasons": [],
+                  "witness": null
                 }
     ],
     "summary": {
                  "blocks": 2,
                  "proved": 1,
-                 "unknown": 1,
+                 "proved_lipton": 1,
+                 "proved_cycle_free": 0,
+                 "may_violate": 1,
+                 "unknown": 0,
                  "race_pairs": 3,
                  "racy_vars": 1
     }

@@ -352,26 +352,29 @@ let test_mover_lock_ops () =
 
 (* --- reduce ----------------------------------------------------------------- *)
 
-let verdict_of src label =
+let block_of src label =
   let p = parse src in
   let st = Statics.analyze p in
-  let b =
-    List.find
-      (fun b -> b.Statics.name = label)
-      (Statics.blocks st)
-  in
-  b.Statics.verdict
+  List.find (fun b -> b.Statics.name = label) (Statics.blocks st)
 
-let proved v = match v with Reduce.Proved_atomic -> true | _ -> false
+let verdict_of src label = (block_of src label).Statics.verdict
+
+let proved v =
+  match v with Statics.Proved_atomic _ -> true | _ -> false
+
+(* The Lipton-only view of a verdict, for the reduction-specific tests:
+   proved by Lipton, or the reduction-failure reasons. *)
+let lipton_proved v =
+  match v with Statics.Proved_atomic Statics.Lipton -> true | _ -> false
 
 let test_reduce_proved () =
   check Alcotest.bool "single sync proved" true
-    (proved
+    (lipton_proved
        (verdict_of
           "var g; lock m; thread 2 { atomic \"a\" { sync m { g = g + 1; } } }"
           "a"));
   check Alcotest.bool "loop inside sync proved" true
-    (proved
+    (lipton_proved
        (verdict_of
           "var g; lock m; thread 2 { atomic \"a\" { sync m { k = 0; while \
            (k < 3) { g = g + 1; k = k + 1; } } } }"
@@ -401,7 +404,7 @@ let test_reduce_unknown () =
 
 let test_reduce_single_non_mover () =
   check Alcotest.bool "one non-mover commit point proved" true
-    (proved
+    (lipton_proved
        (verdict_of "var x; thread 2 { atomic \"a\" { x = 1; } }" "a"))
 
 let contains s sub =
@@ -416,29 +419,168 @@ let test_reduce_while_acquire_release () =
      the lock re-enters the loop head in the post phase, so the join at
      the head must converge (not oscillate) and flag the second
      iteration's acquire as a right-mover past the commit point. *)
-  let v =
-    verdict_of
+  let b =
+    block_of
       "var g; lock m; thread 2 { atomic \"a\" { k = 0; while (k < 2) { \
        acquire m; g = g + 1; release m; k = k + 1; } } }"
       "a"
   in
-  check Alcotest.bool "acquire/release loop body is unknown" false (proved v);
-  (match v with
-  | Reduce.Unknown reasons ->
-    check Alcotest.bool "the looping acquire is the reason" true
-      (List.exists
-         (fun (r : Reduce.reason) ->
-           contains r.Reduce.detail "right-mover after the commit point")
-         reasons)
-  | Reduce.Proved_atomic -> ());
+  check Alcotest.bool "acquire/release loop body is unknown" false
+    (lipton_proved b.Statics.verdict);
+  check Alcotest.bool "the looping acquire is the reason" true
+    (List.exists
+       (fun (r : Reduce.reason) ->
+         contains r.Reduce.detail "right-mover after the commit point")
+       b.Statics.lipton_reasons);
   (* The fixpoint must not poison the sound variant: hoisting the
      acquire/release around the loop keeps the block proved. *)
   check Alcotest.bool "hoisted acquire/release still proved" true
-    (proved
+    (lipton_proved
        (verdict_of
           "var g; lock m; thread 2 { atomic \"a\" { acquire m; k = 0; \
            while (k < 2) { g = g + 1; k = k + 1; } release m; } }"
           "a"))
+
+let test_reduce_edge_cases () =
+  (* Phase-set edge cases of the reduction automaton. A block with only
+     silent statements never leaves the pre phase. *)
+  check Alcotest.bool "work/yield-only block proved" true
+    (lipton_proved
+       (verdict_of "thread { atomic \"a\" { work 2; yield; } }" "a"));
+  check Alcotest.bool "empty block proved" true
+    (lipton_proved (verdict_of "thread { atomic \"a\" { skip; } }" "a"));
+  (* If nested in While with the critical section on one branch only:
+     the join at the loop head mixes an iteration that crossed the
+     commit point with one that did not, and must still converge and
+     flag the next iteration's acquire. *)
+  let b =
+    block_of
+      "var g; lock m; thread 2 { atomic \"a\" { k = 0; while (k < 2) { if \
+       (k < 1) { acquire m; g = g + 1; release m; } else { skip; } k = k + \
+       1; } } }"
+      "a"
+  in
+  check Alcotest.bool "one-branch acquire in loop is not lipton-proved"
+    false
+    (lipton_proved b.Statics.verdict);
+  check Alcotest.bool "reasons name the looping acquire" true
+    (List.exists
+       (fun (r : Reduce.reason) ->
+         contains r.Reduce.detail "right-mover after the commit point")
+       b.Statics.lipton_reasons)
+
+(* --- the transactional conflict graph --------------------------------------- *)
+
+module Txgraph = Velodrome_statics.Txgraph
+
+let test_txgraph_verdicts () =
+  (* A consistently guarded single-sync block: its only cross-thread
+     edges are the lock-order edges, and a cycle arriving at the acquire
+     has no earlier op to have departed from. *)
+  (match
+     verdict_of
+       "var g; lock m; thread 2 { atomic \"a\" { sync m { g = g + 1; } } }"
+       "a"
+   with
+  | Statics.Proved_atomic _ -> ()
+  | _ -> Alcotest.fail "guarded single sync not proved");
+  (* sync;sync: the classic check-then-act window. The graph must find
+     the cycle out through the first release, around the other thread's
+     critical section, and back into the second acquire. *)
+  (match
+     verdict_of
+       "var g; lock m; thread 2 { atomic \"a\" { sync m { g = 1; } sync m \
+        { g = 2; } } }"
+       "a"
+   with
+  | Statics.May_violate w ->
+    check Alcotest.bool "witness path is non-empty" true
+      (w.Txgraph.path <> [])
+  | _ -> Alcotest.fail "sync;sync not may-violate");
+  (* A loop of syncs releases the lock mid-block on every iteration —
+     the multiset shape — and must also be flagged. *)
+  match
+    verdict_of
+      "var g; lock m; thread 2 { atomic \"a\" { k = 0; while (k < 3) { \
+       sync m { g = 1; } k = k + 1; } } }"
+      "a"
+  with
+  | Statics.May_violate _ -> ()
+  | _ -> Alcotest.fail "loop of syncs not may-violate"
+
+let test_txgraph_snapshot_patterns () =
+  (* The cycle-freedom showcase: racy multi-read blocks Lipton rejects
+     but no dynamic cycle can enter. One dedicated single-write writer
+     per cell and a single reader block over those cells. *)
+  (match
+     verdict_of
+       "var a; var b; thread { a = 1; } thread { b = 1; } thread { atomic \
+        \"snap\" { ra <- a; rb <- b; } }"
+       "snap"
+   with
+  | Statics.Proved_atomic Statics.Cycle_free -> ()
+  | Statics.Proved_atomic Statics.Lipton ->
+    Alcotest.fail "snapshot should not be lipton-provable"
+  | _ -> Alcotest.fail "snapshot reader not proved cycle-free");
+  (* One-way publish: data then flag from one writer thread, checked
+     flag-then-data by a single gate reader. *)
+  (match
+     verdict_of
+       "var d; var f; thread { d = 1; f = 1; } thread { atomic \"gate\" { \
+        rf <- f; rd <- d; } }"
+       "gate"
+   with
+  | Statics.Proved_atomic Statics.Cycle_free -> ()
+  | _ -> Alcotest.fail "publish gate reader not proved cycle-free");
+  (* Both perturbations that make the pattern genuinely violable must
+     stay may-violate: one writer covering two cells (its program order
+     gives the torn snapshot)... *)
+  (match
+     verdict_of
+       "var a; var b; thread { a = 1; b = 1; } thread { atomic \"snap\" { \
+        ra <- a; rb <- b; } }"
+       "snap"
+   with
+  | Statics.May_violate _ -> ()
+  | _ -> Alcotest.fail "single-writer torn snapshot not may-violate");
+  (* ...and a second reader block over the same cells (old/new vs
+     new/old is unserializable). *)
+  match
+    verdict_of
+      "var a; var b; thread { a = 1; } thread { b = 1; } thread 2 { atomic \
+       \"snap\" { ra <- a; rb <- b; } }"
+      "snap"
+  with
+  | Statics.May_violate _ -> ()
+  | _ -> Alcotest.fail "two-reader snapshot not may-violate"
+
+let test_progen_snapshot_family () =
+  (* The generated snapshot family must appear with useful frequency and
+     every instance must be proved by cycle-freedom (never by Lipton —
+     its reads are racy by construction). *)
+  let found = ref 0 in
+  for seed = 1 to 30 do
+    let p, info =
+      Progen.generate_info (Velodrome_util.Rng.create seed)
+    in
+    if List.mem "snapshot" info.Progen.families then begin
+      incr found;
+      let st = Statics.analyze p in
+      List.iter
+        (fun (b : Statics.block) ->
+          if
+            b.Statics.name = "gen.snap.collect"
+            || b.Statics.name = "gen.snap.check"
+          then
+            match b.Statics.verdict with
+            | Statics.Proved_atomic Statics.Cycle_free -> ()
+            | _ ->
+              Alcotest.failf "seed %d: %s not proved cycle-free" seed
+                b.Statics.name)
+        (Statics.blocks st)
+    end
+  done;
+  check Alcotest.bool "snapshot family occurs" true (!found >= 10)
 
 (* --- whole-pipeline sanity over the workload suite -------------------------- *)
 
@@ -482,8 +624,10 @@ let test_handoff_precision () =
     (Statics.race_pair_count st);
   check Alcotest.int "pairwise proves both methods"
     (Statics.block_count st) (Statics.proved_count st);
-  check Alcotest.int "global rule proves neither" 0
-    (Statics.proved_count st_global)
+  (* The mover-rule delta is about Lipton precision only: cycle-freedom
+     is rule-independent and may well prove what Global_guard cannot. *)
+  check Alcotest.int "global rule lipton-proves neither" 0
+    (Statics.proved_lipton_count st_global)
 
 (* --- generated programs ------------------------------------------------------ *)
 
@@ -539,10 +683,24 @@ let dynamic_results program config =
   in
   (refuted, race_vars)
 
+let statically_may_violate st l =
+  List.exists
+    (fun b ->
+      Velodrome_trace.Ids.Label.equal b.Statics.label l
+      &&
+      match b.Statics.verdict with
+      | Statics.May_violate _ -> true
+      | _ -> false)
+    (Statics.blocks st)
+
 (* Both directions of the soundness gate: no proved block is ever refuted
-   by dynamic Velodrome, and every dynamic race warning is covered by a
-   static race pair on the same variable (a pair-free variable is
-   race-free on every execution). *)
+   by dynamic Velodrome and every refuted block is statically may-violate
+   (dynamic blame is a real non-serializable cycle, and the static graph
+   over-approximates every dynamic edge, so a blamed block that is
+   cycle-free — or even budget-exhausted, at these program sizes — is a
+   statics bug); and every dynamic race warning is covered by a static
+   race pair on the same variable (a pair-free variable is race-free on
+   every execution). *)
 let assert_gate what program st =
   let races = Statics.races st in
   List.iteri
@@ -554,6 +712,13 @@ let assert_gate what program st =
             Alcotest.failf
               "%s: statically-proved block %s refuted dynamically (schedule \
                %d)"
+              what
+              (Velodrome_trace.Names.label_name program.Ast.names l)
+              k
+          else if not (statically_may_violate st l) then
+            Alcotest.failf
+              "%s: dynamically blamed block %s is not statically \
+               may-violate (schedule %d)"
               what
               (Velodrome_trace.Names.label_name program.Ast.names l)
               k)
@@ -571,7 +736,8 @@ let assert_gate what program st =
     (gate_configs 7)
 
 let prop_gate_generated =
-  QCheck.Test.make ~count:300 ~name:"gate: proved blocks never blamed"
+  QCheck.Test.make ~count:300
+    ~name:"gate: dynamic blame matches static verdicts"
     QCheck.(int_bound 1_000_000)
     (fun seed ->
       let p = generate seed in
@@ -687,6 +853,12 @@ let suite =
       Alcotest.test_case "reduce unknown" `Quick test_reduce_unknown;
       Alcotest.test_case "reduce commit point" `Quick
         test_reduce_single_non_mover;
+      Alcotest.test_case "reduce edge cases" `Quick test_reduce_edge_cases;
+      Alcotest.test_case "txgraph verdicts" `Quick test_txgraph_verdicts;
+      Alcotest.test_case "txgraph snapshot patterns" `Quick
+        test_txgraph_snapshot_patterns;
+      Alcotest.test_case "progen snapshot family" `Quick
+        test_progen_snapshot_family;
       Alcotest.test_case "reduce while acquire/release" `Quick
         test_reduce_while_acquire_release;
       Alcotest.test_case "workloads analyze" `Quick test_workloads_analyze;

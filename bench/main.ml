@@ -392,11 +392,13 @@ let run_stream_benches ~smoke =
 (* --- Engine throughput (BENCH_engine.json) ----------------------------------- *)
 
 (* The checking hot path itself: replay pre-recorded event arrays through
-   the optimized Engine and the basic Figure 2 engine, reporting
-   events/sec and bytes-allocated/event for each. Covers all fifteen
-   workloads plus synthetic high-contention traces, so representation
-   changes in [lib/core] show up as a tracked artifact rather than a
-   one-off measurement. *)
+   the optimized Engine, the AeroDrome vector-clock engine and the basic
+   Figure 2 engine, reporting events/sec and bytes-allocated/event for
+   each — a three-way comparison, since AeroDrome is the ROADMAP's
+   algorithmic route past the graph engine's throughput ceiling. Covers
+   all workloads plus synthetic high-contention traces (where vector
+   clocks should win), so representation changes in [lib/core] show up
+   as a tracked artifact rather than a one-off measurement. *)
 
 type engine_row = {
   g_fixture : string;
@@ -404,6 +406,8 @@ type engine_row = {
   g_events : int;
   g_engine_eps : float;
   g_engine_bpe : float;  (** bytes allocated per event, Engine replay *)
+  g_aero_eps : float;
+  g_aero_bpe : float;
   g_basic_eps : float;
   g_basic_bpe : float;
   g_warnings : int;
@@ -427,6 +431,12 @@ let replay_basic_events ~names events =
   in
   Array.iter (Velodrome_core.Basic.on_event eng) events;
   Velodrome_core.Basic.finish eng;
+  eng
+
+let replay_aero_events ~names events =
+  let eng = Velodrome_core.Aero.create names in
+  Array.iter (Velodrome_core.Aero.on_event eng) events;
+  Velodrome_core.Aero.finish eng;
   eng
 
 (* Allocation per event, measured over one full replay (including engine
@@ -458,6 +468,12 @@ let engine_bench_row ~repeats ~size_name ~names ~fixture trace =
         eng := replay_engine_events ~names events;
         !eng)
   in
+  let t_aero =
+    time_best ~repeats (fun () -> ignore (replay_aero_events ~names events))
+  in
+  let aero_bpe =
+    bytes_per_event ~events:n (fun () -> replay_aero_events ~names events)
+  in
   let t_basic =
     time_best ~repeats (fun () ->
         ignore (replay_basic_events ~names basic_events))
@@ -472,6 +488,8 @@ let engine_bench_row ~repeats ~size_name ~names ~fixture trace =
     g_events = n;
     g_engine_eps = float_of_int n /. t_engine;
     g_engine_bpe = engine_bpe;
+    g_aero_eps = float_of_int n /. t_aero;
+    g_aero_bpe = aero_bpe;
     g_basic_eps = float_of_int nb /. t_basic;
     g_basic_bpe = basic_bpe;
     g_warnings = List.length (Velodrome_core.Engine.warnings !eng);
@@ -500,6 +518,8 @@ let engine_row_json r =
       ("events", Int r.g_events);
       ("engine_events_per_sec", Float r.g_engine_eps);
       ("engine_bytes_per_event", Float r.g_engine_bpe);
+      ("aero_events_per_sec", Float r.g_aero_eps);
+      ("aero_bytes_per_event", Float r.g_aero_bpe);
       ("basic_events_per_sec", Float r.g_basic_eps);
       ("basic_bytes_per_event", Float r.g_basic_bpe);
       ("warnings", Int r.g_warnings);
@@ -528,13 +548,15 @@ let run_engine_benches ~smoke =
       [ ("synthetic-dense", 8, 2, 1); ("synthetic-wide", 16, 64, 8) ]
   in
   let rows = workload_rows @ synthetic_rows in
-  Printf.printf "%-16s %-10s %9s %13s %9s %13s %9s %5s\n" "fixture" "size"
-    "events" "engine-ev/s" "eng-B/ev" "basic-ev/s" "bas-B/ev" "warn";
+  Printf.printf "%-16s %-10s %9s %13s %9s %13s %9s %13s %9s %5s\n" "fixture"
+    "size" "events" "engine-ev/s" "eng-B/ev" "aero-ev/s" "aer-B/ev"
+    "basic-ev/s" "bas-B/ev" "warn";
   List.iter
     (fun r ->
-      Printf.printf "%-16s %-10s %9d %13.0f %9.1f %13.0f %9.1f %5d\n"
+      Printf.printf
+        "%-16s %-10s %9d %13.0f %9.1f %13.0f %9.1f %13.0f %9.1f %5d\n"
         r.g_fixture r.g_size r.g_events r.g_engine_eps r.g_engine_bpe
-        r.g_basic_eps r.g_basic_bpe r.g_warnings)
+        r.g_aero_eps r.g_aero_bpe r.g_basic_eps r.g_basic_bpe r.g_warnings)
     rows;
   let oc = open_out "BENCH_engine.json" in
   Fun.protect

@@ -33,6 +33,8 @@ let schema = function
       ("fixture", S);
       ("size", S);
       ("events", I);
+      ("aero_events_per_sec", N);
+      ("aero_bytes_per_event", N);
       ("engine_events_per_sec", N);
       ("engine_bytes_per_event", N);
       ("basic_events_per_sec", N);

@@ -83,6 +83,7 @@ let mk_backend names = function
   | "velodrome" -> Some (Backend.make (Velodrome_core.Engine.backend ()) names)
   | "velodrome-basic" ->
     Some (Backend.make (Velodrome_core.Basic.backend ()) names)
+  | "aero" -> Some (Backend.make (Velodrome_core.Aero.backend ()) names)
   | "atomizer" ->
     Some (Backend.make (Velodrome_atomizer.Atomizer.backend ()) names)
   | "eraser" -> Some (Backend.make (Velodrome_eraser.Eraser.backend ()) names)
@@ -102,10 +103,10 @@ let analyses_arg =
   Arg.(
     value
     & opt (list string) [ "velodrome"; "atomizer" ]
-    & info [ "analysis"; "a" ] ~docv:"LIST"
+    & info [ "analysis"; "a"; "backend" ] ~docv:"LIST"
         ~doc:
-          "Comma-separated back-ends: velodrome, velodrome-basic, atomizer, \
-           eraser, hb, fasttrack, empty.")
+          "Comma-separated back-ends: velodrome, velodrome-basic, aero, \
+           atomizer, eraser, hb, fasttrack, empty.")
 
 let spec_arg =
   Arg.(
@@ -350,10 +351,54 @@ type gate_result = {
   uncovered_races : (string * string * string) list;
       (** schedule, analysis, variable with a dynamic race warning but no
           static race pair *)
+  engine_disagreements : (string * string) list;
+      (** schedule, description — the three-way differential over the
+          recorded trace of each schedule *)
 }
 
 let gate_ok g =
   g.blame_mismatches = [] && g.uncovered_blames = [] && g.uncovered_races = []
+  && g.engine_disagreements = []
+
+(* The three-way engine differential behind the gate: replay each
+   schedule's recorded trace through the optimized engine, the Figure 2
+   reference and AeroDrome. Two independent sound-and-complete
+   algorithms (explicit happens-before graph vs vector clocks) must
+   agree on the verdict and on the first violating event, and Aero must
+   match Basic warning-for-warning. *)
+let engine_trio_check names trace =
+  let module E = Velodrome_core.Engine in
+  let module B = Velodrome_core.Basic in
+  let module A = Velodrome_core.Aero in
+  let e = E.create names and b = B.create names and a = A.create names in
+  List.iter
+    (fun ev ->
+      E.on_event e ev;
+      B.on_event b ev;
+      A.on_event a ev)
+    (Velodrome_trace.Event.of_ops (Velodrome_trace.Trace.to_list trace));
+  E.finish e;
+  B.finish b;
+  A.finish a;
+  let proj (w : Warning.t) =
+    (w.Warning.kind, w.Warning.tid, w.Warning.label, w.Warning.index,
+     w.Warning.message)
+  in
+  let wa = List.sort compare (List.map proj (A.warnings a))
+  and wb = List.sort compare (List.map proj (B.warnings b)) in
+  if E.has_error e <> B.has_error b || B.has_error b <> A.has_error a then
+    Some
+      (Printf.sprintf "verdicts disagree: velodrome=%b basic=%b aero=%b"
+         (E.has_error e) (B.has_error b) (A.has_error a))
+  else if
+    E.first_error_index e <> B.first_error_index b
+    || B.first_error_index b <> A.first_error_index a
+  then Some "first violation index disagrees across engines"
+  else if wa <> wb then
+    Some
+      (Printf.sprintf "aero/basic warning sets differ (%d vs %d)"
+         (List.length wa) (List.length wb))
+  else None
 
 let may_violate st l =
   List.exists
@@ -372,6 +417,7 @@ let run_gate program st seeds =
   let blame = ref [] in
   let unblamed = ref [] in
   let uncovered = ref [] in
+  let engines = ref [] in
   List.iter
     (fun (desc, policy, adversarial) ->
       let backends =
@@ -382,9 +428,20 @@ let run_gate program st seeds =
         ]
       in
       let config =
-        { Velodrome_sim.Run.default_config with policy; adversarial }
+        {
+          Velodrome_sim.Run.default_config with
+          policy;
+          adversarial;
+          record_trace = true;
+        }
       in
       let res = Velodrome_sim.Run.run ~config program backends in
+      (match res.Velodrome_sim.Run.trace with
+      | Some tr -> (
+        match engine_trio_check names tr with
+        | Some msg -> engines := (desc, msg) :: !engines
+        | None -> ())
+      | None -> ());
       warnings := !warnings + List.length res.Velodrome_sim.Run.warnings;
       List.iter
         (fun (w : Warning.t) ->
@@ -414,6 +471,7 @@ let run_gate program st seeds =
     blame_mismatches = List.rev !blame;
     uncovered_blames = List.sort_uniq compare !unblamed;
     uncovered_races = List.sort_uniq compare !uncovered;
+    engine_disagreements = List.rev !engines;
   }
 
 (* A gate failure on a generated program is only actionable if it can be
@@ -579,13 +637,15 @@ let analyze_cmd =
                     match
                       ( g.blame_mismatches,
                         g.uncovered_blames,
-                        g.uncovered_races )
+                        g.uncovered_races,
+                        g.engine_disagreements )
                     with
-                    | (sched, _) :: _, _, _
-                    | _, (sched, _) :: _, _
-                    | _, _, (sched, _, _) :: _ ->
+                    | (sched, _) :: _, _, _, _
+                    | _, (sched, _) :: _, _, _
+                    | _, _, (sched, _, _) :: _, _
+                    | _, _, _, (sched, _) :: _ ->
                       sched
-                    | [], [], [] -> "unknown"
+                    | [], [], [], [] -> "unknown"
                   in
                   print_generated_replay ~gen_seed:s ~families ~schedule
                     ~seeds
@@ -613,7 +673,8 @@ let analyze_cmd =
             Format.printf
               "soundness gate: OK (%d schedules, %d dynamic warnings, no \
                proved block blamed, every blamed block may-violate, every \
-               dynamic race statically covered)@."
+               dynamic race statically covered, aero = velodrome = basic on \
+               every recorded trace)@."
               schedules g.gate_warnings
           | Some g ->
             List.iter
@@ -636,7 +697,13 @@ let analyze_cmd =
                   "soundness gate: FAILED: %s warned about %s under %s but \
                    no static race pair covers it@."
                   analysis var sched)
-              g.uncovered_races)
+              g.uncovered_races;
+            List.iter
+              (fun (sched, msg) ->
+                Format.printf
+                  "soundness gate: FAILED: engines disagree under %s: %s@."
+                  sched msg)
+              g.engine_disagreements)
         results
     | `Json ->
       let open Velodrome_util.Json in
@@ -701,6 +768,16 @@ let analyze_cmd =
                                          ("schedule", String sched);
                                        ])
                                    g.uncovered_races) );
+                            ( "engine_disagreements",
+                              List
+                                (List.map
+                                   (fun (sched, msg) ->
+                                     Obj
+                                       [
+                                         ("message", String msg);
+                                         ("schedule", String sched);
+                                       ])
+                                   g.engine_disagreements) );
                             ("ok", Bool (gate_ok g));
                           ] );
                     ])
@@ -1254,7 +1331,7 @@ let study_cmd =
       value
       & opt string "all"
       & info [ "part" ] ~docv:"PART"
-          ~doc:"coverage, injection, singlecore, or all.")
+          ~doc:"coverage, injection, singlecore, agreement, or all.")
   in
   let run size seeds part =
     if part = "coverage" || part = "all" then begin
@@ -1271,6 +1348,11 @@ let study_cmd =
       Format.printf "Study S4: single-core scheduling sensitivity@.";
       Velodrome_harness.Study.print_single_core Format.std_formatter
         (Velodrome_harness.Study.single_core ~size ~seeds ())
+    end;
+    if part = "agreement" || part = "all" then begin
+      Format.printf "Study A1: three-way engine agreement@.";
+      Velodrome_harness.Study.print_agreement Format.std_formatter
+        (Velodrome_harness.Study.agreement ~size ~seeds ())
     end
   in
   Cmd.v

@@ -1,0 +1,39 @@
+(** AeroDrome: vector-clock atomicity checking (arXiv 2001.04961).
+
+    Same sound-and-complete check as {!Engine} and {!Basic} — a warning
+    exactly when the transactional happens-before graph acquires a
+    cycle — but with no graph at all. Each transaction carries a vector
+    clock of the transaction ordinals it happens-after; conflicting
+    operations join clocks instead of adding edges, and a cycle
+    manifests as a transaction observing its own ordinal come back
+    through a joined clock ([c(t) ≥ n_t]). The offending join is
+    dropped, mirroring {!Basic} dropping the cycle-closing edge, so the
+    two engines agree on the verdict, the first violating event index
+    and the warning set — the differential harness in
+    [test/test_backends.ml] holds all three engines to that.
+
+    Because a transaction's happens-before ancestors can still grow
+    after other transactions have observed its clock (a predecessor
+    arriving at a transaction that already has successors), clocks are
+    shared by reference and every edge records a forward dependency;
+    late-arriving ancestors are pushed along recorded dependencies with
+    a subsumption cutoff, keeping every clock equal to the
+    transaction's exact current ancestor set. *)
+
+type t
+
+val create : Velodrome_trace.Names.t -> t
+val on_event : t -> Velodrome_trace.Event.t -> unit
+val finish : t -> unit
+val warnings : t -> Velodrome_analysis.Warning.t list
+val has_error : t -> bool
+
+val cycles_found : t -> int
+(** Dropped joins — one per happens-before edge that would have closed a
+    cycle, matching {!Basic.cycles_found}. *)
+
+val first_error_index : t -> int option
+val transactions : t -> int
+
+val backend : unit -> (module Velodrome_analysis.Backend.S)
+(** Registry name ["aero"]. *)

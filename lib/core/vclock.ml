@@ -1,0 +1,68 @@
+type t = { mutable data : int array }
+
+let create ?(capacity = 0) () = { data = Array.make capacity 0 }
+
+let ensure t n =
+  let cap = Array.length t.data in
+  if n >= cap then begin
+    let ncap = max (n + 1) (max 4 (2 * cap)) in
+    let data = Array.make ncap 0 in
+    Array.blit t.data 0 data 0 cap;
+    t.data <- data
+  end
+
+let get t i = if i < Array.length t.data then t.data.(i) else 0
+
+let set t i v =
+  ensure t i;
+  t.data.(i) <- v
+
+let incr t i = set t i (get t i + 1)
+
+(* Join up to [src]'s logical width (its last nonzero entry), not its
+   physical capacity: [ensure]'s doubling overshoots, so sizing [dst] to
+   [src]'s capacity lets two clocks of mismatched capacity ratchet each
+   other's arrays up exponentially across repeated joins. *)
+let join dst src =
+  let top = ref (Array.length src.data - 1) in
+  while !top >= 0 && src.data.(!top) = 0 do
+    decr top
+  done;
+  ensure dst !top;
+  for i = 0 to !top do
+    if src.data.(i) > dst.data.(i) then dst.data.(i) <- src.data.(i)
+  done
+
+let copy t = { data = Array.copy t.data }
+
+let width a b = max (Array.length a.data) (Array.length b.data)
+
+let leq a b =
+  let rec go i = i < 0 || (get a i <= get b i && go (i - 1)) in
+  go (width a b - 1)
+
+let equal a b =
+  let rec go i = i < 0 || (get a i = get b i && go (i - 1)) in
+  go (width a b - 1)
+
+type order = Equal | Less | Greater | Incomparable
+
+let compare a b =
+  let n = width a b in
+  let rec go i le ge =
+    if (not le) && not ge then Incomparable
+    else if i >= n then
+      match (le, ge) with
+      | true, true -> Equal
+      | true, false -> Less
+      | false, true -> Greater
+      | false, false -> Incomparable
+    else
+      let x = get a i and y = get b i in
+      go (i + 1) (le && x <= y) (ge && x >= y)
+  in
+  go 0 true true
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.data)))

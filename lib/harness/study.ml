@@ -155,3 +155,83 @@ let print_injection ppf rows =
         r.detected_adversarial
         (pct r.detected_adversarial))
     rows
+
+type agreement_row = {
+  workload : string;
+  traces : int;
+  violating : int;
+  agreements : int;
+}
+
+(* Replay one recorded trace through the engine trio; true when the
+   verdict, the first violating event and (for Aero vs Basic) the
+   warning sets all agree. *)
+let trio_agrees names trace =
+  let module E = Velodrome_core.Engine in
+  let module B = Velodrome_core.Basic in
+  let module A = Velodrome_core.Aero in
+  let e = E.create names and b = B.create names and a = A.create names in
+  List.iter
+    (fun ev ->
+      E.on_event e ev;
+      B.on_event b ev;
+      A.on_event a ev)
+    (Velodrome_trace.Event.of_ops (Velodrome_trace.Trace.to_list trace));
+  E.finish e;
+  B.finish b;
+  A.finish a;
+  let proj (w : Warning.t) =
+    ( w.Warning.kind, w.Warning.tid, w.Warning.label, w.Warning.index,
+      w.Warning.message )
+  in
+  let agree =
+    E.has_error e = B.has_error b
+    && B.has_error b = A.has_error a
+    && E.first_error_index e = B.first_error_index b
+    && B.first_error_index b = A.first_error_index a
+    && List.sort compare (List.map proj (A.warnings a))
+       = List.sort compare (List.map proj (B.warnings b))
+  in
+  (agree, A.has_error a && agree)
+
+let agreement ?(size = Workload.Medium) ?(seeds = [ 1; 2; 3; 4; 5 ]) () =
+  List.map
+    (fun (w : Workload.t) ->
+      let program = w.Workload.build size in
+      let names = program.Velodrome_sim.Ast.names in
+      let traces = ref 0 and violating = ref 0 and agreements = ref 0 in
+      List.iter
+        (fun adversarial ->
+          List.iter
+            (fun seed ->
+              let res =
+                Common.run_once ~seed ~adversarial ~record_trace:true program
+                  (fun _ -> [])
+              in
+              match res.Velodrome_sim.Run.trace with
+              | None -> ()
+              | Some tr ->
+                incr traces;
+                let agree, violates = trio_agrees names tr in
+                if agree then incr agreements;
+                if violates then incr violating)
+            seeds)
+        [ false; true ];
+      {
+        workload = w.Workload.name;
+        traces = !traces;
+        violating = !violating;
+        agreements = !agreements;
+      })
+    Workload.all
+
+let print_agreement ppf rows =
+  Format.fprintf ppf "%-11s | %6s | %9s | %5s@." "Program" "Traces"
+    "Violating" "Agree";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-11s | %6d | %9d | %5s@." r.workload r.traces
+        r.violating
+        (if r.agreements = r.traces then "all"
+         else Printf.sprintf "%d/%d" r.agreements r.traces))
+    rows

@@ -28,7 +28,7 @@ dynamic soundness gate. A fully guarded program proves every block (exit
   Counter.incr             (13:12) proved atomic by lipton (2 occurrences)
   Counter.flush            (21:10) proved atomic by lipton (2 occurrences)
   2/2 blocks proved atomic (2 lipton, 0 cycle-free), 0 may-violate
-  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered)
+  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace)
 
 The static transactional conflict graph behind the cycle-free verdicts:
 --graph reports its size and one witness cycle per may-violate block,
@@ -326,6 +326,51 @@ Corrupt input exits 2 (violations exit 1; see the EXIT STATUS section of
   $ velodrome convert bad.velb nope.trace
   bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
   [2]
+
+The AeroDrome vector-clock backend replays the same traces through
+--backend, in both replay modes, with the same exit conventions as the
+graph engines (1 on violations, 0 when clean, 2 on corrupt input):
+
+  $ velodrome check-trace ms.trace --backend aero
+  ms.trace: 896 operations
+  5 warning(s):
+    aero: atomicity-violation [Set.retain] at #58: happens-before cycle involving transaction of Set.retain
+    aero: atomicity-violation [Set.sizeSum] at #84: happens-before cycle involving transaction of Set.sizeSum
+    aero: atomicity-violation [Set.remove] at #129: happens-before cycle involving transaction of Set.remove
+    aero: atomicity-violation [Set.addAll] at #147: happens-before cycle involving transaction of Set.addAll
+    aero: atomicity-violation [Set.add] at #324: happens-before cycle involving transaction of Set.add
+  [1]
+  $ velodrome check-trace ms.velb --stream --backend aero 2>&1 | head -2
+  ms.velb: 896 operations
+  5 warning(s):
+  $ velodrome check-trace ms.trace --backend aero --format json | head -12
+  {
+    "file": "ms.trace",
+    "events": 896,
+    "warnings": [
+                  {
+                    "analysis": "aero",
+                    "kind": "atomicity-violation",
+                    "label": "Set.retain",
+                    "index": 58,
+                    "blamed": false,
+                    "message": "happens-before cycle involving transaction of Set.retain"
+                  },
+  $ velodrome record ../examples/guarded.vel ok.trace --seed 3
+  recorded 134 operations to ok.trace
+  $ velodrome check-trace ok.trace --backend aero
+  ok.trace: 134 operations
+  No warnings.
+  $ velodrome check-trace bad.velb --backend aero
+  bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
+  [2]
+
+The tracked engine benchmark artifact is a three-way comparison — aero
+against the optimized and basic graph engines — and validates against
+the extended schema:
+
+  $ ../bench/validate_bench.exe ../BENCH_engine.json engine
+  ../BENCH_engine.json: 19 engine rows ok
 
 Malformed text traces are blamed on the offending line:
 

@@ -1,0 +1,88 @@
+(* Pinned regression corpus: generated programs and schedules that once
+   exposed (or nearly exposed) back-end disagreements, replayed
+   deterministically on every `dune runtest` so fuzz finds never regress
+   silently.
+
+   Each row is a (progen seed, family, schedule) triple. The family is
+   recorded and asserted so a change to the generator that silently
+   repurposes a pinned seed is caught rather than quietly testing a
+   different program. Every packaged back-end is attached to the run
+   (catching crashes and warning-shape regressions), and the recorded
+   trace is held to the three-way engine agreement. *)
+
+open Velodrome_analysis
+open Velodrome_sim
+open Helpers
+
+type schedule = RR | Rand of int | Adv of int
+
+let pp_schedule = function
+  | RR -> "round-robin"
+  | Rand s -> Printf.sprintf "random(seed %d)" s
+  | Adv s -> Printf.sprintf "adversarial(seed %d)" s
+
+let config_of = function
+  | RR -> { Run.default_config with policy = Run.Round_robin }
+  | Rand s -> { Run.default_config with policy = Run.Random s }
+  | Adv s ->
+    { Run.default_config with policy = Run.Random s; adversarial = true }
+
+(* The corpus. Seeds picked to cover every progen family under every
+   schedule family; extend with the seed, family and schedule from any
+   future fuzz failure's replay line. *)
+let corpus : (int * string * schedule) list =
+  [
+    (1, "publication+snapshot", RR);
+    (2, "core", Rand 7);
+    (3, "publication+snapshot", Adv 7);
+    (7, "snapshot", Adv 2);
+    (11, "publication+snapshot", RR);
+    (13, "core", Rand 3);
+    (42, "snapshot", Adv 5);
+    (101, "snapshot", RR);
+    (257, "core", Rand 11);
+    (1009, "publication+snapshot", Adv 11);
+  ]
+
+let all_packaged names =
+  [
+    Backend.make (Velodrome_core.Engine.backend ()) names;
+    Backend.make (Velodrome_core.Basic.backend ()) names;
+    Backend.make (Velodrome_core.Aero.backend ()) names;
+    Backend.make (Velodrome_eraser.Eraser.backend ()) names;
+    Backend.make (Velodrome_atomizer.Atomizer.backend ()) names;
+    Backend.make (Velodrome_hbrace.Hbrace.backend ()) names;
+    Backend.make (Velodrome_hbrace.Fasttrack.backend ()) names;
+    Backend.make (Velodrome_twopl.Twopl.backend ()) names;
+  ]
+
+let replay (seed, family, schedule) =
+  let program, info =
+    Progen.generate_info (Velodrome_util.Rng.create seed)
+  in
+  let actual = String.concat "+" info.Progen.families in
+  if actual <> family then
+    Alcotest.failf
+      "regression corpus drift: progen seed %d now generates family %s \
+       (pinned as %s)"
+      seed actual family;
+  let config =
+    { (config_of schedule) with Run.record_trace = true }
+  in
+  let res =
+    Run.run ~config program
+      (all_packaged program.Ast.names)
+  in
+  match engine_trio (Option.get res.Run.trace) with
+  | Ok _ -> ()
+  | Error msg ->
+    Alcotest.failf
+      "regression: progen seed %d, family %s, schedule %s: %s@.replay: \
+       velodrome analyze --generated 1 --gen-seed %d --seeds 7 --gate"
+      seed family (pp_schedule schedule) msg seed
+
+let test_corpus () = List.iter replay corpus
+
+let suite =
+  ( "regressions",
+    [ Alcotest.test_case "pinned generated corpus" `Quick test_corpus ] )

@@ -1,5 +1,8 @@
 (* Tests for the baseline analyses: Eraser, the happens-before detector
-   (with its vector clocks), and the Atomizer. *)
+   (with its vector clocks), the Atomizer and the two-phase-locking
+   checker — plus the AeroDrome vector-clock engine and the three-way
+   differential harness holding it to Engine and Basic on every
+   workload and on generated programs under every schedule family. *)
 
 open Velodrome_trace
 open Velodrome_analysis
@@ -8,12 +11,6 @@ open Helpers
 let check = Alcotest.check
 let bool = Alcotest.bool
 let int = Alcotest.int
-
-let feed (module B : Backend.S) ?(names = Names.create ()) ops =
-  let state = B.create names in
-  List.iter (B.on_event state) (Event.of_ops ops);
-  B.finish state;
-  B.warnings state
 
 (* --- Eraser ----------------------------------------------------------------- *)
 
@@ -180,15 +177,11 @@ let test_fasttrack_read_share_then_write () =
 
 (* The headline differential property: FastTrack and the full-vector
    detector flag exactly the same set of racy variables on every trace. *)
-let racy_vars (module B : Backend.S) tr =
-  let state = B.create (Names.create ()) in
-  List.iter (B.on_event state)
-    (Event.of_ops (Velodrome_trace.Trace.to_list tr));
-  B.finish state;
+let racy_vars b tr =
   List.sort_uniq compare
     (List.filter_map
        (fun w -> Option.map Ids.Var.to_int w.Warning.var)
-       (B.warnings state))
+       (feed b (Velodrome_trace.Trace.to_list tr)))
 
 let prop_fasttrack_equals_full_vc =
   QCheck.Test.make ~count:400
@@ -356,6 +349,223 @@ let test_twopl_false_alarm_on_serializable () =
   let ws = feed twopl tr in
   check int "2pl still warns (false alarm)" 1 (List.length ws)
 
+(* --- AeroDrome vector clocks ------------------------------------------------- *)
+
+module Vc = Velodrome_core.Vclock
+
+(* Random clocks with entries well past the default capacity, so growth
+   is exercised by every law. *)
+let vclock_arbitrary =
+  let build entries =
+    let c = Vc.create () in
+    List.iter (fun (i, v) -> Vc.set c i v) entries;
+    c
+  in
+  QCheck.make
+    ~print:(fun c -> Format.asprintf "%a" Vc.pp c)
+    QCheck.Gen.(
+      map build (small_list (pair (int_bound 40) (int_bound 8))))
+
+let joined a b =
+  let c = Vc.copy a in
+  Vc.join c b;
+  c
+
+let prop_vclock_join_commutes =
+  QCheck.Test.make ~count:500 ~name:"vclock: join commutes"
+    QCheck.(pair vclock_arbitrary vclock_arbitrary)
+    (fun (a, b) -> Vc.equal (joined a b) (joined b a))
+
+let prop_vclock_join_assoc =
+  QCheck.Test.make ~count:500 ~name:"vclock: join associates"
+    QCheck.(triple vclock_arbitrary vclock_arbitrary vclock_arbitrary)
+    (fun (a, b, c) ->
+      Vc.equal (joined (joined a b) c) (joined a (joined b c)))
+
+let prop_vclock_join_idempotent =
+  QCheck.Test.make ~count:500 ~name:"vclock: join idempotent, upper bound"
+    QCheck.(pair vclock_arbitrary vclock_arbitrary)
+    (fun (a, b) ->
+      let j = joined a b in
+      Vc.equal j (joined j a) && Vc.leq a j && Vc.leq b j)
+
+let prop_vclock_incr_monotone =
+  QCheck.Test.make ~count:500 ~name:"vclock: incr strictly monotone"
+    QCheck.(pair vclock_arbitrary (int_bound 50))
+    (fun (a, i) ->
+      let b = Vc.copy a in
+      Vc.incr b i;
+      Vc.leq a b && (not (Vc.leq b a)) && Vc.get b i = Vc.get a i + 1)
+
+let prop_vclock_compare_agrees_with_order =
+  QCheck.Test.make ~count:500 ~name:"vclock: compare = pointwise order"
+    QCheck.(pair vclock_arbitrary vclock_arbitrary)
+    (fun (a, b) ->
+      let expected =
+        match (Vc.leq a b, Vc.leq b a) with
+        | true, true -> Vc.Equal
+        | true, false -> Vc.Less
+        | false, true -> Vc.Greater
+        | false, false -> Vc.Incomparable
+      in
+      Vc.compare a b = expected && Vc.equal a b = (expected = Vc.Equal))
+
+(* --- AeroDrome engine ---------------------------------------------------------- *)
+
+module Aero = Velodrome_core.Aero
+
+let aero = Aero.backend ()
+
+let test_aero_detects_cycle () =
+  (* The canonical violation: t1's write interposes between t0's write
+     and read of x inside one atomic block — edges t0 -> t1 -> t0. *)
+  let ws = feed aero [ bg t0 l0; wr t0 x; wr t1 x; rd t0 x; en t0 ] in
+  check int "one violation" 1 (List.length ws);
+  match ws with
+  | [ w ] ->
+    check bool "atomicity kind" true (w.Warning.kind = Warning.Atomicity_violation);
+    check bool "blames the block" true (w.Warning.label = Some l0);
+    check int "at the closing read" 3 w.Warning.index
+  | _ -> assert false
+
+let test_aero_serializable_clean () =
+  let ws =
+    feed aero
+      [
+        bg t0 l0; acq t0 m; wr t0 x; rd t0 x; rel t0 m; en t0;
+        bg t1 l1; acq t1 m; wr t1 x; rd t1 x; rel t1 m; en t1;
+      ]
+  in
+  check int "serializable" 0 (List.length ws)
+
+let test_aero_lock_cycle () =
+  (* Lock release/acquire edges alone can close the cycle. *)
+  let ws =
+    feed aero
+      [
+        bg t0 l0; acq t0 m; rel t0 m;
+        acq t1 m; wr t1 x; rel t1 m;
+        rd t0 x; en t0;
+      ]
+  in
+  check int "lock edge cycle" 1 (List.length ws)
+
+let test_aero_late_predecessor () =
+  (* The subtlety the forward-propagation exists for: u's transaction
+     gains a predecessor (w) *after* t has already joined u's clock, and
+     the cycle then closes at w. Snapshot clocks would miss it. *)
+  (* t1 reads x from t0's open txn; t0's txn then reads y written by t2;
+     finally t2 reads z written by t1: cycle t0 -> t1 -> t2 -> t0 must
+     surface at the last read. *)
+  let ws =
+    feed aero
+      [
+        bg t0 l0; bg t1 l1; bg t2 l2;
+        wr t0 x; rd t1 x;  (* t0 -> t1 *)
+        wr t2 y;  (* then t0 gains predecessor t2 *)
+        wr t1 z;
+        rd t0 y;  (* t2 -> t0 *)
+        rd t2 z;  (* t1 -> t2 closes the cycle here *)
+        en t0; en t1; en t2;
+      ]
+  in
+  check int "transitive cycle found" 1 (List.length ws);
+  match ws with
+  | [ w ] -> check int "at the closing read" 8 w.Warning.index
+  | _ -> assert false
+
+let test_aero_unary_transactions () =
+  (* Operations outside atomic blocks are unary transactions: they feed
+     the happens-before state but never blame a label. *)
+  let ws = feed aero [ wr t0 x; wr t1 x; rd t0 x; wr t1 x ] in
+  List.iter
+    (fun (w : Warning.t) -> check bool "no label" true (w.Warning.label = None))
+    ws
+
+let test_aero_matches_basic_counts () =
+  let tr =
+    Trace.of_ops
+      [ bg t0 l0; wr t0 x; wr t1 x; rd t0 x; wr t1 x; rd t0 x; en t0 ]
+  in
+  let a = run_aero tr and b = run_basic tr in
+  check int "cycles agree" (Velodrome_core.Basic.cycles_found b)
+    (Aero.cycles_found a);
+  check (Alcotest.option int) "first index agrees"
+    (Velodrome_core.Basic.first_error_index b)
+    (Aero.first_error_index a)
+
+(* --- the three-way differential harness ---------------------------------------
+
+   Two independent sound-and-complete algorithms (vector clocks vs an
+   explicit happens-before graph) must agree on every trace: same
+   verdict, same first violating event, and warning-for-warning
+   agreement between Aero and Basic. Replayed over every workload and
+   over generated programs under the three schedule families of the PR 5
+   gate, with a one-command replay printed on mismatch. *)
+
+open Velodrome_sim
+
+let gate_seed = 7
+
+let gate_configs seed =
+  [
+    ("round-robin", { Run.default_config with policy = Run.Round_robin });
+    ( Printf.sprintf "random(seed %d)" seed,
+      { Run.default_config with policy = Run.Random seed } );
+    ( Printf.sprintf "adversarial(seed %d)" seed,
+      { Run.default_config with policy = Run.Random seed; adversarial = true }
+    );
+  ]
+
+let recorded_trace ~config program =
+  let config = { config with Run.record_trace = true } in
+  let res = Run.run ~config program [] in
+  Option.get res.Run.trace
+
+let assert_trio what program =
+  List.iter
+    (fun (sched, config) ->
+      let tr = recorded_trace ~config program in
+      match engine_trio tr with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "%s (schedule %s): %s" what sched msg)
+    (gate_configs gate_seed)
+
+let test_trio_workloads () =
+  List.iter
+    (fun w ->
+      assert_trio
+        (Printf.sprintf "three-way: workload %s" w.Velodrome_workloads.Workload.name)
+        (w.Velodrome_workloads.Workload.build Velodrome_workloads.Workload.Small))
+    Velodrome_workloads.Workload.all
+
+(* On a generated-program mismatch, identify the program exactly and
+   print the single command that replays it — the PR 5 gate idiom
+   (`analyze --gate` runs this same trio on its recorded traces). *)
+let prop_trio_generated =
+  QCheck.Test.make ~count:300
+    ~name:"three-way: aero = engine = basic on generated programs"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let program, info =
+        Progen.generate_info (Velodrome_util.Rng.create seed)
+      in
+      List.iter
+        (fun (sched, config) ->
+          let tr = recorded_trace ~config program in
+          match engine_trio tr with
+          | Ok _ -> ()
+          | Error msg ->
+            Alcotest.failf
+              "three-way: generated program FAILED: progen seed %d, family \
+               %s, schedule %s: %s@.replay: velodrome analyze --generated 1 \
+               --gen-seed %d --seeds %d --gate"
+              seed
+              (String.concat "+" info.Progen.families)
+              sched msg seed gate_seed)
+        (gate_configs gate_seed);
+      true)
+
 let suite =
   ( "backends",
     [
@@ -407,4 +617,19 @@ let suite =
         test_twopl_strict_volatile_exempt;
       Alcotest.test_case "2pl false alarm" `Quick
         test_twopl_false_alarm_on_serializable;
+      QCheck_alcotest.to_alcotest prop_vclock_join_commutes;
+      QCheck_alcotest.to_alcotest prop_vclock_join_assoc;
+      QCheck_alcotest.to_alcotest prop_vclock_join_idempotent;
+      QCheck_alcotest.to_alcotest prop_vclock_incr_monotone;
+      QCheck_alcotest.to_alcotest prop_vclock_compare_agrees_with_order;
+      Alcotest.test_case "aero cycle" `Quick test_aero_detects_cycle;
+      Alcotest.test_case "aero serializable" `Quick test_aero_serializable_clean;
+      Alcotest.test_case "aero lock cycle" `Quick test_aero_lock_cycle;
+      Alcotest.test_case "aero late predecessor" `Quick
+        test_aero_late_predecessor;
+      Alcotest.test_case "aero unary" `Quick test_aero_unary_transactions;
+      Alcotest.test_case "aero = basic counts" `Quick
+        test_aero_matches_basic_counts;
+      Alcotest.test_case "three-way workloads" `Quick test_trio_workloads;
+      QCheck_alcotest.to_alcotest ~long:false prop_trio_generated;
     ] )

@@ -12,6 +12,7 @@ let () =
       Test_lang.suite;
       Test_statics.suite;
       Test_backends.suite;
+      Regressions.suite;
       Test_workloads.suite;
       Test_inject.suite;
       Test_harness.suite;

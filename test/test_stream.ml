@@ -16,26 +16,17 @@ let all_backends : (string * (unit -> (module Backend.S))) list =
   [
     ("velodrome", fun () -> Velodrome_core.Engine.backend ());
     ("velodrome-basic", fun () -> Velodrome_core.Basic.backend ());
+    ("aero", fun () -> Velodrome_core.Aero.backend ());
     ("eraser", fun () -> Velodrome_eraser.Eraser.backend ());
     ("atomizer", fun () -> Velodrome_atomizer.Atomizer.backend ());
     ("hb", fun () -> Velodrome_hbrace.Hbrace.backend ());
     ("empty", fun () -> (module Empty : Backend.S));
   ]
 
-(* Everything that identifies a warning except the rendered dot graph. *)
-let project (w : Warning.t) =
-  ( w.Warning.analysis,
-    w.Warning.kind,
-    Option.map Ids.Tid.to_int w.Warning.tid,
-    Option.map Ids.Label.to_int w.Warning.label,
-    Option.map Ids.Var.to_int w.Warning.var,
-    w.Warning.message,
-    w.Warning.index,
-    w.Warning.blamed )
-
-let inmem_warnings mk tr =
-  let names = Names.create () in
-  List.map project (Backend.run_trace [ Backend.make (mk ()) names ] tr)
+(* The projection and in-memory runner are shared with the other
+   differential suites (Helpers.project_warning / trace_warnings). *)
+let project = project_warning
+let inmem_warnings mk tr = trace_warnings mk tr
 
 let with_encoded suffix write tr f =
   let path = Filename.temp_file "velodrome_stream" suffix in

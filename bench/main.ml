@@ -793,6 +793,228 @@ let run_statics_benches ~smoke =
         (Velodrome_util.Json.List (List.map statics_row_json rows)));
   Printf.printf "wrote BENCH_statics.json (%d fixtures)\n" (List.length rows)
 
+(* --- Witness-guided prediction (BENCH_predict.json) --------------------------- *)
+
+(* The predictive-atomicity study. For every workload and a sweep of
+   generated programs, run the witness-guided predictor (one round-robin
+   observation, then forced replays of static witness schedules) and the
+   pre-existing adversarial-scheduler baseline (Atomizer-guided pausing,
+   one run per seed, the Study S2 configuration), and count the unique
+   violating blocks each strategy certifies. Every emitted prediction is
+   re-replayed from its schedule and re-certified by the engine trio, so
+   the artifact's `uncertified` field is an honest recount, not an echo
+   of the predictor's claim. The tracked claim: prediction from a single
+   observation finds strictly more unique violating blocks than the
+   adversarial sweep. *)
+
+module Predict = Velodrome_predict.Predict
+module SSet = Set.Make (String)
+
+type predict_row = {
+  p_fixture : string;
+  p_blocks : int;
+  p_may_violate : int;
+  p_predicted : int;
+  p_certified : int;  (** predictions surviving the independent recheck *)
+  p_unpredicted : int;  (** may-violate blocks no plan certified *)
+  p_observed_blamed : int;  (** blocks the plain observation already flames *)
+  p_adversarial : int;  (** unique blocks blamed across the adversarial runs *)
+  p_rr_plus_predicted : int;  (** unique blocks: observation + predictions *)
+  p_predict_ms : float;
+}
+
+let adversarial_blamed program seeds =
+  let names = program.Velodrome_sim.Ast.names in
+  List.fold_left
+    (fun acc seed ->
+      let res =
+        Velodrome_harness.Common.run_once ~seed ~adversarial:true program
+          (fun n ->
+            [
+              Backend.make (Velodrome_atomizer.Atomizer.backend ()) n;
+              Backend.make (Velodrome_core.Engine.backend ()) n;
+            ])
+      in
+      List.fold_left
+        (fun acc (w : Warning.t) ->
+          if w.Warning.analysis = "velodrome" && w.Warning.blamed then
+            match Velodrome_harness.Common.label_of_warning names w with
+            | Some l -> SSet.add l acc
+            | None -> acc
+          else acc)
+        acc res.Velodrome_sim.Run.warnings)
+    SSet.empty seeds
+
+let predict_bench ~seeds ~fixture program =
+  let names = program.Velodrome_sim.Ast.names in
+  let st = Statics.analyze program in
+  let p = ref (Predict.run program st) in
+  let predict_ms =
+    time_ms_best ~repeats:1 (fun () -> p := Predict.run program st)
+  in
+  let p = !p in
+  let preds = Predict.predictions p in
+  let certified =
+    List.length
+      (List.filter
+         (fun (pr : Predict.prediction) ->
+           match
+             Predict.replay_and_certify program pr.Predict.label
+               pr.Predict.plan.Velodrome_predict.Plan.waypoints
+           with
+           | Ok _ -> true
+           | Error _ -> false)
+         preds)
+  in
+  let observed =
+    SSet.of_list
+      (List.map
+         (Names.label_name names)
+         (Predict.observed_blamed p))
+  in
+  let predicted_names =
+    SSet.of_list (List.map (fun (pr : Predict.prediction) -> pr.Predict.name) preds)
+  in
+  let adv = adversarial_blamed program seeds in
+  {
+    p_fixture = fixture;
+    p_blocks = Statics.block_count st;
+    p_may_violate = Statics.may_violate_count st;
+    p_predicted = List.length preds;
+    p_certified = certified;
+    p_unpredicted = Predict.unpredicted_count p;
+    p_observed_blamed = SSet.cardinal observed;
+    p_adversarial = SSet.cardinal adv;
+    p_rr_plus_predicted = SSet.cardinal (SSet.union observed predicted_names);
+    p_predict_ms = predict_ms;
+  }
+
+let predict_row_json r =
+  let open Velodrome_util.Json in
+  Obj
+    [
+      ("fixture", String r.p_fixture);
+      ("blocks", Int r.p_blocks);
+      ("may_violate", Int r.p_may_violate);
+      ("predicted", Int r.p_predicted);
+      ("certified", Int r.p_certified);
+      ("uncertified", Int (r.p_predicted - r.p_certified));
+      ("unpredicted", Int r.p_unpredicted);
+      ("observed_blamed", Int r.p_observed_blamed);
+      ("adversarial_unique", Int r.p_adversarial);
+      ("rr_plus_predicted_unique", Int r.p_rr_plus_predicted);
+      ("predict_ms", Float r.p_predict_ms);
+    ]
+
+let sum f rows = List.fold_left (fun a r -> a + f r) 0 rows
+
+let run_predict_benches ~smoke =
+  (* The Study S2 adversarial configuration: one adversarial run per
+     seed, default pause budget. *)
+  let seeds = if smoke then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+  let size = if smoke then Workload.Small else Workload.Medium in
+  let progen_count = if smoke then 30 else 300 in
+  let workload_rows =
+    List.map
+      (fun (w : Workload.t) ->
+        predict_bench ~seeds ~fixture:w.Workload.name (w.Workload.build size))
+      Workload.all
+  in
+  let progen_rows =
+    List.init progen_count (fun k ->
+        let s = k + 1 in
+        let program, _ =
+          Velodrome_sim.Progen.generate_info (Velodrome_util.Rng.create s)
+        in
+        predict_bench ~seeds ~fixture:(Printf.sprintf "progen-%d" s) program)
+  in
+  Printf.printf "%-14s %7s %7s %10s %10s %7s %10s %8s %8s %11s\n" "fixture"
+    "blocks" "may-v" "predicted" "certified" "unpred" "obs-blame" "adv-uniq"
+    "rr+pred" "predict-ms";
+  List.iter
+    (fun r ->
+      Printf.printf "%-14s %7d %7d %10d %10d %7d %10d %8d %8d %11.2f\n"
+        r.p_fixture r.p_blocks r.p_may_violate r.p_predicted r.p_certified
+        r.p_unpredicted r.p_observed_blamed r.p_adversarial
+        r.p_rr_plus_predicted r.p_predict_ms)
+    workload_rows;
+  let adv_total = sum (fun r -> r.p_adversarial) (workload_rows @ progen_rows) in
+  let rr_pred_total =
+    sum (fun r -> r.p_rr_plus_predicted) (workload_rows @ progen_rows)
+  in
+  let uncertified_total =
+    sum (fun r -> r.p_predicted - r.p_certified) (workload_rows @ progen_rows)
+  in
+  Printf.printf
+    "progen sweep: %d programs, %d predicted (%d certified), adversarial \
+     %d unique vs rr+predicted %d unique\n"
+    progen_count
+    (sum (fun r -> r.p_predicted) progen_rows)
+    (sum (fun r -> r.p_certified) progen_rows)
+    (sum (fun r -> r.p_adversarial) progen_rows)
+    (sum (fun r -> r.p_rr_plus_predicted) progen_rows);
+  Printf.printf
+    "total: adversarial %d unique vs rr+predicted %d unique blocks \
+     (strict dominance: %b), %d uncertified\n"
+    adv_total rr_pred_total
+    (rr_pred_total > adv_total)
+    uncertified_total;
+  let open Velodrome_util.Json in
+  let progen_summary =
+    Obj
+      [
+        ("programs", Int progen_count);
+        ("seed_start", Int 1);
+        ("predicted", Int (sum (fun r -> r.p_predicted) progen_rows));
+        ("certified", Int (sum (fun r -> r.p_certified) progen_rows));
+        ( "uncertified",
+          Int (sum (fun r -> r.p_predicted - r.p_certified) progen_rows) );
+        ( "observed_blamed",
+          Int (sum (fun r -> r.p_observed_blamed) progen_rows) );
+        ("adversarial_unique", Int (sum (fun r -> r.p_adversarial) progen_rows));
+        ( "rr_plus_predicted_unique",
+          Int (sum (fun r -> r.p_rr_plus_predicted) progen_rows) );
+        ( "predict_ms_total",
+          Float
+            (List.fold_left (fun a r -> a +. r.p_predict_ms) 0. progen_rows) );
+      ]
+  in
+  let doc =
+    Obj
+      [
+        ("workloads", List (List.map predict_row_json workload_rows));
+        ("progen", progen_summary);
+        ( "summary",
+          Obj
+            [
+              ( "programs",
+                Int (List.length workload_rows + progen_count) );
+              ( "predicted",
+                Int (sum (fun r -> r.p_predicted) (workload_rows @ progen_rows))
+              );
+              ( "certified",
+                Int (sum (fun r -> r.p_certified) (workload_rows @ progen_rows))
+              );
+              ("uncertified", Int uncertified_total);
+              ( "observed_blamed",
+                Int
+                  (sum
+                     (fun r -> r.p_observed_blamed)
+                     (workload_rows @ progen_rows)) );
+              ("adversarial_unique", Int adv_total);
+              ("rr_plus_predicted_unique", Int rr_pred_total);
+              ("strict_dominance", Bool (rr_pred_total > adv_total));
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_predict.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Velodrome_util.Json.to_channel oc doc);
+  Printf.printf "wrote BENCH_predict.json (%d workloads, %d generated)\n"
+    (List.length workload_rows)
+    progen_count
+
 (* --- Full table regeneration ------------------------------------------------ *)
 
 let full_run () =
@@ -823,6 +1045,7 @@ let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let engine_only = Array.exists (( = ) "--engine") Sys.argv in
   let statics_only = Array.exists (( = ) "--statics") Sys.argv in
+  let predict_only = Array.exists (( = ) "--predict") Sys.argv in
   if engine_only then begin
     print_endline "=== Engine checking throughput ===";
     run_engine_benches ~smoke
@@ -830,6 +1053,10 @@ let () =
   else if statics_only then begin
     print_endline "=== Static instrumentation pruning ===";
     run_statics_benches ~smoke
+  end
+  else if predict_only then begin
+    print_endline "=== Witness-guided prediction vs adversarial scheduling ===";
+    run_predict_benches ~smoke
   end
   else begin
     print_endline "=== Streaming ingestion throughput ===";
@@ -840,6 +1067,9 @@ let () =
     print_newline ();
     print_endline "=== Static instrumentation pruning ===";
     run_statics_benches ~smoke;
+    print_newline ();
+    print_endline "=== Witness-guided prediction vs adversarial scheduling ===";
+    run_predict_benches ~smoke;
     print_newline ();
     if not smoke then full_run ()
   end

@@ -7,7 +7,7 @@
 
    Usage: validate_bench.exe FILE KIND [FILE KIND ...]
    where KIND is one of stream | engine | statics (flat row tables) or
-   races | analyze (nested report documents). *)
+   races | analyze | predict (nested report documents). *)
 
 open Velodrome_util
 
@@ -234,11 +234,95 @@ let check_analyze_doc ctx v =
   | None -> ()
   | Some r -> check_races_doc (ctx ^ ".races") r
 
+(* BENCH_predict.json: the predictive-atomicity study artifact. Beyond
+   field shapes, this enforces the artifact's two claims: zero
+   uncertified predictions anywhere, and strict dominance — prediction
+   from one observation finds strictly more unique violating blocks
+   than the adversarial sweep. *)
+let check_predict_doc ctx v =
+  let f = obj_fields ctx v in
+  let int_of ctx fields name =
+    match get ctx fields name with
+    | Json.Int n -> n
+    | _ -> fail ctx (Printf.sprintf "field %S is not an int" name)
+  in
+  let check_counts ctx fields =
+    check_ints ctx fields
+      [
+        "predicted";
+        "certified";
+        "uncertified";
+        "observed_blamed";
+        "adversarial_unique";
+        "rr_plus_predicted_unique";
+      ];
+    if int_of ctx fields "uncertified" <> 0 then
+      fail ctx "uncertified predictions present";
+    if
+      int_of ctx fields "certified" + int_of ctx fields "uncertified"
+      <> int_of ctx fields "predicted"
+    then fail ctx "certified + uncertified <> predicted"
+  in
+  let wl_rows =
+    match get ctx f "workloads" with
+    | Json.List rows -> rows
+    | _ -> fail ctx "workloads is not an array"
+  in
+  if wl_rows = [] then fail ctx "no workload rows";
+  List.iteri
+    (fun i row ->
+      let ctx = Printf.sprintf "%s.workloads[%d]" ctx i in
+      let rf = obj_fields ctx row in
+      expect_field ctx rf "fixture" S;
+      check_ints ctx rf [ "blocks"; "may_violate"; "unpredicted" ];
+      expect_field ctx rf "predict_ms" N;
+      if not (finite (get ctx rf "predict_ms")) then
+        fail ctx "predict_ms is not finite";
+      check_counts ctx rf;
+      if int_of ctx rf "predicted" > int_of ctx rf "may_violate" then
+        fail ctx "more predictions than may-violate blocks")
+    wl_rows;
+  let pg = obj_fields (ctx ^ ".progen") (get ctx f "progen") in
+  check_ints (ctx ^ ".progen") pg [ "programs"; "seed_start" ];
+  expect_field (ctx ^ ".progen") pg "predict_ms_total" N;
+  check_counts (ctx ^ ".progen") pg;
+  let s = obj_fields (ctx ^ ".summary") (get ctx f "summary") in
+  let sctx = ctx ^ ".summary" in
+  check_ints sctx s [ "programs" ];
+  check_counts sctx s;
+  expect_field sctx s "strict_dominance" B;
+  (* The summary must total the workload rows plus the progen sweep. *)
+  let wl_sum name =
+    List.fold_left
+      (fun acc row -> acc + int_of ctx (obj_fields ctx row) name)
+      0 wl_rows
+  in
+  List.iter
+    (fun name ->
+      if wl_sum name + int_of ctx pg name <> int_of sctx s name then
+        fail sctx (Printf.sprintf "%s does not total workloads + progen" name))
+    [ "predicted"; "certified"; "adversarial_unique"; "rr_plus_predicted_unique" ];
+  if List.length wl_rows + int_of ctx pg "programs" <> int_of sctx s "programs"
+  then fail sctx "programs does not total workloads + progen";
+  let adv = int_of sctx s "adversarial_unique" in
+  let rr = int_of sctx s "rr_plus_predicted_unique" in
+  (match get sctx s "strict_dominance" with
+  | Json.Bool b when b <> (rr > adv) ->
+    fail sctx "strict_dominance does not match the counts"
+  | _ -> ());
+  if rr <= adv then
+    fail sctx
+      (Printf.sprintf
+         "no strict dominance: rr_plus_predicted_unique %d <= \
+          adversarial_unique %d"
+         rr adv)
+
 let check_report ~file kind doc =
   let check_doc =
     match kind with
     | "races" -> check_races_doc
     | "analyze" -> check_analyze_doc
+    | "predict" -> check_predict_doc
     | _ -> assert false
   in
   match doc with
@@ -259,7 +343,7 @@ let check_file file kind =
   in
   match Json.of_string contents with
   | Error msg -> failwith (Printf.sprintf "%s: parse error: %s" file msg)
-  | Ok doc when kind = "races" || kind = "analyze" ->
+  | Ok doc when kind = "races" || kind = "analyze" || kind = "predict" ->
     check_report ~file kind doc
   | Ok (Json.List []) -> failwith (Printf.sprintf "%s: no rows" file)
   | Ok (Json.List rows) ->

@@ -5,6 +5,7 @@
    - run             run a workload under selected analyses
    - check           parse, statically check and analyze a .vel file
    - analyze         static mover/lockset pre-pass (Lipton reduction)
+   - predict         witness-guided predictive atomicity (forced replays)
    - record          record a workload (or .vel program) trace to a file
    - check-trace     replay a recorded trace (text or binary, --stream)
    - convert         convert traces between the text and binary formats
@@ -315,6 +316,8 @@ let build_program name size = fst (build_program_info name size)
 (* --- analyze ----------------------------------------------------------------- *)
 
 module Statics = Velodrome_statics.Statics
+module Predict = Velodrome_predict.Predict
+module Pplan = Velodrome_predict.Plan
 
 (* The dynamic soundness gate behind [analyze --gate]: replay the program
    under round-robin, seeded-random and adversarial schedules and check
@@ -572,8 +575,20 @@ let analyze_cmd =
             "Print the replay message a failing generated gate would \
              emit (for pinning its shape in tests) and exit.")
   in
+  let predict_flag =
+    Arg.(
+      value & flag
+      & info [ "predict" ]
+          ~doc:
+            "Witness-guided prediction: lower each may-violate block's \
+             witness cycles into forced schedules, replay them, and \
+             upgrade the verdict to predicted-violation when the engine \
+             trio certifies the forced trace. With --gate, every emitted \
+             prediction is additionally re-replayed and re-certified; an \
+             uncertified prediction fails the gate.")
+  in
   let run target all fmt gate races graph dot_dir generated gen_seed
-      replay_demo size seeds =
+      replay_demo size seeds predict =
     if replay_demo then begin
       print_generated_replay ~gen_seed:7
         ~families:[ "publication"; "snapshot" ]
@@ -655,18 +670,68 @@ let analyze_cmd =
             end
             else None
           in
-          (name, pos, st, gate_result))
+          let predict_info =
+            if predict then begin
+              let p = Predict.run program st in
+              let spec =
+                match origin with
+                | Some (s, _) -> Printf.sprintf "--gen-seed %d" s
+                | None -> name
+              in
+              (* The prediction gate: re-replay every emitted prediction
+                 from its schedule line and re-certify with the trio. By
+                 construction Predict only emits certified predictions,
+                 so a recheck failure means the replay line itself does
+                 not reproduce — which is exactly what the gate exists
+                 to catch. *)
+              let recheck_failures =
+                if gate then
+                  List.filter_map
+                    (fun (pr : Predict.prediction) ->
+                      match
+                        Predict.replay_and_certify program pr.Predict.label
+                          pr.Predict.plan.Pplan.waypoints
+                      with
+                      | Ok _ -> None
+                      | Error msg -> Some (pr.Predict.name, msg))
+                    (Predict.predictions p)
+                else []
+              in
+              if recheck_failures <> [] then gate_failed := true;
+              Some (p, spec, recheck_failures)
+            end
+            else None
+          in
+          (name, pos, st, gate_result, predict_info))
         targets
     in
     let schedules = List.length (gate_schedules seeds) in
     (match fmt with
     | `Human ->
       List.iter
-        (fun (name, pos, st, gate_result) ->
+        (fun (name, pos, st, gate_result, predict_info) ->
           if all || generated > 0 then Format.printf "== %s ==@." name;
           Format.printf "%a" (Statics.pp_human ~pos) st;
           if races then Format.printf "%a" (Statics.pp_races_human ~pos) st;
           if graph then Format.printf "%a" Statics.pp_graph_human st;
+          (match predict_info with
+          | None -> ()
+          | Some (p, spec, fails) ->
+            Format.printf "%a" (Predict.pp_human ~replay_with:spec) p;
+            if gate then
+              if fails = [] then
+                Format.printf
+                  "prediction gate: OK (%d prediction%s re-certified by \
+                   replay)@."
+                  (List.length (Predict.predictions p))
+                  (if List.length (Predict.predictions p) = 1 then ""
+                   else "s")
+              else
+                List.iter
+                  (fun (b, msg) ->
+                    Format.printf
+                      "prediction gate: FAILED: %s: %s@." b msg)
+                  fails);
           match gate_result with
           | None -> ()
           | Some g when gate_ok g ->
@@ -709,7 +774,7 @@ let analyze_cmd =
       let open Velodrome_util.Json in
       let docs =
         List.map
-          (fun (name, pos, st, gate_result) ->
+          (fun (name, pos, st, gate_result, predict_info) ->
             let base = Statics.to_json ~pos ~file:name st in
             let with_extras doc =
               match doc with
@@ -722,6 +787,40 @@ let analyze_cmd =
                 let fields =
                   if graph then fields @ [ ("graph", Statics.graph_json st) ]
                   else fields
+                in
+                let fields =
+                  match predict_info with
+                  | None -> fields
+                  | Some (p, spec, fails) ->
+                    let pdoc =
+                      match Predict.to_json ~replay_with:spec p with
+                      | Obj pf when gate ->
+                        Obj
+                          (pf
+                          @ [
+                              ( "gate",
+                                Obj
+                                  [
+                                    ( "recertified",
+                                      Int
+                                        (List.length (Predict.predictions p)
+                                        - List.length fails) );
+                                    ( "failures",
+                                      List
+                                        (List.map
+                                           (fun (b, msg) ->
+                                             Obj
+                                               [
+                                                 ("block", String b);
+                                                 ("message", String msg);
+                                               ])
+                                           fails) );
+                                    ("ok", Bool (fails = []));
+                                  ] );
+                            ])
+                      | pdoc -> pdoc
+                    in
+                    fields @ [ ("predict", pdoc) ]
                 in
                 Obj fields
               | doc -> doc
@@ -794,7 +893,7 @@ let analyze_cmd =
       (fun dir ->
         (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
         List.iter
-          (fun (name, _, st, _) ->
+          (fun (name, _, st, _, _) ->
             let slug =
               String.map
                 (function '.' | '/' | '(' | ')' | ' ' -> '_' | c -> c)
@@ -829,7 +928,140 @@ let analyze_cmd =
        ~exits)
     Term.(
       const run $ target $ all $ format_arg $ gate $ races_flag $ graph
-      $ dot_dir $ generated $ gen_seed $ replay_demo $ size_arg $ seeds)
+      $ dot_dir $ generated $ gen_seed $ replay_demo $ size_arg $ seeds
+      $ predict_flag)
+
+(* --- predict ----------------------------------------------------------------- *)
+
+let predict_cmd =
+  let target =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "A .vel program file or workload name (or use --gen-seed for \
+             a generated program).")
+  in
+  let gen_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-seed" ] ~docv:"S"
+          ~doc:
+            "Predict on the generated program with progen seed S instead \
+             of a TARGET.")
+  in
+  let block =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "block" ] ~docv:"NAME"
+          ~doc:
+            "Restrict prediction to the atomic block NAME (required by \
+             --schedule).")
+  in
+  let schedule =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"PLAN"
+          ~doc:
+            "Replay one waypoint schedule (the payload of a prediction's \
+             replay line, e.g. \"t0@1.0 -> t1@2\") against --block and \
+             certify it with the engine trio, instead of planning from \
+             witnesses.")
+  in
+  let max_witnesses =
+    Arg.(
+      value & opt int 8
+      & info [ "max-witnesses" ] ~docv:"N"
+          ~doc:"Witness cycles tried per may-violate block.")
+  in
+  let run target gen_seed block schedule fmt size max_witnesses =
+    let spec, program =
+      match (target, gen_seed) with
+      | Some _, Some _ ->
+        Printf.eprintf "predict: TARGET and --gen-seed are mutually \
+                        exclusive\n";
+        exit 2
+      | None, None ->
+        Printf.eprintf "predict: a TARGET or --gen-seed is required\n";
+        exit 2
+      | Some name, None -> (name, build_program name size)
+      | None, Some s ->
+        ( Printf.sprintf "--gen-seed %d" s,
+          fst
+            (Velodrome_sim.Progen.generate_info
+               (Velodrome_util.Rng.create s)) )
+    in
+    (match Velodrome_lang.Check.check_program program with
+    | Ok () -> ()
+    | Error errs ->
+      List.iter
+        (fun e ->
+          Format.eprintf "%s: %a@." spec Velodrome_lang.Check.pp_error e)
+        errs;
+      exit 2);
+    let st = Statics.analyze program in
+    match schedule with
+    | Some sch -> begin
+      let bname =
+        match block with
+        | Some b -> b
+        | None ->
+          Printf.eprintf "predict: --schedule requires --block\n";
+          exit 2
+      in
+      let blk =
+        match
+          List.find_opt
+            (fun (b : Statics.block) -> b.Statics.name = bname)
+            (Statics.blocks st)
+        with
+        | Some b -> b
+        | None ->
+          Printf.eprintf "predict: no atomic block named %S\n" bname;
+          exit 2
+      in
+      match Pplan.parse_schedule sch with
+      | Error msg ->
+        Printf.eprintf "predict: bad --schedule: %s\n" msg;
+        exit 2
+      | Ok plan -> (
+        match Predict.replay_and_certify program blk.Statics.label plan with
+        | Ok idx ->
+          Format.printf
+            "%s: certified violation at event %d under the forced \
+             schedule@."
+            bname idx;
+          exit 1
+        | Error msg ->
+          Format.printf "%s: not certified: %s@." bname msg;
+          exit 0)
+    end
+    | None ->
+      let p = Predict.run ?only:block ~max_witnesses program st in
+      (match fmt with
+      | `Human -> Format.printf "%a" (Predict.pp_human ~replay_with:spec) p
+      | `Json ->
+        print_endline
+          (Velodrome_util.Json.to_string
+             (Predict.to_json ~file:spec ~replay_with:spec p)));
+      if Predict.predictions p <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "predict"
+       ~doc:
+         "Witness-guided predictive atomicity: lower each statically \
+          may-violate block's witness cycles into forced schedules, \
+          replay them deterministically, and report only violations the \
+          engine trio certifies on the forced trace. Exits 1 when \
+          predictions are emitted, 0 when none."
+       ~exits)
+    Term.(
+      const run $ target $ gen_seed $ block $ schedule $ format_arg
+      $ size_arg $ max_witnesses)
 
 (* --- races ------------------------------------------------------------------- *)
 
@@ -1366,7 +1598,8 @@ let () =
     Cmd.eval
       (Cmd.group info
          [
-           list_cmd; run_cmd; check_cmd; analyze_cmd; races_cmd; print_cmd;
+           list_cmd; run_cmd; check_cmd; analyze_cmd; predict_cmd;
+           races_cmd; print_cmd;
            record_cmd; check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd;
            table1_cmd; table2_cmd; study_cmd;
          ])

@@ -1,0 +1,96 @@
+open Velodrome_statics
+open Velodrome_sim
+
+type kind = Full | Minimal
+
+type t = {
+  kind : kind;
+  waypoints : Constrain.plan;
+}
+
+let waypoint_of_node (nd : Cfg.node) =
+  {
+    Constrain.wthread = nd.Cfg.site.Cfg.thread;
+    wpath = nd.Cfg.site.Cfg.path;
+  }
+
+let rec dedup_adjacent = function
+  | a :: b :: rest when a = b -> dedup_adjacent (b :: rest)
+  | a :: rest -> a :: dedup_adjacent rest
+  | [] -> []
+
+let of_witness (w : Txgraph.witness) =
+  let full =
+    waypoint_of_node w.Txgraph.departure
+    :: List.map
+         (fun (h : Txgraph.hop) -> waypoint_of_node h.Txgraph.node)
+         w.Txgraph.path
+  in
+  let minimal =
+    dedup_adjacent
+      [
+        waypoint_of_node w.Txgraph.departure;
+        waypoint_of_node w.Txgraph.pivot;
+        waypoint_of_node w.Txgraph.arrival;
+      ]
+  in
+  let plans = [ { kind = Full; waypoints = full } ] in
+  if minimal = full then plans
+  else plans @ [ { kind = Minimal; waypoints = minimal } ]
+
+let to_string t =
+  String.concat " -> "
+    (List.map
+       (fun (w : Constrain.waypoint) ->
+         Printf.sprintf "t%d@%s" w.Constrain.wthread
+           (String.concat "." (List.map string_of_int w.Constrain.wpath)))
+       t.waypoints)
+
+let kind_string = function Full -> "full" | Minimal -> "minimal"
+
+let parse_waypoint s =
+  let s = String.trim s in
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "waypoint %S: expected tN@PATH" s)
+  | Some i ->
+    let thread = String.sub s 0 i in
+    let path = String.sub s (i + 1) (String.length s - i - 1) in
+    if String.length thread < 2 || thread.[0] <> 't' then
+      Error (Printf.sprintf "waypoint %S: expected tN@PATH" s)
+    else begin
+      match
+        int_of_string_opt (String.sub thread 1 (String.length thread - 1))
+      with
+      | None -> Error (Printf.sprintf "waypoint %S: bad thread" s)
+      | Some wthread -> (
+        let segs = if path = "" then [] else String.split_on_char '.' path in
+        match
+          List.fold_right
+            (fun seg acc ->
+              match (acc, int_of_string_opt seg) with
+              | Some acc, Some n -> Some (n :: acc)
+              | _ -> None)
+            segs (Some [])
+        with
+        | None -> Error (Printf.sprintf "waypoint %S: bad path" s)
+        | Some wpath -> Ok { Constrain.wthread; wpath })
+    end
+
+let parse_schedule s =
+  (* Accept both the rendered "a -> b -> c" form and a bare "a,b,c". *)
+  let s = String.map (fun c -> if c = '>' then ',' else c) s in
+  let s = String.concat "" (String.split_on_char '-' s) in
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then Error "empty schedule"
+  else
+    List.fold_right
+      (fun part acc ->
+        match (acc, parse_waypoint part) with
+        | Ok acc, Ok w -> Ok (w :: acc)
+        | (Error _ as e), _ -> e
+        | _, (Error _ as e) -> e)
+      parts (Ok [])

@@ -1,0 +1,51 @@
+(** Witness planner: lower a static cycle into scheduling constraints.
+
+    A {!Velodrome_statics.Txgraph.witness} is a cycle — depart the
+    flagged block at one op, pass through conflicting ops of other
+    threads, re-enter at another op. Realising the cycle dynamically
+    means forcing exactly that global order of events, so the planner
+    lowers the witness's node sequence into a {!Velodrome_sim.Constrain}
+    waypoint plan, translating each static site to its dynamic
+    coordinate (thread, structural statement path).
+
+    Two variants are produced per witness:
+
+    - {e Full}: the complete edge sequence, departure through arrival.
+      Exact when every hop respects the program order of its thread.
+    - {e Minimal}: departure, pivot, arrival only. A witness path may
+      visit one foreign thread's ops {e against} that thread's program
+      order (static conflict edges are direction-agnostic, and passage
+      hops run backwards through a region); the full plan is then
+      infeasible by construction, while the three-point plan constrains
+      only the ops the cycle actually needs ordered and lets the foreign
+      thread run its own program order in between.
+
+    Soundness does not depend on the planner: whatever order a plan
+    forces, the prediction is reported only after the replayed trace is
+    re-checked by the engine trio (certification-by-replay). The planner
+    only decides {e which} schedules are worth trying. *)
+
+open Velodrome_statics
+
+type kind = Full | Minimal
+
+type t = {
+  kind : kind;
+  waypoints : Velodrome_sim.Constrain.plan;
+}
+
+val of_witness : Txgraph.witness -> t list
+(** The plan variants to try, strongest first ([Full] then [Minimal]);
+    variants with identical waypoint lists are emitted once. *)
+
+val to_string : t -> string
+(** Compact schedule rendering, e.g. ["t0@1.0 -> t2@0 -> t0@1.1"] —
+    the replay line's [--schedule] payload. *)
+
+val kind_string : kind -> string
+(** ["full"] or ["minimal"]. *)
+
+val parse_schedule :
+  string -> (Velodrome_sim.Constrain.plan, string) result
+(** Inverse of {!to_string} (arrow or comma separated): parses the
+    [--schedule] payload of a replay line back into a waypoint plan. *)

@@ -1,0 +1,180 @@
+open Velodrome_trace
+open Velodrome_trace.Ids
+open Velodrome_util
+
+type waypoint = { wthread : int; wpath : int list }
+
+type plan = waypoint list
+
+type reason =
+  | Lock_window of Lock.t
+  | Order_contradiction of waypoint
+  | Unreached of waypoint
+  | Step_budget
+
+let path_string p = String.concat "." (List.map string_of_int p)
+
+let waypoint_string w = Printf.sprintf "t%d@%s" w.wthread (path_string w.wpath)
+
+let reason_to_string = function
+  | Lock_window m ->
+    Printf.sprintf "lock %d held across the witness window" (Lock.to_int m)
+  | Order_contradiction w ->
+    Printf.sprintf "plan contradicts program order at %s" (waypoint_string w)
+  | Unreached w ->
+    Printf.sprintf "thread finished before reaching %s" (waypoint_string w)
+  | Step_budget -> "step budget exhausted"
+
+type outcome =
+  | Scheduled of { trace : Trace.t; forced : int }
+  | Infeasible of { at : int; reason : reason }
+
+(* Round-robin pick: first runnable thread at or after the cursor (same
+   policy as [Run.run] with quantum 1), restricted to [eligible]. *)
+let pick_rr interp n cursor eligible =
+  let candidates = ref [] in
+  for i = n - 1 downto 0 do
+    if Interp.status interp i = Interp.Runnable && eligible i then
+      candidates := i :: !candidates
+  done;
+  match !candidates with
+  | [] -> None
+  | cs ->
+    let chosen =
+      match List.find_opt (fun c -> c >= !cursor) cs with
+      | Some c -> c
+      | None -> List.hd cs
+    in
+    cursor := (chosen + 1) mod max n 1;
+    Some chosen
+
+let replay ?(max_steps = 200_000) program plan =
+  let interp = Interp.create program in
+  let n = Interp.thread_count interp in
+  let wps = Array.of_list plan in
+  let total = Array.length wps in
+  let k = ref 0 in
+  let ops = Vec.create () in
+  let forced = ref 0 in
+  let cursor = ref 0 in
+  let steps = ref 0 in
+  let result = ref None in
+  (* Thread [i] still owes a waypoint strictly after the current one; such
+     threads are frozen until their waypoint comes up. *)
+  let owes_later i =
+    let rec go j = j < total && (wps.(j).wthread = i || go (j + 1)) in
+    go (!k + 1)
+  in
+  let later_waypoint_of i p =
+    let rec go j =
+      if j >= total then None
+      else if wps.(j).wthread = i && wps.(j).wpath = p then Some wps.(j)
+      else go (j + 1)
+    in
+    go (!k + 1)
+  in
+  let record op =
+    if !k < total then incr forced;
+    Vec.push ops op
+  in
+  (* One free step of an eligible thread; true when a thread was stepped
+     (even if it only spun or blocked — the point is someone was able to
+     take a turn at all). *)
+  let step_free eligible =
+    match pick_rr interp n cursor eligible with
+    | None -> false
+    | Some i ->
+      (match Interp.peek interp i with
+      | `Finished | `Working -> ()
+      | `Op _ -> (
+        match Interp.commit interp i with
+        | `Blocked -> ()
+        | `Emitted op -> record op));
+      true
+  in
+  while !result = None && !steps < max_steps do
+    incr steps;
+    if !k >= total then begin
+      (* Plan satisfied: run everyone to completion, round-robin. *)
+      if not (step_free (fun _ -> true)) then
+        (* All finished, or the program itself deadlocked; either way the
+           forced prefix is complete, so report the trace we have. *)
+        result :=
+          Some (Scheduled { trace = Trace.of_array (Vec.to_array ops); forced = !forced })
+    end
+    else begin
+      let wp = wps.(!k) in
+      let tw = wp.wthread in
+      let infeasible reason = result := Some (Infeasible { at = !k; reason }) in
+      if tw < 0 || tw >= n then infeasible (Unreached wp)
+      else
+        let unconstrained i = i <> tw && not (owes_later i) in
+        match Interp.status interp tw with
+        | Interp.Finished -> infeasible (Unreached wp)
+        | Interp.Blocked m ->
+          let owner_frozen =
+            match Interp.lock_owner interp m with
+            | Some o -> o <> tw && owes_later o
+            | None -> false
+          in
+          if owner_frozen then infeasible (Lock_window m)
+          else if not (step_free unconstrained) then
+            (* Nobody unconstrained can run and the waypoint thread is
+               blocked: the window is closed by mutual exclusion. *)
+            infeasible (Lock_window m)
+        | Interp.Runnable -> (
+          match Interp.peek interp tw with
+          | `Finished -> ()
+          | `Working ->
+            (* The waypoint thread yielded (spin loop / compute): let the
+               unconstrained threads make progress toward unblocking it. *)
+            ignore (step_free unconstrained)
+          | `Op _ -> (
+            match Interp.pending_path interp tw with
+            | Some p when p = wp.wpath -> (
+              match Interp.commit interp tw with
+              | `Blocked -> ()
+              | `Emitted op ->
+                record op;
+                incr k)
+            | Some p -> (
+              match later_waypoint_of tw p with
+              | Some w -> infeasible (Order_contradiction w)
+              | None -> (
+                (* Intermediate operation on the way to the waypoint. *)
+                match Interp.commit interp tw with
+                | `Blocked -> ()
+                | `Emitted op -> record op))
+            | None -> infeasible (Unreached wp)))
+    end
+  done;
+  match !result with
+  | Some r -> r
+  | None ->
+    if !k >= total then
+      Scheduled { trace = Trace.of_array (Vec.to_array ops); forced = !forced }
+    else Infeasible { at = !k; reason = Step_budget }
+
+let observe ?(max_steps = 200_000) program =
+  let interp = Interp.create program in
+  let n = Interp.thread_count interp in
+  let out = Vec.create () in
+  let cursor = ref 0 in
+  let steps = ref 0 in
+  let live = ref true in
+  while !live && !steps < max_steps do
+    incr steps;
+    match pick_rr interp n cursor (fun _ -> true) with
+    | None -> live := false
+    | Some i -> (
+      match Interp.peek interp i with
+      | `Finished | `Working -> ()
+      | `Op _ -> (
+        let path =
+          Option.value ~default:[] (Interp.pending_path interp i)
+        in
+        match Interp.commit interp i with
+        | `Blocked -> ()
+        | `Emitted op -> Vec.push out (op, path)))
+  done;
+  Vec.to_array out

@@ -1,0 +1,58 @@
+(** Constraint scheduler: deterministic replay under a waypoint plan.
+
+    A {e plan} is an ordered list of waypoints — (thread, structural
+    path) pairs in the coordinate system of {!Interp.pending_path} and
+    the static CFG. Replaying a plan forces the program through exactly
+    that global order of events: every thread that still owes a future
+    waypoint is frozen, the current waypoint's thread runs forward
+    through its program order (committing intermediate operations as it
+    goes), and unconstrained threads fill the gaps round-robin so spin
+    loops and flag publishers keep making progress.
+
+    The scheduler is total: it either satisfies the whole plan and runs
+    the program to completion ({!Scheduled}), or proves the plan cannot
+    be realised under program semantics and says why ({!Infeasible}).
+    Every path is bounded by [max_steps], so an adversarial plan can
+    never livelock the scheduler. *)
+
+open Velodrome_trace
+
+type waypoint = { wthread : int; wpath : int list }
+
+type plan = waypoint list
+
+type reason =
+  | Lock_window of Ids.Lock.t
+      (** The current waypoint's thread is blocked on a lock held by a
+          frozen (still-constrained) thread — the witness window is
+          closed by mutual exclusion. *)
+  | Order_contradiction of waypoint
+      (** The running thread reached a {e later} waypoint of the plan
+          before its current one: the plan contradicts program order. *)
+  | Unreached of waypoint
+      (** The waypoint's thread finished (or the program deadlocked)
+          without ever presenting the waypoint's site. *)
+  | Step_budget  (** [max_steps] exhausted before the plan completed. *)
+
+val reason_to_string : reason -> string
+
+type outcome =
+  | Scheduled of {
+      trace : Trace.t;  (** the full forced execution, begin to end *)
+      forced : int;  (** events committed while waypoints remained *)
+    }
+  | Infeasible of {
+      at : int;  (** index of the first unsatisfiable waypoint *)
+      reason : reason;
+    }
+
+val replay : ?max_steps:int -> Ast.program -> plan -> outcome
+(** Replay [program] under [plan]. [max_steps] bounds total scheduler
+    iterations (default 200_000). Deterministic: same program and plan
+    always produce the same outcome. *)
+
+val observe : ?max_steps:int -> Ast.program -> (Op.t * int list) array
+(** One plain round-robin execution (quantum 1, no pausing), returning
+    every emitted operation tagged with the structural path of the
+    statement that produced it — the dynamic side of the CFG
+    site↔event mapping that the witness planner resolves against. *)

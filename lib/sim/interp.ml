@@ -1,7 +1,12 @@
 open Velodrome_trace
 open Velodrome_trace.Ids
 
-type instr = S of Ast.stmt | End_atomic
+(* Each instruction carries the structural path of its statement, matching
+   [Cfg.site]: the j-th top-level statement is [j]; an atomic body statement
+   extends the atomic's own path; [If] branches extend with 0/1; [While]
+   bodies reuse the loop's path. [End_atomic] carries the atomic's path,
+   mirroring the [Cfg] exit node which sits at the atomic's own site. *)
+type instr = S of int list * Ast.stmt | End_atomic of int list
 
 type status = Runnable | Blocked of Lock.t | Finished
 
@@ -36,7 +41,7 @@ let create ?(emit_reentrant = false) (p : Ast.program) =
         {
           id;
           regs;
-          pc = List.map (fun s -> S s) body;
+          pc = List.mapi (fun j s -> S ([ j ], s)) body;
           st = Runnable;
           work_left = 0;
           held = Hashtbl.create 4;
@@ -66,8 +71,8 @@ let rec advance t th budget =
     | [] ->
       th.st <- Finished;
       `Finished
-    | End_atomic :: _ -> `Op (Op.End (Tid.of_int th.id))
-    | S s :: rest -> (
+    | End_atomic _ :: _ -> `Op (Op.End (Tid.of_int th.id))
+    | S (path, s) :: rest -> (
       match s with
       | Ast.Read (_, x) -> `Op (Op.Read (Tid.of_int th.id, x))
       | Ast.Write (x, _) -> `Op (Op.Write (Tid.of_int th.id, x))
@@ -98,12 +103,15 @@ let rec advance t th budget =
         th.pc <- rest;
         advance t th (budget - 1)
       | Ast.If (c, a, b) ->
-        let branch = if Ast.eval_cond th.regs c then a else b in
-        th.pc <- List.map (fun s -> S s) branch @ rest;
+        let taken = Ast.eval_cond th.regs c in
+        let branch = if taken then a else b in
+        let arm = if taken then 0 else 1 in
+        th.pc <-
+          List.mapi (fun j s -> S (path @ [ arm; j ], s)) branch @ rest;
         advance t th (budget - 1)
       | Ast.While (c, body) ->
         if Ast.eval_cond th.regs c then
-          th.pc <- List.map (fun s -> S s) body @ th.pc
+          th.pc <- List.mapi (fun j s -> S (path @ [ j ], s)) body @ th.pc
         else th.pc <- rest;
         advance t th (budget - 1)
       | Ast.Work n ->
@@ -130,8 +138,8 @@ let commit t i =
   in
   match th.pc with
   | [] -> raise (Runtime_error "commit on finished thread")
-  | End_atomic :: rest -> emit (Op.End (Tid.of_int th.id)) rest
-  | S s :: rest -> (
+  | End_atomic _ :: rest -> emit (Op.End (Tid.of_int th.id)) rest
+  | S (path, s) :: rest -> (
     match s with
     | Ast.Read (r, x) ->
       set_reg th r t.memory.(Var.to_int x);
@@ -172,10 +180,19 @@ let commit t i =
       else Hashtbl.replace th.held key (d - 1);
       emit (Op.Release (Tid.of_int th.id, m)) rest
     | Ast.Atomic (l, body) ->
-      th.pc <- List.map (fun s -> S s) body @ (End_atomic :: rest);
+      th.pc <-
+        List.mapi (fun j s -> S (path @ [ j ], s)) body
+        @ (End_atomic path :: rest);
       `Emitted (Op.Begin (Tid.of_int th.id, l))
     | Ast.Local _ | Ast.If _ | Ast.While _ | Ast.Work _ | Ast.Yield ->
       raise (Runtime_error "commit on silent instruction"))
+
+let lock_owner t m = Hashtbl.find_opt t.owner (Lock.to_int m)
+
+let pending_path t i =
+  match t.threads.(i).pc with
+  | [] -> None
+  | End_atomic p :: _ | S (p, _) :: _ -> Some p
 
 let read_var t x = t.memory.(Var.to_int x)
 

@@ -40,6 +40,19 @@ val commit : t -> int -> [ `Emitted of Op.t | `Blocked ]
 (** Perform the pending operation of {!peek}. Must be called only after
     [peek] returned [`Op]. *)
 
+val lock_owner : t -> Ids.Lock.t -> int option
+(** Thread currently holding the lock, if any. *)
+
+val pending_path : t -> int -> int list option
+(** Structural path of thread [i]'s head instruction, in the coordinate
+    system of the static CFG ([Cfg.site.path]): the j-th top-level
+    statement is [[j]], atomic bodies extend the atomic's path, [If]
+    branches append 0/1, [While] bodies reuse the loop's path, and the
+    atomic-end marker carries the atomic's own path. Meaningful after
+    {!peek} returned [`Op] (the head is then the pending observable op,
+    including for [Blocked] threads, whose [Acquire] stays at the head);
+    [None] once the thread has an empty program counter. *)
+
 val read_var : t -> Ids.Var.t -> int
 (** Current shared-memory value (for tests and examples). *)
 

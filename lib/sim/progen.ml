@@ -276,9 +276,75 @@ let generate_info ?(config = default) rng =
            [ Builder.read f flag; Builder.read d data ];
        ])
   end;
+  (* Latent violations: shapes serializable under plain round-robin (and
+     under any single bounded scheduler pause), yet genuinely violable
+     under a targeted interleaving — the prediction pass's raison
+     d'être. Rigid like the snapshot family: dedicated fresh variables,
+     no random items, so the latency argument survives generation.
+
+     - Deferred publish ("scan"): a writer updates [latb] then [lata]
+       with a long silent gap between the two writes; a reader snapshots
+       both in one atomic block. Round-robin orders the first read after
+       the first write (the writer thread comes first), killing the
+       cycle's read→write edge; the silent gap outlasts any bounded
+       adversarial pause window. The violation needs read latb ≺ write
+       latb and write lata ≺ read lata — exactly the static witness
+       schedule.
+
+     - Write skew: two symmetric read-both/write-one atomics; the second
+       thread starts after a yield stagger longer than the first block,
+       so round-robin runs them serially. Violable when either block
+       fully interleaves the other's read/write window. *)
+  let latent = Rng.int rng 3 > 0 in
+  if latent then begin
+    let lata = Builder.var b "lata" in
+    let latb = Builder.var b "latb" in
+    Builder.thread b
+      [
+        Builder.write latb (Builder.i (Rng.int rng 64));
+        Builder.work 40_000;
+        Builder.write lata (Builder.i (Rng.int rng 64));
+      ];
+    Builder.thread b
+      (let r1 = Builder.fresh_reg b in
+       let r2 = Builder.fresh_reg b in
+       [
+         Builder.atomic
+           (Builder.label b "gen.lat.scan")
+           [ Builder.read r1 latb; Builder.read r2 lata ];
+       ]);
+    let skewu = Builder.var b "skewu" in
+    let skewv = Builder.var b "skewv" in
+    Builder.thread b
+      (let r1 = Builder.fresh_reg b in
+       let r2 = Builder.fresh_reg b in
+       [
+         Builder.atomic
+           (Builder.label b "gen.lat.skew1")
+           [
+             Builder.read r1 skewu;
+             Builder.read r2 skewv;
+             Builder.write skewu Builder.(r r2 +: i 1);
+           ];
+       ]);
+    Builder.thread b
+      (let r1 = Builder.fresh_reg b in
+       let r2 = Builder.fresh_reg b in
+       List.init 5 (fun _ -> Builder.yield)
+       @ [
+           Builder.atomic
+             (Builder.label b "gen.lat.skew2")
+             [
+               Builder.read r1 skewu;
+               Builder.read r2 skewv;
+               Builder.write skewv Builder.(r r1 +: i 1);
+             ];
+         ])
+  end;
   let families =
     (if publish <> None then [ "publication" ] else [])
-    @ if snapshot then [ "snapshot" ] else []
+    @ (if snapshot then [ "snapshot" ] else [])
+    @ if latent then [ "latent" ] else []
   in
   let families = if families = [] then [ "core" ] else families in
   (Builder.program b, { families })

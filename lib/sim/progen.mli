@@ -29,10 +29,15 @@ val default : config
 
 type info = {
   families : string list;
-      (** which structured families the program carries —
-          ["publication"] and/or ["snapshot"], or ["core"] when only the
-          random mix was emitted. Gate failures report this so a failing
-          generated program can be triaged by shape. *)
+      (** which structured families the program carries — any of
+          ["publication"], ["snapshot"] and ["latent"], or ["core"] when
+          only the random mix was emitted. Gate failures report this so a
+          failing generated program can be triaged by shape. The
+          ["latent"] family carries violations (deferred publish,
+          write skew) that are serializable under plain round-robin and
+          under any single bounded scheduler pause, but violable under a
+          targeted interleaving — seed material for the prediction
+          study. *)
 }
 
 val generate : ?config:config -> Velodrome_util.Rng.t -> Ast.program

@@ -399,6 +399,8 @@ let cycle_free t site = (not t.exhausted) && subtree_witnesses t site = []
 let witness_for t site =
   match subtree_witnesses t site with [] -> None | (_, w) :: _ -> Some w
 
+let witnesses_for t site = List.map snd (subtree_witnesses t site)
+
 (* --- rendering ----------------------------------------------------------- *)
 
 let op_string t (nd : Cfg.node) =
@@ -413,6 +415,13 @@ let op_string t (nd : Cfg.node) =
   in
   Printf.sprintf "t%d:%s" nd.Cfg.site.Cfg.thread op
 
+(* Op rendering with its structural source position appended, so cycle
+   edges are actionable: "t0:w(balance)@1.0" is thread 0's write at
+   statement path 1.0. *)
+let op_site_string t (nd : Cfg.node) =
+  Printf.sprintf "%s@%s" (op_string t nd)
+    (String.concat "." (List.map string_of_int nd.Cfg.site.Cfg.path))
+
 let edge_kind_string t = function
   | Strict k -> Conflict.kind_string t.names k
   | Program_order -> "program-order"
@@ -421,16 +430,18 @@ let edge_kind_string t = function
 
 let explain t w =
   let chain = Buffer.create 64 in
-  Buffer.add_string chain (op_string t w.departure);
+  Buffer.add_string chain (op_site_string t w.departure);
   List.iter
     (fun h ->
       Buffer.add_string chain
         (Printf.sprintf " -[%s]-> %s" (edge_kind_string t h.via)
-           (op_string t h.node)))
+           (op_site_string t h.node)))
     w.path;
   Printf.sprintf "cycle re-enters %s at %s after its out-edge at %s: %s"
     (Names.label_name t.names w.label)
-    (op_string t w.arrival) (op_string t w.departure) (Buffer.contents chain)
+    (op_site_string t w.arrival)
+    (op_site_string t w.departure)
+    (Buffer.contents chain)
 
 let node_json t (nd : Cfg.node) =
   let open Velodrome_util.Json in
@@ -470,7 +481,8 @@ let region_dot_label t rid =
       (Cfg.site_to_string site)
   | None -> (
     match r.rops with
-    | [ op ] -> Printf.sprintf "unary %s" (op_string t (Cfg.node t.cfg op))
+    | [ op ] ->
+      Printf.sprintf "unary %s" (op_site_string t (Cfg.node t.cfg op))
     | _ -> "unary")
 
 let witness_dot t w =
@@ -483,12 +495,12 @@ let witness_dot t w =
     List.fold_left
       (fun (seq, cur) h ->
         let rid = t.region_of.(h.node.Cfg.id) in
-        if rid = cur then (seq, cur) else ((rid, h.via) :: seq, rid))
+        if rid = cur then (seq, cur) else ((rid, h.via, h.node) :: seq, rid))
       ([], home) w.path
   in
   let seq = List.rev seq in
   let rids =
-    List.sort_uniq compare (home :: List.map fst seq)
+    List.sort_uniq compare (home :: List.map (fun (rid, _, _) -> rid) seq)
   in
   let nodes =
     List.map
@@ -502,11 +514,15 @@ let witness_dot t w =
   in
   let edges, _ =
     List.fold_left
-      (fun (edges, prev) (rid, via) ->
+      (fun (edges, prev) (rid, via, nd) ->
         ( {
             src = "r" ^ string_of_int prev;
             dst = "r" ^ string_of_int rid;
-            edge_label = edge_kind_string t via;
+            (* Each edge carries the site it lands on, so the rendered
+               cycle names a concrete source position per hop. *)
+            edge_label =
+              Printf.sprintf "%s at %s" (edge_kind_string t via)
+                (Cfg.site_to_string nd.Cfg.site);
             dashed = rid = home;
           }
           :: edges,

@@ -101,13 +101,22 @@ val witness_for : t -> Cfg.site -> witness option
 (** The witness for the least accepted arrival inside the occurrence's
     subtree, if any. *)
 
+val witnesses_for : t -> Cfg.site -> witness list
+(** Every accepted witness whose arrival lands inside the occurrence's
+    subtree, in ascending arrival order — the raw material for the
+    predictive planner, which tries each cycle in turn. *)
+
 val stats : t -> stats
 
 val op_string : t -> Cfg.node -> string
 (** ["t2:w(x)"]-style rendering of an effectful node. *)
 
+val op_site_string : t -> Cfg.node -> string
+(** {!op_string} with the structural source position appended:
+    ["t2:w(x)@1.0"]. *)
+
 val explain : t -> witness -> string
-(** One-line human cycle summary. *)
+(** One-line human cycle summary; every op carries its source position. *)
 
 val witness_json : t -> witness -> Velodrome_util.Json.t
 

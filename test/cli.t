@@ -37,7 +37,7 @@ workload shows cycle-freedom proving blocks Lipton cannot:
 
   $ velodrome analyze ../examples/account.vel --graph 2>&1 | tail -2
   conflict graph: 12 ops in 4 regions; 6 conflict, 2 lock, 32 program-order, 28 cross-instance edges; 28 passage (14 slack, 2 accepted)
-  Teller.deposit           cycle re-enters Teller.deposit at t0:w(balance) after its out-edge at t0:r(balance): t0:r(balance) -[conflict balance]-> t1:w(balance) -[conflict balance]-> t0:w(balance)
+  Teller.deposit           cycle re-enters Teller.deposit at t0:w(balance)@1.0.3 after its out-edge at t0:r(balance)@1.0.0: t0:r(balance)@1.0.0 -[conflict balance]-> t1:w(balance)@1.0.3 -[conflict balance]-> t0:w(balance)@1.0.3
 
   $ velodrome analyze snapshot --dot-dir dots
   Snapshot.collect         proved atomic by cycle-free (1 occurrence)
@@ -45,6 +45,50 @@ workload shows cycle-freedom proving blocks Lipton cannot:
   Snapshot.checkReady      proved atomic by cycle-free (1 occurrence)
   3/3 blocks proved atomic (1 lipton, 2 cycle-free), 0 may-violate
   static graph written to dots/snapshot.txgraph.dot
+
+The witness cycle dot names the source site on every edge; scan.vel is
+a latent snapshot bug that no plain schedule exhibits:
+
+  $ velodrome analyze ../examples/scan.vel --dot-dir cycles >/dev/null
+  [1]
+  $ cat cycles/___examples_scan_vel.cycle_Report_snapshot.dot
+  digraph "static_cycle" {
+    node [shape=box, fontname="Helvetica"];
+    "r0" [label="Report.snapshot t1:0", peripheries=2, style=bold];
+    "r1" [label="unary t0:w(b)@0"];
+    "r2" [label="unary t0:w(a)@2"];
+    "r0" -> "r1" [label="conflict b at t0:0"];
+    "r1" -> "r2" [label="program-order at t0:2"];
+    "r2" -> "r0" [label="conflict a at t1:0.2", style=dashed];
+  }
+
+Witness-guided prediction: the dynamic checker misses the latent bug on
+the observed schedule, while predict lowers the static cycle to a forced
+schedule, replays it, certifies the forced trace with the engine trio,
+and prints a one-command replay line. The schedule replays standalone;
+a fully guarded program predicts nothing and exits 0:
+
+  $ velodrome check ../examples/scan.vel --seed 9 2>&1 | tail -1
+  No warnings.
+  $ velodrome predict ../examples/scan.vel
+  prediction: 1 certified prediction, 0 may-violate blocks unpredicted (observation: 6 events, 0 blocks blamed)
+    Report.snapshot: predicted violation (full plan, certified at event 4)
+      schedule: t1@0.0 -> t0@0 -> t0@2 -> t1@0.2
+      replay: velodrome predict ../examples/scan.vel --block Report.snapshot --schedule "t1@0.0 -> t0@0 -> t0@2 -> t1@0.2"
+      cycle: cycle re-enters Report.snapshot at t1:r(a)@0.2 after its out-edge at t1:r(b)@0.0: t1:r(b)@0.0 -[conflict b]-> t0:w(b)@0 -[program-order]-> t0:w(a)@2 -[conflict a]-> t1:r(a)@0.2
+  [1]
+  $ velodrome predict ../examples/scan.vel --block Report.snapshot --schedule "t1@0.0 -> t0@0 -> t0@2 -> t1@0.2"
+  Report.snapshot: certified violation at event 4 under the forced schedule
+  [1]
+  $ velodrome predict ../examples/guarded.vel
+  prediction: 0 certified predictions, 0 may-violate blocks unpredicted (observation: 134 events, 0 blocks blamed)
+
+analyze --predict upgrades the static verdict and, with --gate, re-replays
+every emitted prediction from its schedule line:
+
+  $ velodrome analyze ../examples/scan.vel --predict --gate 2>&1 | tail -2
+  prediction gate: OK (1 prediction re-certified by replay)
+  soundness gate: OK (7 schedules, 21 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace)
 
 A failing gate over a generated program prints a replayable report on
 stderr; --replay-demo pins its shape:
@@ -371,6 +415,14 @@ the extended schema:
 
   $ ../bench/validate_bench.exe ../BENCH_engine.json engine
   ../BENCH_engine.json: 19 engine rows ok
+
+The tracked prediction study artifact — witness-guided prediction from a
+single observation against the adversarial-scheduler baseline — must
+show zero uncertified predictions and strict dominance, both enforced by
+the validator:
+
+  $ ../bench/validate_bench.exe ../BENCH_predict.json predict
+  ../BENCH_predict.json: 1 predict document ok
 
 Malformed text traces are blamed on the offending line:
 

@@ -33,14 +33,14 @@ let config_of = function
 let corpus : (int * string * schedule) list =
   [
     (1, "publication+snapshot", RR);
-    (2, "core", Rand 7);
-    (3, "publication+snapshot", Adv 7);
-    (7, "snapshot", Adv 2);
-    (11, "publication+snapshot", RR);
+    (2, "latent", Rand 7);
+    (3, "publication+snapshot+latent", Adv 7);
+    (7, "snapshot+latent", Adv 2);
+    (11, "publication+snapshot+latent", RR);
     (13, "core", Rand 3);
-    (42, "snapshot", Adv 5);
-    (101, "snapshot", RR);
-    (257, "core", Rand 11);
+    (42, "snapshot+latent", Adv 5);
+    (101, "snapshot+latent", RR);
+    (257, "latent", Rand 11);
     (1009, "publication+snapshot", Adv 11);
   ]
 
@@ -83,6 +83,61 @@ let replay (seed, family, schedule) =
 
 let test_corpus () = List.iter replay corpus
 
+(* Latent-family pins: seeds whose generated program carries the
+   `latent` family (inconsistent-snapshot scan + write-skew pair).
+   These blocks are round-robin-clean by construction — the plain
+   observation run must NOT blame them — yet the witness-guided
+   predictor must find and certify the scan block on every seed. A
+   generator change that makes the latent blocks trivially visible (or
+   invisible to prediction) trips this before it skews the study. *)
+let latent_seeds = [ 2; 3; 4; 5; 7; 12; 14; 16; 34; 44 ]
+
+let has_family info f = List.mem f info.Progen.families
+
+let replay_latent seed =
+  let program, info =
+    Progen.generate_info (Velodrome_util.Rng.create seed)
+  in
+  if not (has_family info "latent") then
+    Alcotest.failf
+      "latent pin drift: progen seed %d no longer generates the latent \
+       family (now %s)"
+      seed
+      (String.concat "+" info.Progen.families);
+  let st = Velodrome_statics.Statics.analyze program in
+  let p = Velodrome_predict.Predict.run program st in
+  let names = Velodrome_statics.Statics.names st in
+  let is_latent l =
+    let n = Velodrome_trace.Names.label_name names l in
+    String.length n >= 8 && String.sub n 0 8 = "gen.lat."
+  in
+  (match
+     List.filter is_latent (Velodrome_predict.Predict.observed_blamed p)
+   with
+  | [] -> ()
+  | l :: _ ->
+    Alcotest.failf
+      "latent pin: progen seed %d: round-robin observation already blames \
+       %s — the latent family is no longer latent"
+      seed
+      (Velodrome_trace.Names.label_name names l));
+  let predicted_scan =
+    List.exists
+      (fun (pr : Velodrome_predict.Predict.prediction) ->
+        pr.Velodrome_predict.Predict.name = "gen.lat.scan")
+      (Velodrome_predict.Predict.predictions p)
+  in
+  if not predicted_scan then
+    Alcotest.failf
+      "latent pin: progen seed %d: prediction failed to certify \
+       gen.lat.scan@.replay: velodrome predict --generated --gen-seed %d"
+      seed seed
+
+let test_latent () = List.iter replay_latent latent_seeds
+
 let suite =
   ( "regressions",
-    [ Alcotest.test_case "pinned generated corpus" `Quick test_corpus ] )
+    [
+      Alcotest.test_case "pinned generated corpus" `Quick test_corpus;
+      Alcotest.test_case "pinned latent-family seeds" `Quick test_latent;
+    ] )

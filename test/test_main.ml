@@ -11,6 +11,7 @@ let () =
       Test_sim.suite;
       Test_lang.suite;
       Test_statics.suite;
+      Test_predict.suite;
       Test_backends.suite;
       Regressions.suite;
       Test_workloads.suite;

@@ -1250,48 +1250,25 @@ let print_stats (s : Velodrome_stream.Driver.stats) =
     s.Velodrome_stream.Driver.minor_collections
     s.Velodrome_stream.Driver.major_collections
 
-let warning_json names (w : Warning.t) =
-  let open Velodrome_util.Json in
-  let opt name to_s = function
-    | None -> []
-    | Some v -> [ (name, String (to_s v)) ]
-  in
-  Obj
-    ([
-       ("analysis", String w.Warning.analysis);
-       ("kind", String (Warning.kind_to_string w.Warning.kind));
-     ]
-    @ opt "label" (Velodrome_trace.Names.label_name names) w.Warning.label
-    @ opt "var" (Velodrome_trace.Names.var_name names) w.Warning.var
-    @ [ ("index", Int w.Warning.index); ("blamed", Bool w.Warning.blamed) ]
-    @ (match w.Warning.refuted with
-      | [] -> []
-      | ls ->
-        [
-          ( "refuted",
-            List
-              (List.map
-                 (fun l ->
-                   String (Velodrome_trace.Names.label_name names l))
-                 ls) );
-        ])
-    @ [ ("message", String w.Warning.message) ])
+let warning_json = Warning.to_json
 
-let report_trace_result fmt file events names warnings =
+let report_trace_result ?(partial = false) fmt file events names warnings =
   match fmt with
   | `Human ->
-    Printf.printf "%s: %d operations\n" file events;
+    Printf.printf "%s: %d operations%s\n" file events
+      (if partial then " (partial: stream truncated)" else "");
     report_warnings names warnings
   | `Json ->
     let open Velodrome_util.Json in
     print_endline
       (to_string
          (Obj
-            [
-              ("file", String file);
-              ("events", Int events);
-              ("warnings", List (List.map (warning_json names) warnings));
-            ]))
+            ([
+               ("file", String file);
+               ("events", Int events);
+               ("warnings", List (List.map (warning_json names) warnings));
+             ]
+            @ if partial then [ ("partial", Bool true) ] else [])))
 
 let check_trace_cmd =
   let file =
@@ -1324,11 +1301,17 @@ let check_trace_cmd =
             let names = src.Velodrome_stream.Source.names in
             let backends, live_nodes = mk_stream_backends names analyses in
             let progress = Option.map (fun _ -> print_stats) stats in
-            let events, warnings =
+            match
               Velodrome_stream.Driver.run ?progress ?every:stats ?live_nodes
                 backends src
-            in
-            (names, events, warnings))
+            with
+            | events, warnings -> (names, events, warnings, None)
+            | exception Velodrome_stream.Driver.Interrupted { events; error }
+              ->
+              (* The prefix before the damage is a real trace: keep its
+                 event count and warnings and report them below. *)
+              (names, events, List.concat_map Backend.warnings backends,
+               Some error))
       with
       | exception Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
         Printf.eprintf "%s:%d: %s\n" file line msg;
@@ -1336,10 +1319,24 @@ let check_trace_cmd =
       | exception Velodrome_trace.Trace_codec.Corrupt msg ->
         Printf.eprintf "%s: corrupt binary trace: %s\n" file msg;
         exit 2
-      | names, events, warnings ->
+      | names, events, warnings, partial ->
         let warnings = Warning.dedup_by_label warnings in
-        report_trace_result fmt file events names warnings;
-        exit_violations warnings
+        (match partial with
+        | None ->
+          report_trace_result fmt file events names warnings;
+          exit_violations warnings
+        | Some error ->
+          (* Partial stats before the exit-2 diagnostic: a truncated
+             stream's replayed prefix still counts. *)
+          if events > 0 then
+            report_trace_result ~partial:true fmt file events names warnings;
+          (match error with
+          | Velodrome_trace.Trace_io.Syntax_error (line, msg) ->
+            Printf.eprintf "%s:%d: %s\n" file line msg
+          | Velodrome_trace.Trace_codec.Corrupt msg ->
+            Printf.eprintf "%s: corrupt binary trace: %s\n" file msg
+          | e -> raise e);
+          exit 2)
     end
     else begin
       let names, trace = load_trace file in
@@ -1591,6 +1588,161 @@ let study_cmd =
     (Cmd.info "study" ~doc:"Adversarial scheduling studies.")
     Term.(const run $ size_arg $ seeds_arg $ part)
 
+(* --- multicore serving ---------------------------------------------------- *)
+
+module Serve = Velodrome_serve.Serve
+
+let serve_cmd =
+  let targets =
+    Arg.(
+      non_empty
+      & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Trace files, or directories scanned (non-recursively) for \
+             *.velb and *.trace entries.")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains. Defaults to the recommended domain count, \
+             clamped to the number of streams.")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Job-queue capacity, rounded up to a power of two (default: \
+             2*jobs). Bounds resident streams at capacity + jobs.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Report per-stream timings and a pool summary to stderr.")
+  in
+  let serve_analyses_arg =
+    Arg.(
+      value
+      & opt (list string) [ "velodrome" ]
+      & info [ "analysis"; "a"; "backend" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated back-ends: velodrome, velodrome-basic, aero, \
+             atomizer, eraser, hb, fasttrack, 2pl, 2pl-strict, empty \
+             (default: velodrome).")
+  in
+  let run targets analyses jobs queue stats fmt =
+    (* Reject unknown back-ends before spawning anything. *)
+    let scratch = Velodrome_trace.Names.create () in
+    List.iter
+      (fun a ->
+        match mk_backend scratch a with
+        | Some _ -> ()
+        | None ->
+          Printf.eprintf "unknown analysis %S\n" a;
+          exit 2)
+      analyses;
+    let paths =
+      match Serve.expand_targets targets with
+      | Ok paths -> paths
+      | Error msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 2
+    in
+    let backends names = List.filter_map (mk_backend names) analyses in
+    let total = List.length paths in
+    (* Per-stream output is byte-identical to [check-trace FILE] (same
+       renderer, same JSON objects), and the ordered merge emits it in
+       submission order — so the whole stdout is independent of --jobs
+       and equal to a sequential sweep. *)
+    let print_views = function
+      | [] -> print_endline "No warnings."
+      | ws ->
+        Printf.printf "%d warning(s):\n" (List.length ws);
+        List.iter
+          (fun (w : Serve.warning_view) -> Printf.printf "  %s\n" w.Serve.human)
+          ws
+    in
+    let json_doc path events warnings extra =
+      let open Velodrome_util.Json in
+      Obj
+        ([
+           ("file", String path);
+           ("events", Int events);
+           ( "warnings",
+             List
+               (List.map
+                  (fun (w : Serve.warning_view) -> w.Serve.json)
+                  warnings) );
+         ]
+        @ extra)
+    in
+    let print_result (r : Serve.result) =
+      (match (fmt, r.Serve.outcome) with
+      | `Human, Serve.Checked { events; warnings } ->
+        Printf.printf "%s: %d operations\n" r.Serve.path events;
+        print_views warnings
+      | `Human, Serve.Failed { events; warnings; message } ->
+        if events > 0 then begin
+          Printf.printf "%s: %d operations (partial: stream truncated)\n"
+            r.Serve.path events;
+          print_views warnings
+        end;
+        Printf.eprintf "%s\n" message
+      | `Json, Serve.Checked { events; warnings } ->
+        print_endline
+          (Velodrome_util.Json.to_string (json_doc r.Serve.path events warnings []))
+      | `Json, Serve.Failed { events; warnings; message } ->
+        if events > 0 then
+          print_endline
+            (Velodrome_util.Json.to_string
+               (json_doc r.Serve.path events warnings
+                  [ ("partial", Velodrome_util.Json.Bool true) ]));
+        Printf.eprintf "%s\n" message);
+      if stats then
+        Printf.eprintf "[serve] %d/%d %s: %d events, %d warnings, wait %.2fms, check %.2fms\n%!"
+          (r.Serve.index + 1) total r.Serve.path
+          (match r.Serve.outcome with
+          | Serve.Checked { events; _ } | Serve.Failed { events; _ } -> events)
+          (match r.Serve.outcome with
+          | Serve.Checked { warnings; _ } | Serve.Failed { warnings; _ } ->
+            List.length warnings)
+          (Int64.to_float r.Serve.wait_ns /. 1e6)
+          (Int64.to_float r.Serve.check_ns /. 1e6)
+    in
+    let s = Serve.run ?jobs ?queue_capacity:queue ~backends ~on_result:print_result paths in
+    if stats then begin
+      let secs = Int64.to_float s.Serve.elapsed_ns /. 1e9 in
+      Printf.eprintf
+        "[serve] %d streams, %d events, %d warnings, %d failed on %d domain(s): %.0f events/s, queue wait mean %.2fms, max resident %d (bound %d)\n%!"
+        s.Serve.streams s.Serve.events s.Serve.warnings s.Serve.failed
+        s.Serve.jobs
+        (if secs > 0. then float_of_int s.Serve.events /. secs else 0.)
+        (if s.Serve.streams > 0 then
+           Int64.to_float s.Serve.queue_wait_ns /. 1e6
+           /. float_of_int s.Serve.streams
+         else 0.)
+        s.Serve.max_resident
+        (s.Serve.queue_capacity + s.Serve.jobs)
+    end;
+    if s.Serve.failed > 0 then exit 2
+    else if s.Serve.warnings > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Check many trace streams concurrently on a pool of worker \
+          domains, with deterministic, submission-ordered output."
+       ~exits)
+    Term.(
+      const run $ targets $ serve_analyses_arg $ jobs_arg $ queue_arg
+      $ stats_flag $ format_arg)
+
 let () =
   let doc = "sound and complete dynamic atomicity checking (PLDI 2008)" in
   let info = Cmd.info "velodrome" ~version:"1.0.0" ~doc ~exits in
@@ -1600,7 +1752,8 @@ let () =
          [
            list_cmd; run_cmd; check_cmd; analyze_cmd; predict_cmd;
            races_cmd; print_cmd;
-           record_cmd; check_trace_cmd; convert_cmd; minimize_cmd; fuzz_cmd;
+           record_cmd; check_trace_cmd; serve_cmd; convert_cmd; minimize_cmd;
+           fuzz_cmd;
            table1_cmd; table2_cmd; study_cmd;
          ])
   in

@@ -40,6 +40,32 @@ let pp names ppf w =
   Format.fprintf ppf "%s: %s%s%s at #%d: %s" w.analysis
     (kind_to_string w.kind) label var w.index w.message
 
+(* The JSON projection the CLI prints for check-trace and serve; field
+   order is part of the pinned output. *)
+let to_json names w =
+  let open Velodrome_util.Json in
+  let opt name to_s = function
+    | None -> []
+    | Some v -> [ (name, String (to_s v)) ]
+  in
+  Obj
+    ([
+       ("analysis", String w.analysis);
+       ("kind", String (kind_to_string w.kind));
+     ]
+    @ opt "label" (Names.label_name names) w.label
+    @ opt "var" (Names.var_name names) w.var
+    @ [ ("index", Int w.index); ("blamed", Bool w.blamed) ]
+    @ (match w.refuted with
+      | [] -> []
+      | ls ->
+        [
+          ( "refuted",
+            List (List.map (fun l -> String (Names.label_name names l)) ls)
+          );
+        ])
+    @ [ ("message", String w.message) ])
+
 let dedup_by_label ws =
   let seen = Hashtbl.create 16 in
   List.filter

@@ -53,6 +53,11 @@ val make :
 
 val pp : Names.t -> Format.formatter -> t -> unit
 
+val to_json : Names.t -> t -> Velodrome_util.Json.t
+(** The JSON object the CLI reports for a warning (check-trace and
+    serve); resolves ids through [names], omits absent label/var, keeps
+    the pinned field order. *)
+
 val dedup_by_label : t list -> t list
 (** Keep the first warning for each (analysis, kind, label) triple —
     the paper's "distinct warnings per method" counting. Warnings without

@@ -3,23 +3,29 @@ open Velodrome_analysis
 open Velodrome_workloads
 open Velodrome_sim
 
+(* Wall-clock seconds on the monotonic clock. Sys.time would count CPU
+   time summed over every running domain, which inflates timings as soon
+   as a serve pool (or the GC's own domains) is active, and
+   Unix.gettimeofday can step backwards under NTP. *)
+let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+
 let time f =
-  let t0 = Sys.time () in
+  let t0 = now () in
   let r = f () in
-  (Sys.time () -. t0, r)
+  (now () -. t0, r)
 
 let time_median n f =
   let samples = Array.init (max 1 n) (fun _ -> fst (time f)) in
   Velodrome_util.Stats.median samples
 
 let time_stable ?(min_total = 0.05) n f =
-  let t0 = Sys.time () in
+  let t0 = now () in
   let count = ref 0 in
-  while !count < n || Sys.time () -. t0 < min_total do
+  while !count < n || now () -. t0 < min_total do
     f ();
     incr count
   done;
-  (Sys.time () -. t0) /. float_of_int !count
+  (now () -. t0) /. float_of_int !count
 
 let ground_truth (w : Workload.t) =
   let tbl = Hashtbl.create 32 in

@@ -11,6 +11,8 @@ type stats = {
 
 let default_interval = 100_000
 
+exception Interrupted of { events : int; error : exn }
+
 let run ?progress ?(every = default_interval) ?live_nodes backends
     (src : Source.t) =
   let count = ref 0 in
@@ -53,7 +55,16 @@ let run ?progress ?(every = default_interval) ?live_nodes backends
         incr count;
         if !count mod every = 0 then tick report
   in
-  src.Source.iter on_event;
+  (try src.Source.iter on_event
+   with error ->
+     (* A truncated or damaged stream still yields a partial result: the
+        events consumed and warnings raised so far are valid — the trace
+        prefix really happened — so finish the back-ends, emit one last
+        progress tick, and hand the caller everything alongside the
+        original error. *)
+     List.iter Backend.finish backends;
+     Option.iter tick progress;
+     raise (Interrupted { events = !count; error }));
   List.iter Backend.finish backends;
   Option.iter tick progress;
   (!count, List.concat_map Backend.warnings backends)

@@ -30,6 +30,16 @@ type stats = {
 val default_interval : int
 (** Events between progress reports (100_000). *)
 
+exception Interrupted of { events : int; error : exn }
+(** Raised when the source's iteration fails mid-stream (a truncated
+    [.velb], a malformed text line): [events] counts the events already
+    replayed — the back-ends have been [finish]ed and their warnings for
+    the valid prefix are intact — and [error] is the original exception
+    ({!Velodrome_trace.Trace_codec.Corrupt} or
+    {!Velodrome_trace.Trace_io.Syntax_error}). A final progress tick is
+    emitted before the raise, so [--stats] observers see the partial
+    totals. *)
+
 val run :
   ?progress:(stats -> unit) ->
   ?every:int ->

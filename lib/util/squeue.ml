@@ -1,0 +1,212 @@
+(* Bounded MPMC queue: an array ring with one sequence number per slot
+   (Vyukov's design). Tickets are claimed from the [head]/[tail]
+   counters by CAS; a slot's sequence number both hands out slots in
+   FIFO order and publishes the payload (the plain [slots] write is
+   ordered by the seq_cst store to [seq], so a consumer that observes
+   the advanced sequence also observes the payload).
+
+   Slot life cycle, for ticket [t] landing on slot [i = t land mask]:
+
+     seq = t        free, awaiting the producer with ticket t
+     seq = t + 1    full, awaiting the consumer with ticket t
+     seq = t + capacity   free again, awaiting ticket t + capacity
+
+   Blocking [push]/[pop] spin briefly and then park on a mutex/condition
+   pair. The waiter counts are atomics read by the fast paths, so an
+   uncontended push or pop never touches the lock; the counts are only
+   incremented under the lock, which (with the re-check before waiting)
+   closes the lost-wakeup races.
+
+   [close] requires the caller to have completed every push first
+   (happens-before); consumers then drain the ring and get [None]. *)
+
+exception Closed
+
+type 'a t = {
+  mask : int;
+  seq : int Atomic.t array;
+  slots : 'a option ref array;
+  head : int Atomic.t;  (* next consumer ticket *)
+  tail : int Atomic.t;  (* next producer ticket *)
+  closed : bool Atomic.t;
+  lock : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  empty_waiters : int Atomic.t;
+  full_waiters : int Atomic.t;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Squeue.create: capacity < 1";
+  (* Minimum 2: with a single slot the ring's free/full sequence states
+     coincide and the fast path degenerates to pure contention. *)
+  let rec pow2 k = if k >= capacity then k else pow2 (k * 2) in
+  let cap = pow2 2 in
+  {
+    mask = cap - 1;
+    seq = Array.init cap (fun i -> Atomic.make i);
+    slots = Array.init cap (fun _ -> ref None);
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    closed = Atomic.make false;
+    lock = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    empty_waiters = Atomic.make 0;
+    full_waiters = Atomic.make 0;
+  }
+
+let capacity q = q.mask + 1
+
+let length q =
+  let n = Atomic.get q.tail - Atomic.get q.head in
+  if n < 0 then 0 else if n > q.mask + 1 then q.mask + 1 else n
+
+let is_closed q = Atomic.get q.closed
+
+(* --- non-blocking core ------------------------------------------------------ *)
+
+let rec push_core q x =
+  let tail = Atomic.get q.tail in
+  let i = tail land q.mask in
+  let s = Atomic.get q.seq.(i) in
+  if s = tail then
+    if Atomic.compare_and_set q.tail tail (tail + 1) then begin
+      q.slots.(i) := Some x;
+      Atomic.set q.seq.(i) (tail + 1);
+      true
+    end
+    else push_core q x (* lost the ticket race; retry *)
+  else if s < tail then false (* slot still holds ticket t - capacity: full *)
+  else push_core q x (* stale tail; retry *)
+
+let rec pop_core q =
+  let head = Atomic.get q.head in
+  let i = head land q.mask in
+  let s = Atomic.get q.seq.(i) in
+  if s = head + 1 then
+    if Atomic.compare_and_set q.head head (head + 1) then begin
+      let slot = q.slots.(i) in
+      let x = !slot in
+      slot := None;
+      Atomic.set q.seq.(i) (head + q.mask + 1);
+      match x with
+      | Some _ -> x
+      | None -> assert false (* publication order guarantees the payload *)
+    end
+    else pop_core q
+  else if s <= head then None (* no committed element at head: empty *)
+  else pop_core q
+
+(* --- wakeups ---------------------------------------------------------------- *)
+
+(* Only producers/consumers that might have a parked peer take the lock;
+   the waiter counts are bumped under the lock and re-checked before
+   waiting, so a signal can never slip between check and sleep. *)
+let signal q waiters cond =
+  if Atomic.get waiters > 0 then begin
+    Mutex.lock q.lock;
+    Condition.broadcast cond;
+    Mutex.unlock q.lock
+  end
+
+let try_push q x =
+  if Atomic.get q.closed then raise Closed;
+  if push_core q x then begin
+    signal q q.empty_waiters q.not_empty;
+    true
+  end
+  else false
+
+let try_pop q =
+  match pop_core q with
+  | Some _ as r ->
+    signal q q.full_waiters q.not_full;
+    r
+  | None -> None
+
+(* --- blocking paths --------------------------------------------------------- *)
+
+let spin_budget = 64
+
+let push q x =
+  let rec park () =
+    Mutex.lock q.lock;
+    Atomic.incr q.full_waiters;
+    let rec wait () =
+      if Atomic.get q.closed then begin
+        Atomic.decr q.full_waiters;
+        Mutex.unlock q.lock;
+        raise Closed
+      end
+      else if push_core q x then begin
+        Atomic.decr q.full_waiters;
+        Mutex.unlock q.lock
+      end
+      else begin
+        Condition.wait q.not_full q.lock;
+        wait ()
+      end
+    in
+    wait ()
+  and attempt spins =
+    if Atomic.get q.closed then raise Closed;
+    if push_core q x then ()
+    else if spins > 0 then begin
+      Domain.cpu_relax ();
+      attempt (spins - 1)
+    end
+    else park ()
+  in
+  attempt spin_budget;
+  signal q q.empty_waiters q.not_empty
+
+let pop q =
+  let rec park () =
+    Mutex.lock q.lock;
+    Atomic.incr q.empty_waiters;
+    let rec wait () =
+      match pop_core q with
+      | Some _ as r ->
+        Atomic.decr q.empty_waiters;
+        Mutex.unlock q.lock;
+        signal q q.full_waiters q.not_full;
+        r
+      | None ->
+        if Atomic.get q.closed then begin
+          Atomic.decr q.empty_waiters;
+          Mutex.unlock q.lock;
+          None
+        end
+        else begin
+          Condition.wait q.not_empty q.lock;
+          wait ()
+        end
+    in
+    wait ()
+  and attempt spins =
+    match pop_core q with
+    | Some _ as r ->
+      signal q q.full_waiters q.not_full;
+      r
+    | None ->
+      if Atomic.get q.closed then
+        match pop_core q with (* drain: pushes happen-before close *)
+        | Some _ as r ->
+          signal q q.full_waiters q.not_full;
+          r
+        | None -> None
+      else if spins > 0 then begin
+        Domain.cpu_relax ();
+        attempt (spins - 1)
+      end
+      else park ()
+  in
+  attempt spin_budget
+
+let close q =
+  Atomic.set q.closed true;
+  Mutex.lock q.lock;
+  Condition.broadcast q.not_empty;
+  Condition.broadcast q.not_full;
+  Mutex.unlock q.lock

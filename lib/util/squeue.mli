@@ -1,0 +1,64 @@
+(** A bounded multi-producer multi-consumer queue on OCaml 5 atomics.
+
+    The core is the classic array-ring design with one sequence number
+    per slot (Dmitry Vyukov's bounded MPMC queue, the same shape the
+    Saturn library uses for its lock-free internals): producers and
+    consumers claim tickets from two atomic counters and publish through
+    the slot's sequence number, so the uncontended fast path is one CAS
+    plus two atomic operations and no lock is ever taken.
+
+    On top of the non-blocking core, {!push} and {!pop} add blocking
+    with real parking: after a short bounded spin they wait on a
+    mutex/condition pair, so a full queue exerts backpressure on
+    producers (the serve pipeline's memory bound) and idle consumers
+    sleep instead of burning a core — essential when domains outnumber
+    cores.
+
+    A queue can be {!close}d: consumers drain the remaining elements and
+    then receive [None], which is how the serve domain pool shuts its
+    workers down.
+
+    Determinism notes for testing: with a single domain, {!try_push} and
+    {!try_pop} are ordinary deterministic functions (the model tests
+    replay them against a reference FIFO); all concurrency lives in the
+    multi-domain stress tests. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [create ~capacity] makes an empty queue holding at most [capacity]
+    elements (rounded up to a power of two, minimum 2). Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+(** The actual (rounded) capacity. *)
+
+val length : 'a t -> int
+(** A snapshot of the number of elements currently queued. Exact when no
+    other domain is mid-operation; otherwise a transient approximation
+    in [0, capacity]. *)
+
+val try_push : 'a t -> 'a -> bool
+(** Non-blocking push: [false] when the queue is full. Raises [Closed]
+    when the queue has been closed. *)
+
+val try_pop : 'a t -> 'a option
+(** Non-blocking pop: [None] when the queue is empty (closed or not). *)
+
+val push : 'a t -> 'a -> unit
+(** Blocking push: waits (bounded spin, then sleeps) while the queue is
+    full. Raises [Closed] when the queue has been closed. *)
+
+val pop : 'a t -> 'a option
+(** Blocking pop: waits while the queue is empty, returns [Some x] for
+    the next element, or [None] once the queue is closed {e and}
+    drained. *)
+
+val close : 'a t -> unit
+(** Closes the queue: subsequent pushes raise [Closed]; queued elements
+    remain poppable; blocked consumers wake up and return [None] once
+    the queue is empty. Idempotent. *)
+
+val is_closed : 'a t -> bool
+
+exception Closed

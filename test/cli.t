@@ -371,6 +371,23 @@ Corrupt input exits 2 (violations exit 1; see the EXIT STATUS section of
   bad.velb: corrupt binary trace: truncated name (10 bytes) (at byte 40)
   [2]
 
+A mid-stream truncation is different from a corrupt header: the events
+before the damage form a real trace prefix, so --stream reports the
+partial result — count and warnings — before exiting 2 with the
+diagnostic:
+
+  $ head -c 1200 ms.velb > partial.velb
+  $ velodrome check-trace partial.velb --stream -a velodrome
+  partial.velb: 490 operations (partial: stream truncated)
+  5 warning(s):
+    velodrome: atomicity-violation [Set.retain] at #58: not self-serializable (refuted blocks: Set.retain); cycle: Set.retain(t1) -> Set.addAll(t0) -> Set.retain(t1)
+    velodrome: atomicity-violation [Set.sizeSum] at #84: not self-serializable (refuted blocks: Set.sizeSum); cycle: Set.sizeSum(t1) -> Set.sizeSum(t0) -> Set.sizeSum(t1)
+    velodrome: atomicity-violation [Set.remove] at #129: not self-serializable (refuted blocks: Set.remove); cycle: Set.remove(t1) -> Set.add(t0) -> Set.remove(t1)
+    velodrome: atomicity-violation [Set.addAll] at #147: not self-serializable (refuted blocks: Set.addAll); cycle: Set.addAll(t1) -> Set.remove(t0) -> Set.addAll(t1)
+    velodrome: atomicity-violation [Set.add] at #324: not self-serializable (refuted blocks: Set.add); cycle: Set.add(t1) -> Set.sizeSum(t0) -> Set.add(t1)
+  partial.velb: corrupt binary trace: truncated input (at byte 1200)
+  [2]
+
 The AeroDrome vector-clock backend replays the same traces through
 --backend, in both replay modes, with the same exit conventions as the
 graph engines (1 on violations, 0 when clean, 2 on corrupt input):
@@ -423,6 +440,54 @@ the validator:
 
   $ ../bench/validate_bench.exe ../BENCH_predict.json predict
   ../BENCH_predict.json: 1 predict document ok
+
+Multicore serving: a domain pool checks many complete streams
+concurrently, and the ordered merge makes the output submission-ordered
+and byte-identical to a sequential check-trace sweep, whatever --jobs
+is:
+
+  $ mkdir streams
+  $ velodrome record multiset streams/a.velb --size small --seed 1 > /dev/null
+  $ velodrome record tsp streams/b.velb --size small --seed 2 > /dev/null
+  $ velodrome record sor streams/c.velb --size small --seed 3 > /dev/null
+  $ velodrome serve --jobs 4 -a velodrome streams > par.out 2> par.err
+  [1]
+  $ for f in streams/a.velb streams/b.velb streams/c.velb; do velodrome check-trace $f --stream -a velodrome; done > seq.out
+  [1]
+  $ cmp par.out seq.out
+  $ cat par.err
+  $ velodrome serve --jobs 1 -a velodrome streams | cmp par.out -
+
+A truncated stream keeps its partial result, does not disturb the
+streams around it, and turns the run's exit into 2:
+
+  $ velodrome serve -a velodrome partial.velb streams/b.velb > sp.out 2> sp.err
+  [2]
+  $ grep -c 'operations' sp.out
+  2
+  $ head -1 sp.out
+  partial.velb: 490 operations (partial: stream truncated)
+  $ cat sp.err
+  partial.velb: corrupt binary trace: truncated input (at byte 1200)
+
+Bad serve invocations exit 2 before any domain is spawned:
+
+  $ velodrome serve -a bogus streams
+  unknown analysis "bogus"
+  [2]
+  $ mkdir empty-dir
+  $ velodrome serve empty-dir
+  empty-dir: no .velb or .trace files in directory
+  [2]
+
+The tracked serve artifact sweeps 1 to 8 domains over 200 generated
+streams; the validator enforces byte-for-byte determinism across domain
+counts, the backpressure bound on resident streams, and a cores-aware
+scaling gate (the scaling report line is a measurement, so only the
+stable line is pinned here):
+
+  $ ../bench/validate_bench.exe ../BENCH_serve.json serve | tail -1
+  ../BENCH_serve.json: 4 serve rows ok
 
 Malformed text traces are blamed on the offending line:
 

@@ -13,6 +13,8 @@ let () =
       Test_statics.suite;
       Test_predict.suite;
       Test_backends.suite;
+      Test_squeue.suite;
+      Test_serve.suite;
       Regressions.suite;
       Test_workloads.suite;
       Test_inject.suite;

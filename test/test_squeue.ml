@@ -1,0 +1,208 @@
+(* The bounded MPMC queue under the serve domain pool.
+
+   Two layers, matching the two layers of the implementation: a
+   deterministic single-domain model test that replays a scripted and a
+   seeded-random operation sequence against a reference FIFO (with one
+   domain, try_push/try_pop are ordinary functions), and a multi-domain
+   stress test checking the concurrent guarantees — no element lost, no
+   element duplicated, FIFO order per producer — over thousands of
+   blocking operations. The stress seed is printed and can be replayed
+   with SQUEUE_SEED=n. *)
+
+module Squeue = Velodrome_util.Squeue
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+(* --- deterministic single-domain tests ------------------------------------ *)
+
+let test_capacity_rounding () =
+  check int "5 rounds to 8" 8 (Squeue.capacity (Squeue.create ~capacity:5));
+  check int "8 stays 8" 8 (Squeue.capacity (Squeue.create ~capacity:8));
+  check int "1 rounds to 2" 2 (Squeue.capacity (Squeue.create ~capacity:1));
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Squeue.create: capacity < 1") (fun () ->
+      ignore (Squeue.create ~capacity:0))
+
+let test_fifo_basics () =
+  let q = Squeue.create ~capacity:4 in
+  check int "empty" 0 (Squeue.length q);
+  check bool "pop empty" true (Squeue.try_pop q = None);
+  List.iter (fun x -> check bool "push" true (Squeue.try_push q x)) [ 1; 2; 3; 4 ];
+  check bool "full" false (Squeue.try_push q 5);
+  check int "len 4" 4 (Squeue.length q);
+  List.iter
+    (fun x -> check bool "fifo" true (Squeue.try_pop q = Some x))
+    [ 1; 2; 3 ];
+  (* Wrap around the ring: slots are reused once consumed. *)
+  List.iter (fun x -> check bool "repush" true (Squeue.try_push q x)) [ 5; 6; 7 ];
+  List.iter
+    (fun x -> check bool "fifo2" true (Squeue.try_pop q = Some x))
+    [ 4; 5; 6; 7 ];
+  check bool "drained" true (Squeue.try_pop q = None)
+
+let test_close () =
+  let q = Squeue.create ~capacity:4 in
+  assert (Squeue.try_push q 1);
+  assert (Squeue.try_push q 2);
+  check bool "open" false (Squeue.is_closed q);
+  Squeue.close q;
+  Squeue.close q;
+  (* idempotent *)
+  check bool "closed" true (Squeue.is_closed q);
+  Alcotest.check_raises "push after close" Squeue.Closed (fun () ->
+      ignore (Squeue.try_push q 3));
+  Alcotest.check_raises "blocking push after close" Squeue.Closed (fun () ->
+      Squeue.push q 3);
+  (* Queued elements remain poppable, then None. *)
+  check bool "drain 1" true (Squeue.pop q = Some 1);
+  check bool "drain 2" true (Squeue.try_pop q = Some 2);
+  check bool "closed+empty" true (Squeue.pop q = None);
+  check bool "stays None" true (Squeue.try_pop q = None)
+
+(* Seeded random sequences of try_push/try_pop/length against a
+   reference FIFO. Single-domain, so the queue must agree exactly. *)
+let test_model () =
+  let rng = Velodrome_util.Rng.create 2026 in
+  for _round = 1 to 50 do
+    let cap = 1 + Velodrome_util.Rng.int rng 16 in
+    let q = Squeue.create ~capacity:cap in
+    let cap = Squeue.capacity q in
+    let model = Queue.create () in
+    let next = ref 0 in
+    for _op = 1 to 400 do
+      match Velodrome_util.Rng.int rng 3 with
+      | 0 ->
+        let x = !next in
+        incr next;
+        let accepted = Squeue.try_push q x in
+        check bool "push accepted iff not full"
+          (Queue.length model < cap)
+          accepted;
+        if accepted then Queue.add x model
+      | 1 ->
+        let got = Squeue.try_pop q in
+        let expect =
+          if Queue.is_empty model then None else Some (Queue.take model)
+        in
+        check bool "pop agrees" true (got = expect)
+      | _ -> check int "length agrees" (Queue.length model) (Squeue.length q)
+    done;
+    (* Drain and compare the tails. *)
+    Squeue.close q;
+    Queue.iter
+      (fun x -> check bool "tail agrees" true (Squeue.pop q = Some x))
+      model;
+    check bool "both empty" true (Squeue.pop q = None)
+  done
+
+(* --- multi-domain stress --------------------------------------------------- *)
+
+(* [producers] * [consumers] + the coordinator: at least 5 domains, all
+   blocking operations, tiny capacity so both backpressure parking and
+   empty-queue parking are exercised constantly. Each element is
+   (producer, seq); each consumer records what it took. Checks:
+   - conservation: the multiset of consumed elements = produced ones
+     (no loss, no duplication);
+   - per-producer FIFO: within one consumer, the seqs of any single
+     producer arrive strictly increasing (the MPMC guarantee: there is
+     no global order, but each producer's elements are taken in push
+     order, and a single consumer observes that order). *)
+let stress ~seed ~producers ~consumers ~per_producer ~capacity () =
+  Printf.printf "squeue stress: seed %d (replay with SQUEUE_SEED=%d)\n%!" seed
+    seed;
+  let q = Squeue.create ~capacity in
+  let producer p () =
+    let rng = Velodrome_util.Rng.create (seed + (1000 * p)) in
+    for s = 0 to per_producer - 1 do
+      Squeue.push q (p, s);
+      (* Vary the interleaving: occasionally yield the core. *)
+      if Velodrome_util.Rng.int rng 8 = 0 then Domain.cpu_relax ()
+    done
+  in
+  let consumer () =
+    let taken = ref [] in
+    let rec loop () =
+      match Squeue.pop q with
+      | Some x ->
+        taken := x :: !taken;
+        loop ()
+      | None -> List.rev !taken
+    in
+    loop ()
+  in
+  let cds = Array.init consumers (fun _ -> Domain.spawn consumer) in
+  let pds = Array.init producers (fun p -> Domain.spawn (producer p)) in
+  Array.iter Domain.join pds;
+  Squeue.close q;
+  let consumed = Array.map Domain.join cds in
+  let total = Array.fold_left (fun n l -> n + List.length l) 0 consumed in
+  check int "no loss, no duplication (count)" (producers * per_producer) total;
+  let seen = Hashtbl.create (producers * per_producer) in
+  Array.iter
+    (fun l ->
+      List.iter
+        (fun (p, s) ->
+          if Hashtbl.mem seen (p, s) then
+            Alcotest.failf "element (%d,%d) consumed twice" p s;
+          Hashtbl.add seen (p, s) ())
+        l)
+    consumed;
+  for p = 0 to producers - 1 do
+    for s = 0 to per_producer - 1 do
+      if not (Hashtbl.mem seen (p, s)) then
+        Alcotest.failf "element (%d,%d) lost" p s
+    done
+  done;
+  Array.iteri
+    (fun c l ->
+      let last = Array.make producers (-1) in
+      List.iter
+        (fun (p, s) ->
+          if s <= last.(p) then
+            Alcotest.failf
+              "consumer %d saw producer %d out of order (%d after %d)" c p s
+              last.(p);
+          last.(p) <- s)
+        l)
+    consumed
+
+let test_stress () =
+  let seed =
+    match Sys.getenv_opt "SQUEUE_SEED" with
+    | Some s -> int_of_string s
+    | None -> 42
+  in
+  (* 2x2 + coordinator = 5 domains, 4000 pushes through 8 slots. *)
+  stress ~seed ~producers:2 ~consumers:2 ~per_producer:2000 ~capacity:8 ();
+  (* Skewed shapes: many producers into one consumer and vice versa. *)
+  stress ~seed:(seed + 1) ~producers:4 ~consumers:1 ~per_producer:500
+    ~capacity:2 ();
+  stress ~seed:(seed + 2) ~producers:1 ~consumers:4 ~per_producer:2000
+    ~capacity:4 ()
+
+(* Consumers parked on an empty queue must wake on close. *)
+let test_close_wakes_consumers () =
+  let q : int Squeue.t = Squeue.create ~capacity:2 in
+  let cds = Array.init 3 (fun _ -> Domain.spawn (fun () -> Squeue.pop q)) in
+  (* Give them time to park, then close. *)
+  for _ = 1 to 1000 do
+    Domain.cpu_relax ()
+  done;
+  Squeue.close q;
+  Array.iter
+    (fun d -> check bool "woken with None" true (Domain.join d = None))
+    cds
+
+let suite =
+  ( "squeue",
+    [
+      Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+      Alcotest.test_case "fifo basics + ring wrap" `Quick test_fifo_basics;
+      Alcotest.test_case "close semantics" `Quick test_close;
+      Alcotest.test_case "single-domain model" `Quick test_model;
+      Alcotest.test_case "multi-domain stress" `Quick test_stress;
+      Alcotest.test_case "close wakes parked consumers" `Quick
+        test_close_wakes_consumers;
+    ] )

@@ -14,9 +14,10 @@
 
    Run with: dune exec bench/main.exe *)
 
-(* Raw monotonic timestamps; aliased before the opens because Toolkit
-   shadows [Monotonic_clock] with its MEASURE instance. *)
-module Mclock = Monotonic_clock
+(* Raw monotonic timestamps via the shared util funnel; aliased before
+   the opens because Toolkit has a [Monotonic_clock] MEASURE instance of
+   its own and the two must not be confused. *)
+module Mclock = Velodrome_util.Mclock
 
 open Bechamel
 open Toolkit
@@ -269,9 +270,9 @@ let benchmark () =
 let time_best ~repeats f =
   let best = ref infinity in
   for _ = 1 to repeats do
-    let t0 = Mclock.now () in
+    let t0 = Mclock.now_ns () in
     f ();
-    let dt = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9 in
+    let dt = Int64.to_float (Int64.sub (Mclock.now_ns ()) t0) /. 1e9 in
     if dt < !best then best := dt
   done;
   !best
@@ -639,9 +640,9 @@ type statics_row = {
 let time_ms_best ~repeats f =
   let best = ref infinity in
   for _ = 1 to repeats do
-    let t0 = Mclock.now () in
+    let t0 = Mclock.now_ns () in
     f ();
-    let dt = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e6 in
+    let dt = Int64.to_float (Int64.sub (Mclock.now_ns ()) t0) /. 1e6 in
     if dt < !best then best := dt
   done;
   !best

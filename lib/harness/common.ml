@@ -3,11 +3,11 @@ open Velodrome_analysis
 open Velodrome_workloads
 open Velodrome_sim
 
-(* Wall-clock seconds on the monotonic clock. Sys.time would count CPU
-   time summed over every running domain, which inflates timings as soon
-   as a serve pool (or the GC's own domains) is active, and
-   Unix.gettimeofday can step backwards under NTP. *)
-let now () = Int64.to_float (Monotonic_clock.now ()) /. 1e9
+(* Wall-clock seconds on the shared monotonic clock (Mclock): Sys.time
+   would count CPU time summed over every running domain, which inflates
+   timings as soon as a serve pool (or the GC's own domains) is active,
+   and Unix.gettimeofday can step backwards under NTP. *)
+let now () = Velodrome_util.Mclock.now_s ()
 
 let time f =
   let t0 = now () in

@@ -1,0 +1,599 @@
+(* The systematic explorer: a stateless DFS over thread interleavings
+   with dynamic partial-order reduction and sleep sets.
+
+   One *scenario* is an init function that builds shared state out of
+   [Shim] primitives and returns a list of process bodies plus a final
+   invariant check. One *run* executes the scenario under a cooperative
+   scheduler: each process is an effect fiber whose pending operation
+   (tag, accesses, enabledness guard, executable closure) is visible to
+   the scheduler before it runs, so the explorer can
+
+   - enumerate interleavings by choosing which enabled process steps
+     next (stateless: every schedule re-runs the scenario from scratch,
+     which the deterministic [Shim.reset] id allocator makes exactly
+     reproducible);
+
+   - prune with DPOR: when a transition is appended to the trace, the
+     last earlier transition dependent on it (classic Flanagan-Godefroid
+     race detection, conservatively treating all pairs as co-enabled)
+     gets a backtracking point — the chosen process if it was enabled
+     there, every enabled process otherwise (the persistent-set
+     fallback);
+
+   - prune with sleep sets: a transition already explored from a state
+     sleeps in the sibling subtrees until some dependent transition
+     wakes it; a state whose every enabled transition sleeps is
+     redundant and the run is abandoned;
+
+   - detect violations: a process exception, a failed final check, a
+     deadlock (live processes, none enabled — which is also how lost
+     wakeups surface), or a depth budget overrun (livelock).
+
+   On violation the failing schedule is minimized — adjacent steps of
+   different processes are swapped whenever that reduces context
+   switches and the violation still reproduces — and returned as a
+   numbered schedule that [replay] re-executes deterministically. *)
+
+type step = { pid : int; tag : string }
+
+type kind =
+  | Deadlock of string
+  | Check_failed of string
+  | Uncaught of string
+  | Livelock of string
+
+type stats = { schedules : int; aborted : int; steps : int }
+
+type outcome =
+  | Verified of stats
+  | Violation of { stats : stats; kind : kind; trace : step list }
+  | Budget_exhausted of stats
+
+type scenario = {
+  name : string;
+  init : unit -> (unit -> unit) list * (unit -> unit);
+}
+
+exception Check of string
+
+let require ok msg = if not ok then raise (Check msg)
+
+(* --- processes as effect fibers -------------------------------------------- *)
+
+type pending = {
+  tag : string;
+  accesses : Shim.access list;
+  enabled : unit -> bool;
+  run : unit -> unit;
+}
+
+type proc = { pid : int; mutable pending : pending option (* None = done *) }
+
+exception Raised of int * exn
+
+let rec mk_handler (p : proc) : (unit, unit) Effect.Shallow.handler =
+  let open Effect.Shallow in
+  {
+    retc = (fun () -> p.pending <- None);
+    exnc =
+      (fun e ->
+        p.pending <- None;
+        raise (Raised (p.pid, e)));
+    effc =
+      (fun (type c) (eff : c Effect.t) ->
+        match eff with
+        | Shim.Op { tag; accesses; enabled; execute } ->
+          Some
+            (fun (k : (c, unit) continuation) ->
+              p.pending <-
+                Some
+                  {
+                    tag;
+                    accesses;
+                    enabled;
+                    run =
+                      (fun () ->
+                        continue_with k (execute ()) (mk_handler p));
+                  })
+        | _ -> None);
+  }
+
+let start_proc pid body =
+  let p = { pid; pending = None } in
+  p.pending <-
+    Some
+      {
+        tag = "start";
+        accesses = [];
+        enabled = (fun () -> true);
+        run =
+          (fun () ->
+            Effect.Shallow.continue_with (Effect.Shallow.fiber body) ()
+              (mk_handler p));
+      };
+  p
+
+(* Init and final-check code runs outside the scheduler: its operations
+   execute immediately, in program order. *)
+let sequential (type a) (f : unit -> a) : a =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type c) (eff : c Effect.t) ->
+          match eff with
+          | Shim.Op o ->
+            Some (fun (k : (c, _) continuation) -> continue k (o.execute ()))
+          | _ -> None);
+    }
+
+(* --- the DPOR search tree --------------------------------------------------- *)
+
+let dependent a b =
+  List.exists
+    (fun (x : Shim.access) ->
+      List.exists
+        (fun (y : Shim.access) -> x.obj = y.obj && (x.write || y.write))
+        b)
+    a
+
+(* One node per prefix state of the current trace. [chosen] is the pid
+   taken from this state in the current run; [explored] the choices
+   whose subtrees are complete; [sleep] the sleep set on entry. Nodes
+   for the unchanged prefix persist across runs, accumulating backtrack
+   points. *)
+type node = {
+  mutable chosen : int;
+  mutable tag : string;
+  mutable accesses : Shim.access list;
+  enabled : int list;
+  mutable backtrack : int list;
+  mutable explored : (int * Shim.access list) list;
+  sleep : (int * Shim.access list) list;
+}
+
+type tree = { mutable nodes : node array; mutable len : int }
+
+let push_node t n =
+  if t.len = Array.length t.nodes then begin
+    let bigger = Array.make (max 16 (2 * t.len)) n in
+    Array.blit t.nodes 0 bigger 0 t.len;
+    t.nodes <- bigger
+  end;
+  t.nodes.(t.len) <- n;
+  t.len <- t.len + 1
+
+(* --- one run ----------------------------------------------------------------- *)
+
+type run_end =
+  | Completed  (* all processes finished, final check passed *)
+  | Redundant  (* every enabled transition was asleep: pruned *)
+  | Violated of kind
+
+(* Execute the scenario once. The first [tree.len] steps follow the
+   tree's [chosen] prefix (refreshing tag/accesses for a node whose
+   choice was just switched by the backtracking loop); past the prefix,
+   extension prefers the previous pid (fewer preemptions, shorter
+   counterexamples), appending fresh nodes. [total_steps] accumulates
+   across runs for the stats. *)
+let run_once scenario tree ~mode ~max_steps ~total_steps =
+  Shim.reset ();
+  let bodies, final_check = sequential scenario.init in
+  let procs = Array.of_list (List.mapi start_proc bodies) in
+  let enabled_pids () =
+    Array.to_list procs
+    |> List.filter_map (fun p ->
+           match p.pending with
+           | Some pd when pd.enabled () -> Some p.pid
+           | _ -> None)
+  in
+  let live_pids () =
+    Array.to_list procs
+    |> List.filter_map (fun p ->
+           if p.pending = None then None else Some p.pid)
+  in
+  let blocked_report () =
+    live_pids ()
+    |> List.map (fun pid ->
+           Printf.sprintf "P%d blocked at %s" pid
+             (Option.get procs.(pid).pending).tag)
+    |> String.concat "; "
+  in
+  let depth = ref 0 in
+  let finish = ref None in
+  while !finish = None do
+    match live_pids () with
+    | [] ->
+      finish :=
+        Some
+          (match sequential final_check with
+          | () -> Completed
+          | exception Check msg -> Violated (Check_failed msg)
+          | exception e -> Violated (Uncaught (Printexc.to_string e)))
+    | _ :: _ -> (
+      match enabled_pids () with
+      | [] -> finish := Some (Violated (Deadlock (blocked_report ())))
+      | enabled ->
+        if !depth >= max_steps then
+          finish :=
+            Some
+              (Violated
+                 (Livelock
+                    (Printf.sprintf
+                       "depth budget (%d steps) exceeded — possible livelock"
+                       max_steps)))
+        else begin
+          let d = !depth in
+          let decided =
+            if d < tree.len then begin
+              (* Prefix replay: the choice is fixed; refresh its label
+                 (the pid may have been switched since the node's
+                 creation). *)
+              let n = tree.nodes.(d) in
+              let c = n.chosen in
+              let pd = Option.get procs.(c).pending in
+              n.tag <- pd.tag;
+              n.accesses <- pd.accesses;
+              Some (n, c)
+            end
+            else begin
+              let sleep =
+                if d = 0 then []
+                else
+                  let prev = tree.nodes.(d - 1) in
+                  List.filter
+                    (fun (q, acc) ->
+                      q <> prev.chosen && not (dependent acc prev.accesses))
+                    (prev.sleep @ prev.explored)
+              in
+              let asleep q = List.mem_assoc q sleep in
+              let awake = List.filter (fun q -> not (asleep q)) enabled in
+              match awake with
+              | [] ->
+                finish := Some Redundant;
+                None
+              | _ ->
+                let c =
+                  let prev_pid =
+                    if d = 0 then -1 else tree.nodes.(d - 1).chosen
+                  in
+                  if List.mem prev_pid awake then prev_pid
+                  else List.hd awake
+                in
+                let pd = Option.get procs.(c).pending in
+                let n =
+                  {
+                    chosen = c;
+                    tag = pd.tag;
+                    accesses = pd.accesses;
+                    enabled;
+                    backtrack = (match mode with `Full -> enabled | `Dpor -> []);
+                    explored = [];
+                    sleep;
+                  }
+                in
+                push_node tree n;
+                Some (n, c)
+            end
+          in
+          match decided with
+          | None -> ()
+          | Some (n, c) ->
+            (* DPOR race detection: give every earlier transition
+               dependent on this one a backtracking point. Scanning all
+               dependent predecessors (not only the deepest, as in
+               happens-before-based DPOR) over-approximates the racing
+               set, which keeps the search complete in the presence of
+               blocking transitions: a disabled operation (a contended
+               lock) never executes and so never reports its own races,
+               and the one-step-at-a-time propagation of the deepest-only
+               rule can be cut short by sleep-set pruning before it
+               reaches the true race. Sleep sets absorb the redundancy
+               the over-approximation introduces. *)
+            (match mode with
+            | `Full -> ()
+            | `Dpor ->
+              for j = d - 1 downto 0 do
+                let m = tree.nodes.(j) in
+                if m.chosen <> c && dependent m.accesses n.accesses then begin
+                  let want = if List.mem c m.enabled then [ c ] else m.enabled in
+                  List.iter
+                    (fun q ->
+                      if not (List.mem q m.backtrack) then
+                        m.backtrack <- q :: m.backtrack)
+                    want
+                end
+              done);
+            (match (Option.get procs.(c).pending).run () with
+            | () -> ()
+            | exception Raised (pid, Check msg) ->
+              finish :=
+                Some
+                  (Violated
+                     (Check_failed (Printf.sprintf "P%d: %s" pid msg)))
+            | exception Raised (pid, e) ->
+              finish :=
+                Some
+                  (Violated
+                     (Uncaught
+                        (Printf.sprintf "P%d raised %s" pid
+                           (Printexc.to_string e)))));
+            incr depth;
+            incr total_steps
+        end)
+  done;
+  (Option.get !finish, !depth)
+
+(* --- exploration driver ------------------------------------------------------ *)
+
+let trace_of_tree tree depth =
+  List.init (min depth tree.len) (fun i ->
+      { pid = tree.nodes.(i).chosen; tag = tree.nodes.(i).tag })
+
+(* Pop fully explored suffixes; pick the deepest state that still has an
+   unexplored, awake backtracking point; switch its choice. *)
+let rec backtrack_step tree =
+  if tree.len = 0 then false
+  else begin
+    let n = tree.nodes.(tree.len - 1) in
+    n.explored <- (n.chosen, n.accesses) :: n.explored;
+    let spent q = List.mem_assoc q n.explored || List.mem_assoc q n.sleep in
+    match List.filter (fun q -> not (spent q)) n.backtrack with
+    | [] ->
+      tree.len <- tree.len - 1;
+      backtrack_step tree
+    | c :: _ ->
+      n.chosen <- c;
+      (* tag/accesses refreshed during the next run's prefix replay *)
+      true
+  end
+
+let explore ?(mode = `Dpor) ?(max_steps = 5_000) ?(max_schedules = 1_000_000)
+    scenario =
+  let tree = { nodes = [||]; len = 0 } in
+  let schedules = ref 0 in
+  let aborted = ref 0 in
+  let total_steps = ref 0 in
+  let result = ref None in
+  while !result = None do
+    if !schedules >= max_schedules then
+      result :=
+        Some
+          (Budget_exhausted
+             {
+               schedules = !schedules;
+               aborted = !aborted;
+               steps = !total_steps;
+             })
+    else begin
+      let ending, depth = run_once scenario tree ~mode ~max_steps ~total_steps in
+      incr schedules;
+      (match ending with
+      | Completed -> ()
+      | Redundant -> incr aborted
+      | Violated kind ->
+        result :=
+          Some
+            (Violation
+               {
+                 stats =
+                   {
+                     schedules = !schedules;
+                     aborted = !aborted;
+                     steps = !total_steps;
+                   };
+                 kind;
+                 trace = trace_of_tree tree depth;
+               }));
+      if !result = None && not (backtrack_step tree) then
+        result :=
+          Some
+            (Verified
+               {
+                 schedules = !schedules;
+                 aborted = !aborted;
+                 steps = !total_steps;
+               })
+    end
+  done;
+  Option.get !result
+
+(* --- deterministic replay ---------------------------------------------------- *)
+
+(* Follow [plan] exactly; past its end, extend with the same
+   prefer-previous policy the explorer uses. Returns the outcome of that
+   single schedule ([Verified] = ran to completion, checks passed);
+   [max_steps] bounds the extension so that replaying a livelocking plan
+   reports [Livelock] instead of diverging. Raises [Invalid_argument] if
+   the plan names a process that is not enabled at that point — a plan
+   produced by [explore] or [minimize] always replays. *)
+let replay ?(max_steps = 5_000) scenario (plan : int list) =
+  Shim.reset ();
+  let bodies, final_check = sequential scenario.init in
+  let procs = Array.of_list (List.mapi start_proc bodies) in
+  let trace = ref [] in
+  let steps = ref 0 in
+  let stats () = { schedules = 1; aborted = 0; steps = !steps } in
+  let enabled p =
+    match p.pending with Some pd -> pd.enabled () | None -> false
+  in
+  let violation kind =
+    Violation { stats = stats (); kind; trace = List.rev !trace }
+  in
+  let rec go plan last =
+    if Array.for_all (fun p -> p.pending = None) procs then
+      match sequential final_check with
+      | () -> Verified (stats ())
+      | exception Check msg -> violation (Check_failed msg)
+      | exception e -> violation (Uncaught (Printexc.to_string e))
+    else if !steps >= max_steps then
+      violation
+        (Livelock
+           (Printf.sprintf
+              "depth budget (%d steps) exceeded — possible livelock" max_steps))
+    else begin
+      let all_enabled =
+        Array.to_list procs |> List.filter (fun p -> enabled p)
+        |> List.map (fun p -> p.pid)
+      in
+      match (plan, all_enabled) with
+      | [], [] ->
+        let blocked =
+          Array.to_list procs
+          |> List.filter_map (fun p ->
+                 Option.map
+                   (fun (pd : pending) ->
+                     Printf.sprintf "P%d blocked at %s" p.pid pd.tag)
+                   p.pending)
+          |> String.concat "; "
+        in
+        violation (Deadlock blocked)
+      | c :: _, _ when not (enabled procs.(c)) ->
+        invalid_arg
+          (Printf.sprintf "Explore.replay: P%d not enabled at step %d" c !steps)
+      | c :: rest, _ -> step c rest
+      | [], e :: _ ->
+        let c = if List.mem last all_enabled then last else e in
+        step c plan
+    end
+  and step c rest =
+    let pd = Option.get procs.(c).pending in
+    trace := { pid = c; tag = pd.tag } :: !trace;
+    incr steps;
+    match pd.run () with
+    | () -> go rest c
+    | exception Raised (pid, Check msg) ->
+      violation (Check_failed (Printf.sprintf "P%d: %s" pid msg))
+    | exception Raised (pid, e) ->
+      violation
+        (Uncaught (Printf.sprintf "P%d raised %s" pid (Printexc.to_string e)))
+  in
+  go plan (-1)
+
+(* --- counterexample minimization --------------------------------------------- *)
+
+let same_kind a b =
+  match (a, b) with
+  | Deadlock _, Deadlock _
+  | Check_failed _, Check_failed _
+  | Uncaught _, Uncaught _
+  | Livelock _, Livelock _ ->
+    true
+  | _ -> false
+
+let switches plan =
+  let rec go n = function
+    | a :: (b :: _ as rest) -> go (if a = b then n else n + 1) rest
+    | _ -> n
+  in
+  go 0 plan
+
+(* Greedy context-switch reduction: try swapping adjacent steps of
+   different processes; keep a swap when the plan still replays to the
+   same violation kind with fewer switches. The result is locally
+   minimal in preemptions — short enough to read, deterministic to
+   replay. *)
+let minimize ?max_steps scenario kind (plan : int list) =
+  let reproduces p =
+    match replay ?max_steps scenario p with
+    | Violation v -> if same_kind v.kind kind then Some p else None
+    | _ -> None
+    | exception Invalid_argument _ -> None
+  in
+  let swap i plan =
+    List.mapi
+      (fun j x ->
+        if j = i then List.nth plan (i + 1)
+        else if j = i + 1 then List.nth plan i
+        else x)
+      plan
+  in
+  let plan = ref plan in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let n = List.length !plan in
+    for i = 0 to n - 2 do
+      let cand = swap i !plan in
+      if switches cand < switches !plan then
+        match reproduces cand with
+        | Some p ->
+          plan := p;
+          improved := true
+        | None -> ()
+    done
+  done;
+  !plan
+
+(* --- reporting ---------------------------------------------------------------- *)
+
+let pp_kind ppf = function
+  | Deadlock msg -> Format.fprintf ppf "deadlock: %s" msg
+  | Check_failed msg -> Format.fprintf ppf "invariant failed: %s" msg
+  | Uncaught msg -> Format.fprintf ppf "uncaught exception: %s" msg
+  | Livelock msg -> Format.fprintf ppf "%s" msg
+
+(* A livelocking schedule ends in a repeating cycle as long as the depth
+   budget; print the cycle once and say how often it repeats, rather
+   than thousands of identical lines. *)
+let tail_cycle (trace : step list) =
+  let arr = Array.of_list trace in
+  let n = Array.length arr in
+  let eq i j = arr.(i).pid = arr.(j).pid && arr.(i).tag = arr.(j).tag in
+  let found = ref None in
+  let p = ref 1 in
+  while !found = None && !p <= 16 && 3 * !p <= n do
+    let i = ref (n - !p - 1) in
+    while !i >= 0 && eq !i (!i + !p) do
+      decr i
+    done;
+    (* First index of the repeating tail, aligned to a whole cycle. *)
+    let start = !i + 1 + ((n - (!i + 1)) mod !p) in
+    if (n - start) / !p >= 3 && n - start >= 20 then found := Some (!p, start);
+    incr p
+  done;
+  !found
+
+let pp_step ppf i { pid; tag } = Format.fprintf ppf "  %3d  P%d  %s@." i pid tag
+
+let pp_trace ppf trace =
+  match tail_cycle trace with
+  | None -> List.iteri (fun i s -> pp_step ppf i s) trace
+  | Some (p, start) ->
+    let n = List.length trace in
+    List.iteri (fun i s -> if i < start + p then pp_step ppf i s) trace;
+    Format.fprintf ppf
+      "  ...  (steps %d-%d repeat the previous %d-step cycle, %d iterations \
+       in all)@."
+      (start + p) (n - 1) p
+      ((n - start) / p)
+
+let pp_outcome ppf = function
+  | Verified { schedules; aborted; steps } ->
+    Format.fprintf ppf
+      "verified: %d interleavings (%d pruned as redundant), %d transitions"
+      schedules aborted steps
+  | Budget_exhausted { schedules; _ } ->
+    Format.fprintf ppf "budget exhausted after %d interleavings" schedules
+  | Violation { stats; kind; trace } ->
+    Format.fprintf ppf "violation after %d interleavings: %a@.schedule:@.%a"
+      stats.schedules pp_kind kind pp_trace trace
+
+(* The full pipeline for a failing scenario: explore, minimize the
+   counterexample, and return the minimized violation (with the trace
+   re-labelled by a final replay). *)
+let explore_minimized ?mode ?max_steps ?max_schedules scenario =
+  match explore ?mode ?max_steps ?max_schedules scenario with
+  | Violation { stats; kind; trace } -> (
+    let plan = List.map (fun (s : step) -> s.pid) trace in
+    let plan =
+      match kind with
+      | Livelock _ -> plan (* budget overruns don't shrink *)
+      | _ -> minimize ?max_steps scenario kind plan
+    in
+    match replay ?max_steps scenario plan with
+    | Violation v -> Violation { stats; kind = v.kind; trace = v.trace }
+    | other -> other (* unreachable: minimize only keeps reproducing plans *))
+  | other -> other

@@ -1,0 +1,83 @@
+(** The systematic concurrency explorer: exhaustive interleaving
+    enumeration of a small scenario written against {!Shim}, with
+    dynamic partial-order reduction (sleep sets + persistent-set
+    fallback), deadlock/livelock detection, and minimized, replayable
+    counterexample schedules. Dependency-free; runs in one domain. *)
+
+type step = { pid : int; tag : string }
+
+type kind =
+  | Deadlock of string
+      (** live processes, none enabled (includes lost wakeups) *)
+  | Check_failed of string  (** a {!require} in the scenario failed *)
+  | Uncaught of string  (** a process or the final check raised *)
+  | Livelock of string  (** per-run depth budget exceeded *)
+
+type stats = {
+  schedules : int;  (** runs executed, including pruned ones *)
+  aborted : int;  (** runs pruned as redundant by sleep sets *)
+  steps : int;  (** transitions executed across all runs *)
+}
+
+type outcome =
+  | Verified of stats  (** every inequivalent interleaving explored *)
+  | Violation of { stats : stats; kind : kind; trace : step list }
+  | Budget_exhausted of stats  (** [max_schedules] hit: NOT verified *)
+
+type scenario = {
+  name : string;
+  init : unit -> (unit -> unit) list * (unit -> unit);
+      (** Build shared state from {!Shim} primitives; return the process
+          bodies and a final invariant check, both of which may use
+          {!Shim} operations and {!require}. Must be deterministic: the
+          explorer re-runs it for every schedule and for replays. *)
+}
+
+exception Check of string
+
+val require : bool -> string -> unit
+(** [require ok msg] raises [Check msg] when [ok] is false; reported as
+    [Check_failed] with the schedule that led there. *)
+
+val explore :
+  ?mode:[ `Dpor | `Full ] ->
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  scenario ->
+  outcome
+(** Explore every inequivalent interleaving. [`Dpor]` (default) prunes
+    with dynamic partial-order reduction + sleep sets; [`Full]` explores
+    with sleep sets only (every enabled transition is a backtracking
+    point) — slower, useful as a cross-check of the reduction.
+    [max_steps] (default 5000) bounds one run's depth (overruns are
+    reported as [Livelock]); [max_schedules] (default 1_000_000) bounds
+    the run count ([Budget_exhausted] — treat as a failure in CI). *)
+
+val explore_minimized :
+  ?mode:[ `Dpor | `Full ] ->
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  scenario ->
+  outcome
+(** {!explore}, then greedily minimize any counterexample's context
+    switches while it still reproduces, returning the violation with the
+    minimized schedule. *)
+
+val replay : ?max_steps:int -> scenario -> int list -> outcome
+(** [replay scenario plan] deterministically re-executes one schedule
+    (the [pid] sequence of a violation trace); past the plan's end it
+    extends with the explorer's default policy. [Verified] means the
+    schedule ran to completion and the final check passed; [max_steps]
+    (default 5000) turns a diverging extension into [Livelock]. Raises
+    [Invalid_argument] if the plan is not runnable. *)
+
+val minimize : ?max_steps:int -> scenario -> kind -> int list -> int list
+(** Greedy context-switch reduction of a failing plan; every kept
+    transformation replays to the same violation kind. *)
+
+val switches : int list -> int
+(** Number of context switches in a plan (adjacent unequal pids). *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+(** Render an outcome; violations include the numbered schedule, with a
+    repeating livelock tail printed once with its iteration count. *)

@@ -1,0 +1,88 @@
+(** Traced synchronization primitives for the in-tree model checker.
+
+    Structurally compatible with [Stdlib.Atomic] / [ref] /
+    [Stdlib.Mutex] / [Stdlib.Condition], so code functorized over its
+    primitives (e.g. [Velodrome_util.Squeue.Make]) runs unchanged under
+    the {!Explore} scheduler. Every operation performs the {!Op} effect;
+    outside an explorer run that effect is unhandled, so this module is
+    only usable from inside {!Explore.explore} / {!Explore.replay}
+    scenarios (including their init and final-check phases, which
+    execute ops directly). *)
+
+type access = { obj : int; write : bool }
+(** One object touched by an operation. Two operations are dependent
+    (DPOR sense) iff they touch a common object and at least one
+    writes it. *)
+
+type _ Effect.t +=
+  | Op : {
+      tag : string;  (** printable, for counterexample schedules *)
+      accesses : access list;
+      enabled : unit -> bool;
+          (** guard: blocking = disabled until another transition's
+              side effect flips this *)
+      execute : unit -> 'r;  (** run only when scheduled *)
+    }
+      -> 'r Effect.t
+
+val reset : unit -> unit
+(** Reset the object-id allocator; called by the explorer before each
+    run so ids and schedules are stable across replays. *)
+
+val op :
+  ?enabled:(unit -> bool) ->
+  tag:string ->
+  accesses:access list ->
+  (unit -> 'r) ->
+  'r
+(** Perform one traced operation. Building block for the modules below
+    and for scenario-specific helpers. *)
+
+val rd : int -> access
+val wr : int -> access
+
+module Atomic : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module Plain : sig
+  type 'a t
+
+  val make : 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+end
+
+module Mutex : sig
+  type t
+
+  val create : unit -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+end
+
+module Condition : sig
+  type t
+
+  val create : unit -> t
+
+  val wait : t -> Mutex.t -> unit
+  (** Three transitions: atomically release the mutex and record the
+      broadcast generation; park until a broadcast bumps it; reacquire.
+      Exact for broadcast-only users. *)
+
+  val broadcast : t -> unit
+end
+
+val cpu_relax : unit -> unit
+(** A pure scheduling point, independent of every other operation. *)
+
+val spin_budget : int
+(** 1 — keeps spin-then-park paths reachable at explorable depth. *)

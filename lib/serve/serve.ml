@@ -1,10 +1,11 @@
 open Velodrome_analysis
 module Squeue = Velodrome_util.Squeue
 
-(* Raw monotonic nanoseconds; serve measures queue wait and wall time,
-   both of which must survive NTP steps and multi-domain CPU-time
-   accounting (Sys.time counts every domain's cycles). *)
-let now_ns () = Monotonic_clock.now ()
+(* Raw monotonic nanoseconds (shared Mclock funnel); serve measures
+   queue wait and wall time, both of which must survive NTP steps and
+   multi-domain CPU-time accounting (Sys.time counts every domain's
+   cycles). *)
+let now_ns () = Velodrome_util.Mclock.now_ns ()
 
 type warning_view = { human : string; json : Velodrome_util.Json.t }
 

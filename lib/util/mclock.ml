@@ -1,0 +1,13 @@
+(* The one monotonic clock for the whole tree. Every timing path
+   (harness studies, the serve pool, the bench suites) must agree on a
+   clock that (a) measures wall time, not CPU time summed over domains —
+   Sys.time inflates as soon as a domain pool or the GC's own domains
+   run — and (b) never steps backwards under NTP, which rules out
+   Unix.gettimeofday. bechamel's monotonic clock (CLOCK_MONOTONIC in
+   raw nanoseconds) satisfies both; this module is the single funnel so
+   no caller links bechamel directly. *)
+
+let now_ns : unit -> int64 = Monotonic_clock.now
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let span_s t0 t1 = Int64.to_float (Int64.sub t1 t0) /. 1e9

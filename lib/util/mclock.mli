@@ -1,0 +1,18 @@
+(** Monotonic wall-clock time, shared by the harness, the serve pool and
+    the bench suites.
+
+    [Sys.time] counts CPU time summed over every running domain (a
+    4-domain pool "takes" 4x the wall time) and [Unix.gettimeofday] can
+    step backwards under NTP; both are banned from timing paths. This
+    module is the single place that touches the underlying clock. *)
+
+val now_ns : unit -> int64
+(** Raw monotonic nanoseconds (CLOCK_MONOTONIC). Only differences are
+    meaningful. *)
+
+val now_s : unit -> float
+(** [now_ns] scaled to seconds. *)
+
+val span_s : int64 -> int64 -> float
+(** [span_s t0 t1] is the elapsed seconds from [t0] to [t1], both taken
+    from {!now_ns}. *)

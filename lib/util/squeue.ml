@@ -18,195 +18,314 @@
    closes the lost-wakeup races.
 
    [close] requires the caller to have completed every push first
-   (happens-before); consumers then drain the ring and get [None]. *)
+   (happens-before); consumers then drain the ring and get [None].
+
+   The whole implementation is a functor over the synchronization
+   primitives it uses ([PRIMS]): production instantiates the Stdlib
+   modules below ([Stdlib_prims], re-exported as this module's toplevel
+   API), while the model-checking tests instantiate the traced shim from
+   [lib/modelcheck], whose operations are scheduling points of an
+   exhaustive DPOR explorer. [Plain] covers the non-atomic slot cells:
+   they are ordinary [ref]s in production, but the explorer must still
+   see their accesses as events or it could never catch a broken
+   publication order. [MUTATION] re-introduces two historical, subtle
+   bugs for the explorer's mutation gate — proof the checker has teeth —
+   and is all-[false] ([Healthy]) in the production instantiation. *)
 
 exception Closed
 
-type 'a t = {
-  mask : int;
-  seq : int Atomic.t array;
-  slots : 'a option ref array;
-  head : int Atomic.t;  (* next consumer ticket *)
-  tail : int Atomic.t;  (* next producer ticket *)
-  closed : bool Atomic.t;
-  lock : Mutex.t;
-  not_empty : Condition.t;
-  not_full : Condition.t;
-  empty_waiters : int Atomic.t;
-  full_waiters : int Atomic.t;
-}
+module type PRIMS = sig
+  module Atomic : sig
+    type 'a t
 
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Squeue.create: capacity < 1";
-  (* Minimum 2: with a single slot the ring's free/full sequence states
-     coincide and the fast path degenerates to pure contention. *)
-  let rec pow2 k = if k >= capacity then k else pow2 (k * 2) in
-  let cap = pow2 2 in
-  {
-    mask = cap - 1;
-    seq = Array.init cap (fun i -> Atomic.make i);
-    slots = Array.init cap (fun _ -> ref None);
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    closed = Atomic.make false;
-    lock = Mutex.create ();
-    not_empty = Condition.create ();
-    not_full = Condition.create ();
-    empty_waiters = Atomic.make 0;
-    full_waiters = Atomic.make 0;
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val incr : int t -> unit
+    val decr : int t -> unit
+  end
+
+  module Plain : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  module Mutex : sig
+    type t
+
+    val create : unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : unit -> t
+    val wait : t -> Mutex.t -> unit
+    val broadcast : t -> unit
+  end
+
+  val cpu_relax : unit -> unit
+  val spin_budget : int
+end
+
+module type MUTATION = sig
+  val publish_before_ticket_cas : bool
+  val skip_park_recheck : bool
+end
+
+module Healthy = struct
+  let publish_before_ticket_cas = false
+  let skip_park_recheck = false
+end
+
+module type S = sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val capacity : 'a t -> int
+  val length : 'a t -> int
+  val try_push : 'a t -> 'a -> bool
+  val try_pop : 'a t -> 'a option
+  val push : 'a t -> 'a -> unit
+  val pop : 'a t -> 'a option
+  val close : 'a t -> unit
+  val is_closed : 'a t -> bool
+end
+
+module Make_mutant (B : MUTATION) (P : PRIMS) = struct
+  module Atomic = P.Atomic
+  module Mutex = P.Mutex
+  module Condition = P.Condition
+
+  type 'a t = {
+    mask : int;
+    seq : int Atomic.t array;
+    slots : 'a option P.Plain.t array;
+    head : int Atomic.t;  (* next consumer ticket *)
+    tail : int Atomic.t;  (* next producer ticket *)
+    closed : bool Atomic.t;
+    lock : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+    empty_waiters : int Atomic.t;
+    full_waiters : int Atomic.t;
   }
 
-let capacity q = q.mask + 1
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Squeue.create: capacity < 1";
+    (* Minimum 2: with a single slot the ring's free/full sequence states
+       coincide and the fast path degenerates to pure contention. *)
+    let rec pow2 k = if k >= capacity then k else pow2 (k * 2) in
+    let cap = pow2 2 in
+    {
+      mask = cap - 1;
+      seq = Array.init cap (fun i -> Atomic.make i);
+      slots = Array.init cap (fun _ -> P.Plain.make None);
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      closed = Atomic.make false;
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      empty_waiters = Atomic.make 0;
+      full_waiters = Atomic.make 0;
+    }
 
-let length q =
-  let n = Atomic.get q.tail - Atomic.get q.head in
-  if n < 0 then 0 else if n > q.mask + 1 then q.mask + 1 else n
+  let capacity q = q.mask + 1
 
-let is_closed q = Atomic.get q.closed
+  let length q =
+    let n = Atomic.get q.tail - Atomic.get q.head in
+    if n < 0 then 0 else if n > q.mask + 1 then q.mask + 1 else n
 
-(* --- non-blocking core ------------------------------------------------------ *)
+  let is_closed q = Atomic.get q.closed
 
-let rec push_core q x =
-  let tail = Atomic.get q.tail in
-  let i = tail land q.mask in
-  let s = Atomic.get q.seq.(i) in
-  if s = tail then
-    if Atomic.compare_and_set q.tail tail (tail + 1) then begin
-      q.slots.(i) := Some x;
-      Atomic.set q.seq.(i) (tail + 1);
+  (* --- non-blocking core ---------------------------------------------------- *)
+
+  let rec push_core q x =
+    let tail = Atomic.get q.tail in
+    let i = tail land q.mask in
+    let s = Atomic.get q.seq.(i) in
+    if s = tail then
+      if B.publish_before_ticket_cas then begin
+        (* Seeded bug (mutation gate): write the payload and publish the
+           slot before the ticket CAS has established ownership. Two
+           producers that both saw [seq = tail] race on the same slot:
+           both write, one wins the ticket, and the winner's element may
+           have been overwritten by the loser — conservation fails. *)
+        P.Plain.set q.slots.(i) (Some x);
+        Atomic.set q.seq.(i) (tail + 1);
+        if Atomic.compare_and_set q.tail tail (tail + 1) then true
+        else push_core q x
+      end
+      else if Atomic.compare_and_set q.tail tail (tail + 1) then begin
+        P.Plain.set q.slots.(i) (Some x);
+        Atomic.set q.seq.(i) (tail + 1);
+        true
+      end
+      else push_core q x (* lost the ticket race; retry *)
+    else if s < tail then false (* slot still holds ticket t - capacity: full *)
+    else push_core q x (* stale tail; retry *)
+
+  let rec pop_core q =
+    let head = Atomic.get q.head in
+    let i = head land q.mask in
+    let s = Atomic.get q.seq.(i) in
+    if s = head + 1 then
+      if Atomic.compare_and_set q.head head (head + 1) then begin
+        let slot = q.slots.(i) in
+        let x = P.Plain.get slot in
+        P.Plain.set slot None;
+        Atomic.set q.seq.(i) (head + q.mask + 1);
+        match x with
+        | Some _ -> x
+        | None -> assert false (* publication order guarantees the payload *)
+      end
+      else pop_core q
+    else if s <= head then None (* no committed element at head: empty *)
+    else pop_core q
+
+  (* --- wakeups -------------------------------------------------------------- *)
+
+  (* Only producers/consumers that might have a parked peer take the lock;
+     the waiter counts are bumped under the lock and re-checked before
+     waiting, so a signal can never slip between check and sleep. *)
+  let signal q waiters cond =
+    if Atomic.get waiters > 0 then begin
+      Mutex.lock q.lock;
+      Condition.broadcast cond;
+      Mutex.unlock q.lock
+    end
+
+  let try_push q x =
+    if Atomic.get q.closed then raise Closed;
+    if push_core q x then begin
+      signal q q.empty_waiters q.not_empty;
       true
     end
-    else push_core q x (* lost the ticket race; retry *)
-  else if s < tail then false (* slot still holds ticket t - capacity: full *)
-  else push_core q x (* stale tail; retry *)
+    else false
 
-let rec pop_core q =
-  let head = Atomic.get q.head in
-  let i = head land q.mask in
-  let s = Atomic.get q.seq.(i) in
-  if s = head + 1 then
-    if Atomic.compare_and_set q.head head (head + 1) then begin
-      let slot = q.slots.(i) in
-      let x = !slot in
-      slot := None;
-      Atomic.set q.seq.(i) (head + q.mask + 1);
-      match x with
-      | Some _ -> x
-      | None -> assert false (* publication order guarantees the payload *)
-    end
-    else pop_core q
-  else if s <= head then None (* no committed element at head: empty *)
-  else pop_core q
-
-(* --- wakeups ---------------------------------------------------------------- *)
-
-(* Only producers/consumers that might have a parked peer take the lock;
-   the waiter counts are bumped under the lock and re-checked before
-   waiting, so a signal can never slip between check and sleep. *)
-let signal q waiters cond =
-  if Atomic.get waiters > 0 then begin
-    Mutex.lock q.lock;
-    Condition.broadcast cond;
-    Mutex.unlock q.lock
-  end
-
-let try_push q x =
-  if Atomic.get q.closed then raise Closed;
-  if push_core q x then begin
-    signal q q.empty_waiters q.not_empty;
-    true
-  end
-  else false
-
-let try_pop q =
-  match pop_core q with
-  | Some _ as r ->
-    signal q q.full_waiters q.not_full;
-    r
-  | None -> None
-
-(* --- blocking paths --------------------------------------------------------- *)
-
-let spin_budget = 64
-
-let push q x =
-  let rec park () =
-    Mutex.lock q.lock;
-    Atomic.incr q.full_waiters;
-    let rec wait () =
-      if Atomic.get q.closed then begin
-        Atomic.decr q.full_waiters;
-        Mutex.unlock q.lock;
-        raise Closed
-      end
-      else if push_core q x then begin
-        Atomic.decr q.full_waiters;
-        Mutex.unlock q.lock
-      end
-      else begin
-        Condition.wait q.not_full q.lock;
-        wait ()
-      end
-    in
-    wait ()
-  and attempt spins =
-    if Atomic.get q.closed then raise Closed;
-    if push_core q x then ()
-    else if spins > 0 then begin
-      Domain.cpu_relax ();
-      attempt (spins - 1)
-    end
-    else park ()
-  in
-  attempt spin_budget;
-  signal q q.empty_waiters q.not_empty
-
-let pop q =
-  let rec park () =
-    Mutex.lock q.lock;
-    Atomic.incr q.empty_waiters;
-    let rec wait () =
-      match pop_core q with
-      | Some _ as r ->
-        Atomic.decr q.empty_waiters;
-        Mutex.unlock q.lock;
-        signal q q.full_waiters q.not_full;
-        r
-      | None ->
-        if Atomic.get q.closed then begin
-          Atomic.decr q.empty_waiters;
-          Mutex.unlock q.lock;
-          None
-        end
-        else begin
-          Condition.wait q.not_empty q.lock;
-          wait ()
-        end
-    in
-    wait ()
-  and attempt spins =
+  let try_pop q =
     match pop_core q with
     | Some _ as r ->
       signal q q.full_waiters q.not_full;
       r
-    | None ->
-      if Atomic.get q.closed then
-        match pop_core q with (* drain: pushes happen-before close *)
-        | Some _ as r ->
-          signal q q.full_waiters q.not_full;
-          r
-        | None -> None
+    | None -> None
+
+  (* --- blocking paths ------------------------------------------------------- *)
+
+  let push q x =
+    let rec park () =
+      Mutex.lock q.lock;
+      Atomic.incr q.full_waiters;
+      let rec wait first =
+        if Atomic.get q.closed then begin
+          Atomic.decr q.full_waiters;
+          Mutex.unlock q.lock;
+          raise Closed
+        end
+        else if
+          (* Seeded bug (mutation gate): skip the re-check between
+             registering as a waiter and sleeping. A peer that signalled
+             before the waiter count was incremented is then never
+             re-observed — the classic lost wakeup. *)
+          (not (first && B.skip_park_recheck)) && push_core q x
+        then begin
+          Atomic.decr q.full_waiters;
+          Mutex.unlock q.lock
+        end
+        else begin
+          Condition.wait q.not_full q.lock;
+          wait false
+        end
+      in
+      wait true
+    and attempt spins =
+      if Atomic.get q.closed then raise Closed;
+      if push_core q x then ()
       else if spins > 0 then begin
-        Domain.cpu_relax ();
+        P.cpu_relax ();
         attempt (spins - 1)
       end
       else park ()
-  in
-  attempt spin_budget
+    in
+    attempt P.spin_budget;
+    signal q q.empty_waiters q.not_empty
 
-let close q =
-  Atomic.set q.closed true;
-  Mutex.lock q.lock;
-  Condition.broadcast q.not_empty;
-  Condition.broadcast q.not_full;
-  Mutex.unlock q.lock
+  let pop q =
+    let rec park () =
+      Mutex.lock q.lock;
+      Atomic.incr q.empty_waiters;
+      let rec wait () =
+        match pop_core q with
+        | Some _ as r ->
+          Atomic.decr q.empty_waiters;
+          Mutex.unlock q.lock;
+          signal q q.full_waiters q.not_full;
+          r
+        | None ->
+          if Atomic.get q.closed then begin
+            Atomic.decr q.empty_waiters;
+            Mutex.unlock q.lock;
+            None
+          end
+          else begin
+            Condition.wait q.not_empty q.lock;
+            wait ()
+          end
+      in
+      wait ()
+    and attempt spins =
+      match pop_core q with
+      | Some _ as r ->
+        signal q q.full_waiters q.not_full;
+        r
+      | None ->
+        if Atomic.get q.closed then
+          match pop_core q with (* drain: pushes happen-before close *)
+          | Some _ as r ->
+            signal q q.full_waiters q.not_full;
+            r
+          | None -> None
+        else if spins > 0 then begin
+          P.cpu_relax ();
+          attempt (spins - 1)
+        end
+        else park ()
+    in
+    attempt P.spin_budget
+
+  let close q =
+    Atomic.set q.closed true;
+    Mutex.lock q.lock;
+    Condition.broadcast q.not_empty;
+    Condition.broadcast q.not_full;
+    Mutex.unlock q.lock
+end
+
+module Make (P : PRIMS) = Make_mutant (Healthy) (P)
+
+module Stdlib_prims = struct
+  module Atomic = Stdlib.Atomic
+
+  module Plain = struct
+    type 'a t = 'a ref
+
+    let make v = ref v
+    let get r = !r
+    let set r v = r := v
+  end
+
+  module Mutex = Stdlib.Mutex
+  module Condition = Stdlib.Condition
+
+  let cpu_relax = Domain.cpu_relax
+  let spin_budget = 64
+end
+
+include Make (Stdlib_prims)

@@ -18,47 +18,157 @@
     then receive [None], which is how the serve domain pool shuts its
     workers down.
 
+    The implementation is a functor, {!Make}, over the synchronization
+    primitives it uses ({!PRIMS}): atomics, the plain (non-atomic) slot
+    cells, the mutex/condition parking pair, [cpu_relax] and the spin
+    budget. The toplevel API of this module is [Make (Stdlib_prims)] —
+    bare [Stdlib.Atomic]/[ref]/[Mutex]/[Condition], the production
+    instantiation with no indirection beyond the functor call. The
+    model-checking tests instantiate the same functor with the traced
+    shim from [lib/modelcheck], making every primitive operation a
+    scheduling point of an exhaustive DPOR explorer; see
+    [test/mc_scenarios.ml] and DESIGN "Model-checked concurrency".
+
     Determinism notes for testing: with a single domain, {!try_push} and
     {!try_pop} are ordinary deterministic functions (the model tests
     replay them against a reference FIFO); all concurrency lives in the
-    multi-domain stress tests. *)
-
-type 'a t
-
-val create : capacity:int -> 'a t
-(** [create ~capacity] makes an empty queue holding at most [capacity]
-    elements (rounded up to a power of two, minimum 2). Raises
-    [Invalid_argument] when [capacity < 1]. *)
-
-val capacity : 'a t -> int
-(** The actual (rounded) capacity. *)
-
-val length : 'a t -> int
-(** A snapshot of the number of elements currently queued. Exact when no
-    other domain is mid-operation; otherwise a transient approximation
-    in [0, capacity]. *)
-
-val try_push : 'a t -> 'a -> bool
-(** Non-blocking push: [false] when the queue is full. Raises [Closed]
-    when the queue has been closed. *)
-
-val try_pop : 'a t -> 'a option
-(** Non-blocking pop: [None] when the queue is empty (closed or not). *)
-
-val push : 'a t -> 'a -> unit
-(** Blocking push: waits (bounded spin, then sleeps) while the queue is
-    full. Raises [Closed] when the queue has been closed. *)
-
-val pop : 'a t -> 'a option
-(** Blocking pop: waits while the queue is empty, returns [Some x] for
-    the next element, or [None] once the queue is closed {e and}
-    drained. *)
-
-val close : 'a t -> unit
-(** Closes the queue: subsequent pushes raise [Closed]; queued elements
-    remain poppable; blocked consumers wake up and return [None] once
-    the queue is empty. Idempotent. *)
-
-val is_closed : 'a t -> bool
+    multi-domain stress tests and the model-checked scenarios. *)
 
 exception Closed
+
+(** The queue API, shared by every instantiation. *)
+module type S = sig
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** [create ~capacity] makes an empty queue holding at most [capacity]
+      elements (rounded up to a power of two, minimum 2). Raises
+      [Invalid_argument] when [capacity < 1]. *)
+
+  val capacity : 'a t -> int
+  (** The actual (rounded) capacity. *)
+
+  val length : 'a t -> int
+  (** A snapshot of the number of elements currently queued. Exact when
+      no other domain is mid-operation; otherwise a transient
+      approximation in [0, capacity]. *)
+
+  val try_push : 'a t -> 'a -> bool
+  (** Non-blocking push: [false] when the queue is full. Raises [Closed]
+      when the queue has been closed. *)
+
+  val try_pop : 'a t -> 'a option
+  (** Non-blocking pop: [None] when the queue is empty (closed or
+      not). *)
+
+  val push : 'a t -> 'a -> unit
+  (** Blocking push: waits (bounded spin, then sleeps) while the queue
+      is full. Raises [Closed] when the queue has been closed. *)
+
+  val pop : 'a t -> 'a option
+  (** Blocking pop: waits while the queue is empty, returns [Some x] for
+      the next element, or [None] once the queue is closed {e and}
+      drained. *)
+
+  val close : 'a t -> unit
+  (** Closes the queue: subsequent pushes raise [Closed]; queued
+      elements remain poppable; blocked consumers wake up and return
+      [None] once the queue is empty. Idempotent. *)
+
+  val is_closed : 'a t -> bool
+end
+
+(** The synchronization primitives the queue is built from. Production
+    code uses {!Stdlib_prims}; the model checker supplies traced
+    equivalents whose every operation is a scheduling point. *)
+module type PRIMS = sig
+  module Atomic : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+    val compare_and_set : 'a t -> 'a -> 'a -> bool
+    val incr : int t -> unit
+    val decr : int t -> unit
+  end
+
+  module Plain : sig
+    type 'a t
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+  (** Non-atomic cells (the payload slots). Plain [ref]s in production;
+      the model checker must still trace their accesses, or a broken
+      publication order could never be caught. *)
+
+  module Mutex : sig
+    type t
+
+    val create : unit -> t
+    val lock : t -> unit
+    val unlock : t -> unit
+  end
+
+  module Condition : sig
+    type t
+
+    val create : unit -> t
+    val wait : t -> Mutex.t -> unit
+    val broadcast : t -> unit
+  end
+
+  val cpu_relax : unit -> unit
+
+  val spin_budget : int
+  (** Fast-path spins before parking. 64 in production; the model
+      checker uses 1 so every blocking path stays within an
+      exhaustively explorable depth. *)
+end
+
+(** Seeded-bug switches for the model checker's mutation gate: each
+    [true] re-introduces a known-subtle concurrency bug, and the test
+    suite asserts the explorer prints a counterexample schedule for it.
+    Production code is {!Make}, which is [Make_mutant] over
+    {!Healthy}. *)
+module type MUTATION = sig
+  val publish_before_ticket_cas : bool
+  (** Write the payload and publish the slot sequence {e before} the
+      ticket CAS establishes ownership: racing producers overwrite each
+      other's elements (conservation violation). *)
+
+  val skip_park_recheck : bool
+  (** Skip the retry between registering as a waiter and sleeping on the
+      condition: a signal sent just before registration is never
+      re-observed (lost wakeup — deadlock). *)
+end
+
+module Healthy : MUTATION
+
+module Make_mutant (_ : MUTATION) (P : PRIMS) : S
+module Make (P : PRIMS) : S
+
+(** The production primitives: [Stdlib.Atomic], bare [ref]s,
+    [Stdlib.Mutex]/[Condition], [Domain.cpu_relax], spin budget 64. *)
+module Stdlib_prims : sig
+  module Atomic = Stdlib.Atomic
+
+  module Plain : sig
+    type 'a t = 'a ref
+
+    val make : 'a -> 'a t
+    val get : 'a t -> 'a
+    val set : 'a t -> 'a -> unit
+  end
+
+  module Mutex = Stdlib.Mutex
+  module Condition = Stdlib.Condition
+
+  val cpu_relax : unit -> unit
+  val spin_budget : int
+end
+
+include S
+(** The toplevel queue: [Make (Stdlib_prims)]. *)

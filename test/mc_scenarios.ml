@@ -1,0 +1,267 @@
+(* The model-checked squeue scenario library.
+
+   [Squeue.Make] is instantiated with the traced shim from
+   lib/modelcheck, so every atomic access, slot access, mutex/condition
+   operation and spin of the *production* queue source becomes a
+   scheduling point of the DPOR explorer. Five scenarios cover the
+   guarantees the serve pool leans on, at the small bounds DESIGN
+   "Model-checked concurrency" documents; the [Overwrite]/[Lost_wakeup]
+   instantiations re-introduce the two seeded bugs behind
+   [Squeue.Make_mutant] for the mutation gate — the test that proves the
+   explorer actually finds concurrency bugs in this code shape.
+
+   Shared by the alcotest suite (test_modelcheck.ml) and the CI runner
+   (mc_run.ml). *)
+
+module Explore = Velodrome_modelcheck.Explore
+module Shim = Velodrome_modelcheck.Shim
+module Squeue = Velodrome_util.Squeue
+
+(* The traced instantiation of the queue's PRIMS: structurally the same
+   API as Stdlib_prims, every operation an explorer scheduling point,
+   spin budget 1 so the spin-then-park paths stay at explorable depth. *)
+module Model_prims = struct
+  module Atomic = Shim.Atomic
+  module Plain = Shim.Plain
+  module Mutex = Shim.Mutex
+  module Condition = Shim.Condition
+
+  let cpu_relax = Shim.cpu_relax
+  let spin_budget = Shim.spin_budget
+end
+
+let require = Explore.require
+let ints xs = String.concat ";" (List.map string_of_int xs)
+
+(* The scenarios, generic in the queue implementation so the same five
+   run against the healthy queue and against each seeded mutant. *)
+module Scenarios (Q : Squeue.S) = struct
+  (* Two producers, one consumer, capacity 1 (rounded to the 2-slot
+     minimum): conservation (no element lost or duplicated) and
+     per-producer FIFO — P0's 1 must be consumed before P0's 2. *)
+  let mpsc_conservation =
+    {
+      Explore.name = "squeue-2p1c-conservation";
+      init =
+        (fun () ->
+          let q : int Q.t = Q.create ~capacity:1 in
+          let popped = ref [] in
+          let producer xs () = List.iter (fun x -> Q.push q x) xs in
+          let consumer n () =
+            for _ = 1 to n do
+              match Q.pop q with
+              | Some x -> popped := x :: !popped
+              | None -> require false "pop returned None on an open queue"
+            done
+          in
+          let check () =
+            let got = List.rev !popped in
+            require
+              (List.sort compare got = [ 1; 2; 101 ])
+              (Printf.sprintf "conservation broken: consumed [%s]" (ints got));
+            let pos x =
+              let rec go i = function
+                | [] -> max_int
+                | y :: _ when y = x -> i
+                | _ :: tl -> go (i + 1) tl
+              in
+              go 0 got
+            in
+            require (pos 1 < pos 2)
+              (Printf.sprintf "per-producer FIFO broken: consumed [%s]"
+                 (ints got))
+          in
+          ([ producer [ 1; 2 ]; producer [ 101 ]; consumer 3 ], check));
+    }
+
+  (* One producer, two consumers, capacity 1: conservation, and within
+     each consumer the producer's elements arrive in push order. *)
+  let spmc_fifo =
+    {
+      Explore.name = "squeue-1p2c-fifo";
+      init =
+        (fun () ->
+          let q : int Q.t = Q.create ~capacity:1 in
+          let taken = [| []; [] |] in
+          let producer () = List.iter (fun x -> Q.push q x) [ 1; 2; 3 ] in
+          let consumer slot n () =
+            for _ = 1 to n do
+              match Q.pop q with
+              | Some x -> taken.(slot) <- x :: taken.(slot)
+              | None -> require false "pop returned None on an open queue"
+            done
+          in
+          let check () =
+            let c0 = List.rev taken.(0) and c1 = List.rev taken.(1) in
+            require
+              (List.sort compare (c0 @ c1) = [ 1; 2; 3 ])
+              (Printf.sprintf "conservation broken: [%s] and [%s]" (ints c0)
+                 (ints c1));
+            let increasing l =
+              let rec go = function
+                | a :: (b :: _ as tl) -> a < b && go tl
+                | _ -> true
+              in
+              go l
+            in
+            require
+              (increasing c0 && increasing c1)
+              (Printf.sprintf "FIFO broken within a consumer: [%s] / [%s]"
+                 (ints c0) (ints c1))
+          in
+          ([ producer; consumer 0 2; consumer 1 1 ], check));
+    }
+
+  (* Close-and-drain: the producer closes after its push; both consumers
+     loop until [None] and must between them drain the element exactly
+     once — and must terminate (a consumer parked on the empty queue has
+     to be woken by close). One element keeps two draining consumers at
+     an exhaustively explorable bound; the two-element drain is covered
+     (at one consumer) by the stress tests in test_squeue.ml. *)
+  let close_drain =
+    {
+      Explore.name = "squeue-close-drain";
+      init =
+        (fun () ->
+          let q : int Q.t = Q.create ~capacity:2 in
+          let taken = [| []; [] |] in
+          let producer () =
+            Q.push q 1;
+            Q.close q
+          in
+          let consumer slot () =
+            let rec loop () =
+              match Q.pop q with
+              | Some x ->
+                taken.(slot) <- x :: taken.(slot);
+                loop ()
+              | None -> ()
+            in
+            loop ()
+          in
+          let check () =
+            let all = List.sort compare (taken.(0) @ taken.(1)) in
+            require
+              (all = [ 1 ])
+              (Printf.sprintf "close-and-drain lost or duplicated: [%s]"
+                 (ints all))
+          in
+          ([ producer; consumer 0; consumer 1 ], check));
+    }
+
+  (* The spin-then-park protocol, both sides: capacity 1 (2 slots) and
+     three pushes force the producer through full-queue parking in some
+     schedules; the consumer parks on empty in others. No lost wakeup
+     may deadlock either side, and SPSC order must be exact. *)
+  let park_wakeup =
+    {
+      Explore.name = "squeue-park-wakeup";
+      init =
+        (fun () ->
+          let q : int Q.t = Q.create ~capacity:1 in
+          let popped = ref [] in
+          let producer () = List.iter (fun x -> Q.push q x) [ 1; 2; 3 ] in
+          let consumer () =
+            for _ = 1 to 3 do
+              match Q.pop q with
+              | Some x -> popped := x :: !popped
+              | None -> require false "pop returned None on an open queue"
+            done
+          in
+          let check () =
+            require
+              (List.rev !popped = [ 1; 2; 3 ])
+              (Printf.sprintf "SPSC order broken: [%s]" (ints (List.rev !popped)))
+          in
+          ([ producer; consumer ], check));
+    }
+
+  (* The non-blocking fast paths racing each other: try_push into a
+     full ring and try_pop from an empty one must fail cleanly, and
+     whatever was accepted must come out exactly once, in order. *)
+  let try_races =
+    {
+      Explore.name = "squeue-try-races";
+      init =
+        (fun () ->
+          let q : int Q.t = Q.create ~capacity:1 in
+          let accepted = ref [] in
+          let popped = ref [] in
+          let producer () =
+            List.iter
+              (fun x -> if Q.try_push q x then accepted := x :: !accepted)
+              [ 1; 2; 3 ]
+          in
+          let consumer () =
+            for _ = 1 to 3 do
+              match Q.try_pop q with
+              | Some x -> popped := x :: !popped
+              | None -> ()
+            done
+          in
+          let check () =
+            let rec drain acc =
+              match Q.try_pop q with
+              | Some x -> drain (x :: acc)
+              | None -> List.rev acc
+            in
+            let rest = drain [] in
+            let acc = List.rev !accepted and out = List.rev !popped in
+            require
+              (List.sort compare acc = List.sort compare (out @ rest))
+              (Printf.sprintf
+                 "try conservation broken: accepted [%s], popped [%s], left \
+                  [%s]"
+                 (ints acc) (ints out) (ints rest));
+            let rec increasing = function
+              | a :: (b :: _ as tl) -> a < b && increasing tl
+              | _ -> true
+            in
+            require
+              (increasing (out @ rest))
+              (Printf.sprintf "try FIFO broken: popped [%s], left [%s]"
+                 (ints out) (ints rest))
+          in
+          ([ producer; consumer ], check));
+    }
+
+  let all =
+    [ mpsc_conservation; spmc_fifo; close_drain; park_wakeup; try_races ]
+end
+
+module Healthy_queue = Squeue.Make (Model_prims)
+module Healthy = Scenarios (Healthy_queue)
+
+(* Seeded bug 1: payload published before the ticket CAS establishes
+   slot ownership — racing producers overwrite each other. The 2p1c
+   conservation scenario must flag it. *)
+module Overwrite_queue =
+  Squeue.Make_mutant
+    (struct
+      let publish_before_ticket_cas = true
+      let skip_park_recheck = false
+    end)
+    (Model_prims)
+
+module Overwrite = Scenarios (Overwrite_queue)
+
+(* Seeded bug 2: the waiter-count recheck between registering and
+   sleeping is skipped — the classic lost wakeup. The park scenario must
+   deadlock under some schedule. *)
+module Lost_wakeup_queue =
+  Squeue.Make_mutant
+    (struct
+      let publish_before_ticket_cas = false
+      let skip_park_recheck = true
+    end)
+    (Model_prims)
+
+module Lost_wakeup = Scenarios (Lost_wakeup_queue)
+
+let healthy = List.map (fun s -> s.Explore.name, s) Healthy.all
+
+let mutants =
+  [
+    ("mutant-publish-before-ticket-cas", Overwrite.mpsc_conservation);
+    ("mutant-skip-park-recheck", Lost_wakeup.park_wakeup);
+  ]

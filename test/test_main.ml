@@ -15,6 +15,7 @@ let () =
       Test_backends.suite;
       Test_squeue.suite;
       Test_serve.suite;
+      Test_modelcheck.suite;
       Regressions.suite;
       Test_workloads.suite;
       Test_inject.suite;

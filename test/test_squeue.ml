@@ -61,6 +61,34 @@ let test_close () =
   check bool "closed+empty" true (Squeue.pop q = None);
   check bool "stays None" true (Squeue.try_pop q = None)
 
+(* The capacity-1 queue (rounded to the 2-slot ring minimum): every
+   pair of pushes hits the full boundary, every pair of pops the empty
+   one, and the ring wraps on every second element — the tightest
+   exercise of the slot sequence-number life cycle. *)
+let test_capacity_one () =
+  let q = Squeue.create ~capacity:1 in
+  check int "rounds to the 2-slot minimum" 2 (Squeue.capacity q);
+  for round = 0 to 9 do
+    let a = 2 * round and b = (2 * round) + 1 in
+    check bool "push into empty" true (Squeue.try_push q a);
+    check bool "push into last slot" true (Squeue.try_push q b);
+    check bool "push into full" false (Squeue.try_push q 999);
+    check int "full length" 2 (Squeue.length q);
+    check bool "pop first" true (Squeue.try_pop q = Some a);
+    check bool "push while half-full" true (Squeue.try_push q (1000 + round));
+    check bool "pop second" true (Squeue.try_pop q = Some b);
+    check bool "pop third" true (Squeue.try_pop q = Some (1000 + round));
+    check bool "pop from empty" true (Squeue.try_pop q = None)
+  done;
+  (* The same boundaries after close: drain, then None forever. *)
+  assert (Squeue.try_push q (-1));
+  Squeue.close q;
+  Alcotest.check_raises "push after close" Squeue.Closed (fun () ->
+      ignore (Squeue.try_push q (-2)));
+  check bool "drains the last element" true (Squeue.pop q = Some (-1));
+  check bool "pop on closed empty" true (Squeue.pop q = None);
+  check bool "try_pop on closed empty" true (Squeue.try_pop q = None)
+
 (* Seeded random sequences of try_push/try_pop/length against a
    reference FIFO. Single-domain, so the queue must agree exactly. *)
 let test_model () =
@@ -182,6 +210,55 @@ let test_stress () =
   stress ~seed:(seed + 2) ~producers:1 ~consumers:4 ~per_producer:2000
     ~capacity:4 ()
 
+(* Close-and-drain under multi-domain contention: the coordinator joins
+   the producers and closes while the consumers are still draining a
+   tiny ring (and parking whenever it momentarily empties). Every
+   produced element must still be delivered exactly once, every consumer
+   must terminate with [None], and a producer arriving after the close
+   must be refused immediately. Replay with SQUEUE_SEED=n. *)
+let test_close_drain_contention () =
+  let seed =
+    match Sys.getenv_opt "SQUEUE_SEED" with
+    | Some s -> int_of_string s
+    | None -> 42
+  in
+  Printf.printf "squeue close-drain: seed %d (replay with SQUEUE_SEED=%d)\n%!"
+    seed seed;
+  for round = 0 to 4 do
+    let producers = 2 and consumers = 3 and per_producer = 200 in
+    let q = Squeue.create ~capacity:1 in
+    let producer p () =
+      let rng = Velodrome_util.Rng.create (seed + (31 * round) + (7 * p)) in
+      for s = 0 to per_producer - 1 do
+        Squeue.push q (p, s);
+        if Velodrome_util.Rng.int rng 4 = 0 then Domain.cpu_relax ()
+      done
+    in
+    let consumer () =
+      let rec loop acc =
+        match Squeue.pop q with Some x -> loop (x :: acc) | None -> acc
+      in
+      loop []
+    in
+    let cds = Array.init consumers (fun _ -> Domain.spawn consumer) in
+    let pds = Array.init producers (fun p -> Domain.spawn (producer p)) in
+    Array.iter Domain.join pds;
+    Squeue.close q;
+    Alcotest.check_raises "push after close refused" Squeue.Closed (fun () ->
+        Squeue.push q (99, 99));
+    let consumed = Array.to_list cds |> List.concat_map Domain.join in
+    check int "close-and-drain conservation (count)"
+      (producers * per_producer)
+      (List.length consumed);
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun (p, s) ->
+        if Hashtbl.mem seen (p, s) then
+          Alcotest.failf "element (%d,%d) delivered twice" p s;
+        Hashtbl.add seen (p, s) ())
+      consumed
+  done
+
 (* Consumers parked on an empty queue must wake on close. *)
 let test_close_wakes_consumers () =
   let q : int Squeue.t = Squeue.create ~capacity:2 in
@@ -201,8 +278,11 @@ let suite =
       Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
       Alcotest.test_case "fifo basics + ring wrap" `Quick test_fifo_basics;
       Alcotest.test_case "close semantics" `Quick test_close;
+      Alcotest.test_case "capacity-1 boundaries" `Quick test_capacity_one;
       Alcotest.test_case "single-domain model" `Quick test_model;
       Alcotest.test_case "multi-domain stress" `Quick test_stress;
+      Alcotest.test_case "close-and-drain under contention" `Quick
+        test_close_drain_contention;
       Alcotest.test_case "close wakes parked consumers" `Quick
         test_close_wakes_consumers;
     ] )

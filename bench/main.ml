@@ -617,8 +617,15 @@ type statics_row = {
   unknown : int;
   proved_global : int;  (** under the legacy whole-variable guard rule *)
   races : int;  (** static race pairs (pairwise rule) *)
+  dead_sites : int;  (** sites the value analysis proves unreachable *)
+  race_pair_delta : int;
+      (** race pairs the value analysis removes vs a values-off run *)
+  proved_values_delta : int;
+      (** blocks proved only because of the value analysis *)
   analysis_ms : float;
       (** wall time of one full static analysis, monotonic clock *)
+  values_analysis_ms : float;
+      (** wall time of the value analysis alone, monotonic clock *)
   events_total : int;
   events_suppressed : int;
   events_suppressed_lipton : int;
@@ -630,6 +637,8 @@ type statics_row = {
   suppressed_pct_global : float;
   unfiltered_sec : float;
   filtered_sec : float;
+  events_per_sec : float;
+      (** filtered-engine throughput — the baseline diff's second gate *)
   speedup : float;
   warnings_identical : bool;
 }
@@ -659,8 +668,13 @@ let statics_bench ~repeats ~size ~size_name fixture =
   let st_global =
     Statics.analyze ~rule:Velodrome_statics.Movers.Global_guard program
   in
+  let st_novalues = Statics.analyze ~values:false program in
   let analysis_ms =
     time_ms_best ~repeats (fun () -> ignore (Statics.analyze program))
+  in
+  let values_analysis_ms =
+    time_ms_best ~repeats (fun () ->
+        ignore (Velodrome_statics.Values.analyze program))
   in
   let filter_of ?lipton_only st b =
     let proved, suppress_var = Statics.filter_predicates ?lipton_only st in
@@ -716,7 +730,13 @@ let statics_bench ~repeats ~size ~size_name fixture =
     unknown = Statics.unknown_count st;
     proved_global = Statics.proved_count st_global;
     races = Statics.race_pair_count st;
+    dead_sites = Statics.dead_site_count st;
+    race_pair_delta =
+      Statics.race_pair_count st_novalues - Statics.race_pair_count st;
+    proved_values_delta =
+      Statics.proved_count st - Statics.proved_count st_novalues;
     analysis_ms;
+    values_analysis_ms;
     events_total;
     events_suppressed = suppressed;
     events_suppressed_lipton = suppressed_lipton;
@@ -726,6 +746,9 @@ let statics_bench ~repeats ~size ~size_name fixture =
     suppressed_pct_global = pct suppressed_global;
     unfiltered_sec;
     filtered_sec;
+    events_per_sec =
+      (if filtered_sec > 0. then float_of_int events_total /. filtered_sec
+       else 0.);
     speedup = (if filtered_sec > 0. then unfiltered_sec /. filtered_sec else 1.);
     warnings_identical;
   }
@@ -745,7 +768,11 @@ let statics_row_json r =
       ("proved_global", Int r.proved_global);
       ("proved_delta", Int (r.proved - r.proved_global));
       ("races", Int r.races);
+      ("dead_sites", Int r.dead_sites);
+      ("race_pair_delta", Int r.race_pair_delta);
+      ("proved_values_delta", Int r.proved_values_delta);
       ("analysis_ms", Float r.analysis_ms);
+      ("values_analysis_ms", Float r.values_analysis_ms);
       ("events_total", Int r.events_total);
       ("events_suppressed", Int r.events_suppressed);
       ("events_suppressed_lipton", Int r.events_suppressed_lipton);
@@ -755,13 +782,14 @@ let statics_row_json r =
       ("suppressed_pct_global", Float r.suppressed_pct_global);
       ("unfiltered_sec", Float r.unfiltered_sec);
       ("filtered_sec", Float r.filtered_sec);
+      ("events_per_sec", Float r.events_per_sec);
       ("speedup", Float r.speedup);
       ("warnings_identical", Bool r.warnings_identical);
     ]
 
 let run_statics_benches ~smoke =
   let fixtures =
-    [ "multiset"; "jbb"; "mtrt"; "raja"; "handoff"; "snapshot" ]
+    [ "multiset"; "jbb"; "mtrt"; "raja"; "handoff"; "snapshot"; "dispatch" ]
   in
   let rows =
     if smoke then
@@ -773,18 +801,21 @@ let run_statics_benches ~smoke =
         (statics_bench ~repeats:3 ~size:Workload.Medium ~size_name:"medium")
         fixtures
   in
-  Printf.printf "%-12s %-7s %7s %9s %11s %6s %9s %9s %7s %7s %8s %9s %10s\n"
-    "fixture" "size" "blocks" "lip/cf" "prv/global" "races" "anls-ms"
-    "events" "supp-%" "lip-%" "glob-%" "speedup" "warn-same";
+  Printf.printf
+    "%-12s %-7s %7s %9s %11s %6s %6s %7s %9s %9s %9s %7s %7s %8s %9s %10s\n"
+    "fixture" "size" "blocks" "lip/cf" "prv/global" "races" "dead"
+    "vals-d" "anls-ms" "vals-ms" "events" "supp-%" "lip-%" "glob-%"
+    "speedup" "warn-same";
   List.iter
     (fun r ->
       Printf.printf
-        "%-12s %-7s %7d %5d/%3d %7d/%3d %6d %9.2f %9d %6.1f%% %6.1f%% \
-         %7.1f%% %8.2fx %10b\n"
+        "%-12s %-7s %7d %5d/%3d %7d/%3d %6d %6d %3d/%3d %9.2f %9.2f %9d \
+         %6.1f%% %6.1f%% %7.1f%% %8.2fx %10b\n"
         r.s_fixture r.s_size r.blocks r.proved_lipton r.proved_cycle_free
-        r.proved r.proved_global r.races r.analysis_ms r.events_total
-        r.suppressed_pct r.suppressed_pct_lipton r.suppressed_pct_global
-        r.speedup r.warnings_identical)
+        r.proved r.proved_global r.races r.dead_sites r.race_pair_delta
+        r.proved_values_delta r.analysis_ms r.values_analysis_ms
+        r.events_total r.suppressed_pct r.suppressed_pct_lipton
+        r.suppressed_pct_global r.speedup r.warnings_identical)
     rows;
   let oc = open_out "BENCH_statics.json" in
   Fun.protect

@@ -54,7 +54,11 @@ let schema = function
       ("proved_global", I);
       ("proved_delta", I);
       ("races", I);
+      ("dead_sites", I);
+      ("race_pair_delta", I);
+      ("proved_values_delta", I);
       ("analysis_ms", N);
+      ("values_analysis_ms", N);
       ("events_total", I);
       ("events_suppressed", I);
       ("events_suppressed_lipton", I);
@@ -64,6 +68,7 @@ let schema = function
       ("suppressed_pct_global", N);
       ("unfiltered_sec", N);
       ("filtered_sec", N);
+      ("events_per_sec", N);
       ("speedup", N);
       ("warnings_identical", B);
     ]
@@ -309,7 +314,20 @@ let check_analyze_doc ctx v =
       "unknown";
       "race_pairs";
       "racy_vars";
+      "dead_sites";
+      "dead_branches";
     ];
+  (match List.assoc_opt "values" f with
+  | None | Some Json.Null -> ()
+  | Some v ->
+    let ctx = ctx ^ ".values" in
+    let vf = obj_fields ctx v in
+    (match get ctx vf "facts" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "facts is not an array");
+    match get ctx vf "dead_branches" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "dead_branches is not an array");
   (match List.assoc_opt "gate" f with
   | None -> ()
   | Some g ->
@@ -323,9 +341,12 @@ let check_analyze_doc ctx v =
     (match get ctx gf "uncovered_blames" with
     | Json.List _ -> ()
     | _ -> fail ctx "uncovered_blames is not an array");
-    match get ctx gf "uncovered_races" with
+    (match get ctx gf "uncovered_races" with
     | Json.List _ -> ()
     | _ -> fail ctx "uncovered_races is not an array");
+    match get ctx gf "value_violations" with
+    | Json.List _ -> ()
+    | _ -> fail ctx "value_violations is not an array");
   match List.assoc_opt "races" f with
   | None -> ()
   | Some r -> check_races_doc (ctx ^ ".races") r
@@ -432,6 +453,102 @@ let check_report ~file kind doc =
     check_doc file doc;
     Printf.printf "%s: 1 %s document ok\n" file kind
 
+(* --- baseline diff (--baseline) -------------------------------------------- *)
+
+(* The first slice of the continuous-bench item: diff a freshly
+   regenerated BENCH_statics.json against the committed baseline and
+   fail when the static pre-pass got markedly slower — more than 15%
+   on the analysis wall time or on the filtered-engine throughput.
+   Rows are matched on (fixture, size); fixtures present only on one
+   side (a new workload, a retired one) are reported and skipped, so
+   adding a fixture never requires a flag day. *)
+let regression_threshold = 0.15
+
+let load_rows file =
+  let contents =
+    try In_channel.with_open_bin file In_channel.input_all
+    with Sys_error msg -> failwith msg
+  in
+  match Json.of_string contents with
+  | Error msg -> failwith (Printf.sprintf "%s: parse error: %s" file msg)
+  | Ok (Json.List rows) -> rows
+  | Ok _ -> failwith (Printf.sprintf "%s: top level is not an array" file)
+
+let check_baseline ~baseline ~fresh =
+  let str_of ctx r name =
+    match r with
+    | Json.Obj f -> (
+      match List.assoc_opt name f with
+      | Some (Json.String s) -> s
+      | _ -> fail ctx (Printf.sprintf "field %S is not a string" name))
+    | _ -> fail ctx "row is not an object"
+  in
+  let num_of ctx r name =
+    match r with
+    | Json.Obj f -> (
+      match List.assoc_opt name f with
+      | Some (Json.Int n) -> float_of_int n
+      | Some (Json.Float x) -> x
+      | _ -> fail ctx (Printf.sprintf "field %S is not numeric" name))
+    | _ -> fail ctx "row is not an object"
+  in
+  let key ctx r = (str_of ctx r "fixture", str_of ctx r "size") in
+  let base_rows = load_rows baseline in
+  let fresh_rows = load_rows fresh in
+  List.iteri (check_row ~file:fresh ~kind:"statics") fresh_rows;
+  let regressions = ref [] in
+  let compared = ref 0 in
+  List.iter
+    (fun fr ->
+      let k = key fresh fr in
+      match
+        List.find_opt (fun br -> key baseline br = k) base_rows
+      with
+      | None ->
+        Printf.printf "%s: %s/%s has no baseline row, skipped\n" fresh
+          (fst k) (snd k)
+      | Some br ->
+        incr compared;
+        let slower name =
+          (* regression = fresh is worse; for times worse means larger,
+             for throughput worse means smaller *)
+          let b = num_of baseline br name and f = num_of fresh fr name in
+          match name with
+          | "events_per_sec" ->
+            if b > 0. && f < b *. (1. -. regression_threshold) then
+              Some (Printf.sprintf "%s %.3g -> %.3g (-%.0f%%)" name b f
+                      (100. *. (b -. f) /. b))
+            else None
+          | _ ->
+            if b > 0. && f > b *. (1. +. regression_threshold) then
+              Some (Printf.sprintf "%s %.3g -> %.3g (+%.0f%%)" name b f
+                      (100. *. (f -. b) /. b))
+            else None
+        in
+        List.iter
+          (fun name ->
+            match slower name with
+            | Some msg ->
+              regressions :=
+                Printf.sprintf "%s/%s: %s" (fst k) (snd k) msg
+                :: !regressions
+            | None -> ())
+          [ "analysis_ms"; "events_per_sec" ])
+    fresh_rows;
+  if !compared = 0 then
+    failwith
+      (Printf.sprintf "%s vs %s: no comparable rows (size mismatch?)" fresh
+         baseline);
+  match List.rev !regressions with
+  | [] ->
+    Printf.printf "%s: no >%.0f%% regression vs %s (%d rows compared)\n"
+      fresh (100. *. regression_threshold) baseline !compared
+  | rs ->
+    List.iter (fun r -> Printf.eprintf "validate_bench: regression: %s\n" r) rs;
+    failwith
+      (Printf.sprintf "%d bench regression(s) vs baseline %s"
+         (List.length rs) baseline)
+
 let check_file file kind =
   let contents =
     try In_channel.with_open_bin file In_channel.input_all
@@ -448,21 +565,31 @@ let check_file file kind =
     Printf.printf "%s: %d %s rows ok\n" file (List.length rows) kind
   | Ok _ -> failwith (Printf.sprintf "%s: top level is not an array" file)
 
+let usage () =
+  prerr_endline
+    "usage: validate_bench.exe FILE KIND [FILE KIND ...]\n\
+    \       validate_bench.exe --baseline BASELINE FRESH";
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec pairs = function
-    | [] -> []
-    | file :: kind :: rest -> (file, kind) :: pairs rest
-    | [ _ ] ->
-      prerr_endline "usage: validate_bench.exe FILE KIND [FILE KIND ...]";
-      exit 2
-  in
-  match pairs args with
-  | [] ->
-    prerr_endline "usage: validate_bench.exe FILE KIND [FILE KIND ...]";
-    exit 2
-  | specs -> (
-    try List.iter (fun (file, kind) -> check_file file kind) specs
+  match args with
+  | [ "--baseline"; baseline; fresh ] -> (
+    try check_baseline ~baseline ~fresh
     with Failure msg ->
       Printf.eprintf "validate_bench: %s\n" msg;
       exit 1)
+  | "--baseline" :: _ -> usage ()
+  | _ -> (
+    let rec pairs = function
+      | [] -> []
+      | file :: kind :: rest -> (file, kind) :: pairs rest
+      | [ _ ] -> usage ()
+    in
+    match pairs args with
+    | [] -> usage ()
+    | specs -> (
+      try List.iter (fun (file, kind) -> check_file file kind) specs
+      with Failure msg ->
+        Printf.eprintf "validate_bench: %s\n" msg;
+        exit 1))

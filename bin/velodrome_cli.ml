@@ -357,11 +357,14 @@ type gate_result = {
   engine_disagreements : (string * string) list;
       (** schedule, description — the three-way differential over the
           recorded trace of each schedule *)
+  value_violations : (string * string) list;
+      (** schedule, description — a dynamic event from a statically-dead
+          site, or an observed value outside its static interval *)
 }
 
 let gate_ok g =
   g.blame_mismatches = [] && g.uncovered_blames = [] && g.uncovered_races = []
-  && g.engine_disagreements = []
+  && g.engine_disagreements = [] && g.value_violations = []
 
 (* The three-way engine differential behind the gate: replay each
    schedule's recorded trace through the optimized engine, the Figure 2
@@ -413,14 +416,51 @@ let may_violate st l =
       | _ -> false)
     (Statics.blocks st)
 
+(* The value-analysis obligations of the gate, checked per schedule via
+   the interpreter's observation hook: no dynamic event may come from a
+   statically-dead site, and every observed value at a fact-carrying
+   site must lie within the static interval. The first violation per
+   schedule is kept — one witness is enough to fail, and the hook stays
+   cheap on the hot path. *)
+let value_observer vals violation =
+  Option.map
+    (fun v (o : Velodrome_sim.Interp.obs) ->
+      if !violation = None then begin
+        let module V = Velodrome_statics.Values in
+        let site =
+          {
+            Velodrome_statics.Cfg.thread = o.Velodrome_sim.Interp.o_thread;
+            path = o.Velodrome_sim.Interp.o_path;
+          }
+        in
+        if V.dead_site v site then
+          violation :=
+            Some
+              (Printf.sprintf "event from statically-dead site %s"
+                 (Velodrome_statics.Cfg.site_to_string site))
+        else
+          match (o.Velodrome_sim.Interp.o_value, V.fact_at v site) with
+          | Some x, Some f when not (V.mem x f.V.itv) ->
+            violation :=
+              Some
+                (Printf.sprintf
+                   "observed value %d at %s outside static interval %s" x
+                   (Velodrome_statics.Cfg.site_to_string site)
+                   (V.itv_to_string f.V.itv))
+          | _ -> ()
+      end)
+    vals
+
 let run_gate program st seeds =
   let names = program.Velodrome_sim.Ast.names in
   let races = Statics.races st in
+  let vals = Statics.values st in
   let warnings = ref 0 in
   let blame = ref [] in
   let unblamed = ref [] in
   let uncovered = ref [] in
   let engines = ref [] in
+  let value_viols = ref [] in
   List.iter
     (fun (desc, policy, adversarial) ->
       let backends =
@@ -430,15 +470,20 @@ let run_gate program st seeds =
           Backend.make (Velodrome_hbrace.Hbrace.backend ()) names;
         ]
       in
+      let violation = ref None in
       let config =
         {
           Velodrome_sim.Run.default_config with
           policy;
           adversarial;
           record_trace = true;
+          observe = value_observer vals violation;
         }
       in
       let res = Velodrome_sim.Run.run ~config program backends in
+      (match !violation with
+      | Some msg -> value_viols := (desc, msg) :: !value_viols
+      | None -> ());
       (match res.Velodrome_sim.Run.trace with
       | Some tr -> (
         match engine_trio_check names tr with
@@ -475,6 +520,7 @@ let run_gate program st seeds =
     uncovered_blames = List.sort_uniq compare !unblamed;
     uncovered_races = List.sort_uniq compare !uncovered;
     engine_disagreements = List.rev !engines;
+    value_violations = List.rev !value_viols;
   }
 
 (* A gate failure on a generated program is only actionable if it can be
@@ -587,8 +633,26 @@ let analyze_cmd =
              prediction is additionally re-replayed and re-certified; an \
              uncertified prediction fails the gate.")
   in
+  let values_flag =
+    Arg.(
+      value & flag
+      & info [ "values" ]
+          ~doc:
+            "Also report the per-thread value analysis: one interval \
+             fact per register write and shared access, plus every \
+             statically-dead branch arm.")
+  in
+  let no_values =
+    Arg.(
+      value & flag
+      & info [ "no-values" ]
+          ~doc:
+            "Disable the value analysis entirely: no branch pruning \
+             feeds the static passes and the --gate value obligations \
+             are skipped.")
+  in
   let run target all fmt gate races graph dot_dir generated gen_seed
-      replay_demo size seeds predict =
+      replay_demo size seeds predict values_flag no_values =
     if replay_demo then begin
       print_generated_replay ~gen_seed:7
         ~families:[ "publication"; "snapshot" ]
@@ -638,7 +702,7 @@ let analyze_cmd =
                   e)
               errs;
             exit 2);
-          let st = Statics.analyze program in
+          let st = Statics.analyze ~values:(not no_values) program in
           if Statics.proved_count st < Statics.block_count st then
             any_unknown := true;
           let gate_result =
@@ -712,6 +776,7 @@ let analyze_cmd =
         (fun (name, pos, st, gate_result, predict_info) ->
           if all || generated > 0 then Format.printf "== %s ==@." name;
           Format.printf "%a" (Statics.pp_human ~pos) st;
+          if values_flag then Format.printf "%a" Statics.pp_values_human st;
           if races then Format.printf "%a" (Statics.pp_races_human ~pos) st;
           if graph then Format.printf "%a" Statics.pp_graph_human st;
           (match predict_info with
@@ -739,8 +804,12 @@ let analyze_cmd =
               "soundness gate: OK (%d schedules, %d dynamic warnings, no \
                proved block blamed, every blamed block may-violate, every \
                dynamic race statically covered, aero = velodrome = basic on \
-               every recorded trace)@."
+               every recorded trace%s)@."
               schedules g.gate_warnings
+              (if Statics.values st <> None then
+                 ", no dead site executed, every observed value in its \
+                  static interval"
+               else "")
           | Some g ->
             List.iter
               (fun (sched, label) ->
@@ -768,7 +837,14 @@ let analyze_cmd =
                 Format.printf
                   "soundness gate: FAILED: engines disagree under %s: %s@."
                   sched msg)
-              g.engine_disagreements)
+              g.engine_disagreements;
+            List.iter
+              (fun (sched, msg) ->
+                Format.printf
+                  "soundness gate: FAILED: value analysis unsound under \
+                   %s: %s@."
+                  sched msg)
+              g.value_violations)
         results
     | `Json ->
       let open Velodrome_util.Json in
@@ -779,6 +855,11 @@ let analyze_cmd =
             let with_extras doc =
               match doc with
               | Obj fields ->
+                let fields =
+                  if values_flag then
+                    fields @ [ ("values", Statics.values_json st) ]
+                  else fields
+                in
                 let fields =
                   if races then
                     fields @ [ ("races", Statics.races_to_json ~pos st) ]
@@ -877,6 +958,16 @@ let analyze_cmd =
                                          ("schedule", String sched);
                                        ])
                                    g.engine_disagreements) );
+                            ( "value_violations",
+                              List
+                                (List.map
+                                   (fun (sched, msg) ->
+                                     Obj
+                                       [
+                                         ("message", String msg);
+                                         ("schedule", String sched);
+                                       ])
+                                   g.value_violations) );
                             ("ok", Bool (gate_ok g));
                           ] );
                     ])
@@ -929,7 +1020,7 @@ let analyze_cmd =
     Term.(
       const run $ target $ all $ format_arg $ gate $ races_flag $ graph
       $ dot_dir $ generated $ gen_seed $ replay_demo $ size_arg $ seeds
-      $ predict_flag)
+      $ predict_flag $ values_flag $ no_values)
 
 (* --- predict ----------------------------------------------------------------- *)
 

@@ -41,6 +41,7 @@ let fresh_reg t =
   r
 
 let thread t body = Vec.push t.bodies body
+let thread_count t = Vec.length t.bodies
 
 let threads t n body =
   for k = 0 to n - 1 do

@@ -33,6 +33,9 @@ val threads : t -> int -> (int -> Ast.stmt list) -> unit
 (** [threads b n body] appends [n] threads; [body i] builds the body of
     the [i]-th (they may also branch on {!Ast.tid_reg} at runtime). *)
 
+val thread_count : t -> int
+(** Threads appended so far — the id the next appended thread will get. *)
+
 val program : t -> Ast.program
 
 (** Statement and expression shorthands. *)

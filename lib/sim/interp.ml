@@ -10,6 +10,8 @@ type instr = S of int list * Ast.stmt | End_atomic of int list
 
 type status = Runnable | Blocked of Lock.t | Finished
 
+type obs = { o_thread : int; o_path : int list; o_value : int option }
+
 exception Runtime_error of string
 
 type thread = {
@@ -23,14 +25,16 @@ type thread = {
 
 type t = {
   emit_reentrant : bool;
+  observe : obs -> unit;
   memory : int array;
   owner : (int, int) Hashtbl.t;  (** lock -> owning thread *)
   threads : thread array;
 }
 
 let silent_budget = 1024
+let no_obs (_ : obs) = ()
 
-let create ?(emit_reentrant = false) (p : Ast.program) =
+let create ?(emit_reentrant = false) ?(observe = no_obs) (p : Ast.program) =
   let memory = Array.make (max 1 p.Ast.var_count) 0 in
   List.iter (fun (x, v) -> memory.(Var.to_int x) <- v) p.Ast.init;
   let threads =
@@ -48,7 +52,7 @@ let create ?(emit_reentrant = false) (p : Ast.program) =
         })
       p.Ast.threads
   in
-  { emit_reentrant; memory; owner = Hashtbl.create 8; threads }
+  { emit_reentrant; observe; memory; owner = Hashtbl.create 8; threads }
 
 let thread_count t = Array.length t.threads
 let status t i = t.threads.(i).st
@@ -57,6 +61,14 @@ let set_reg th r v = if r < Array.length th.regs then th.regs.(r) <- v
 
 let held_depth th m =
   Option.value ~default:0 (Hashtbl.find_opt th.held (Lock.to_int m))
+
+(* Fire the observation callback for an executed instruction: the site it
+   ran at, plus the concrete value when one exists (register assignment,
+   memory read, memory write). Fires at execution time — silent steps in
+   [advance], observable ones when [commit] actually performs them — so a
+   blocked acquire observes nothing until it finally succeeds. *)
+let note t (th : thread) path v =
+  t.observe { o_thread = th.id; o_path = path; o_value = v }
 
 (* Run silent instructions; stop at an event-producing head. *)
 let rec advance t th budget =
@@ -80,6 +92,7 @@ let rec advance t th budget =
         if held_depth th m > 0 && not t.emit_reentrant then begin
           (* Re-entrant acquire: silent, as RoadRunner filters it. *)
           Hashtbl.replace th.held (Lock.to_int m) (held_depth th m + 1);
+          note t th path None;
           th.pc <- rest;
           advance t th (budget - 1)
         end
@@ -93,32 +106,39 @@ let rec advance t th budget =
                   (Lock.to_int m)))
         else if d > 1 && not t.emit_reentrant then begin
           Hashtbl.replace th.held (Lock.to_int m) (d - 1);
+          note t th path None;
           th.pc <- rest;
           advance t th (budget - 1)
         end
         else `Op (Op.Release (Tid.of_int th.id, m))
       | Ast.Atomic (l, _) -> `Op (Op.Begin (Tid.of_int th.id, l))
       | Ast.Local (r, e) ->
-        set_reg th r (Ast.eval th.regs e);
+        let v = Ast.eval th.regs e in
+        set_reg th r v;
+        note t th path (Some v);
         th.pc <- rest;
         advance t th (budget - 1)
       | Ast.If (c, a, b) ->
         let taken = Ast.eval_cond th.regs c in
         let branch = if taken then a else b in
         let arm = if taken then 0 else 1 in
+        note t th path None;
         th.pc <-
           List.mapi (fun j s -> S (path @ [ arm; j ], s)) branch @ rest;
         advance t th (budget - 1)
       | Ast.While (c, body) ->
+        note t th path None;
         if Ast.eval_cond th.regs c then
           th.pc <- List.mapi (fun j s -> S (path @ [ j ], s)) body @ th.pc
         else th.pc <- rest;
         advance t th (budget - 1)
       | Ast.Work n ->
+        note t th path None;
         th.work_left <- max 0 n;
         th.pc <- rest;
         advance t th (budget - 1)
       | Ast.Yield ->
+        note t th path None;
         th.pc <- rest;
         `Working)
   end
@@ -138,14 +158,20 @@ let commit t i =
   in
   match th.pc with
   | [] -> raise (Runtime_error "commit on finished thread")
-  | End_atomic _ :: rest -> emit (Op.End (Tid.of_int th.id)) rest
+  | End_atomic path :: rest ->
+    note t th path None;
+    emit (Op.End (Tid.of_int th.id)) rest
   | S (path, s) :: rest -> (
     match s with
     | Ast.Read (r, x) ->
-      set_reg th r t.memory.(Var.to_int x);
+      let v = t.memory.(Var.to_int x) in
+      set_reg th r v;
+      note t th path (Some v);
       emit (Op.Read (Tid.of_int th.id, x)) rest
     | Ast.Write (x, e) ->
-      t.memory.(Var.to_int x) <- Ast.eval th.regs e;
+      let v = Ast.eval th.regs e in
+      t.memory.(Var.to_int x) <- v;
+      note t th path (Some v);
       emit (Op.Write (Tid.of_int th.id, x)) rest
     | Ast.Acquire m -> (
       let key = Lock.to_int m in
@@ -157,11 +183,13 @@ let commit t i =
         (* Re-entrant acquire reached commit only in emit_reentrant mode. *)
         th.st <- Runnable;
         Hashtbl.replace th.held key (held_depth th m + 1);
+        note t th path None;
         emit (Op.Acquire (Tid.of_int th.id, m)) rest
       | None ->
         th.st <- Runnable;
         Hashtbl.replace t.owner key th.id;
         Hashtbl.replace th.held key (held_depth th m + 1);
+        note t th path None;
         emit (Op.Acquire (Tid.of_int th.id, m)) rest)
     | Ast.Release m ->
       let key = Lock.to_int m in
@@ -178,8 +206,10 @@ let commit t i =
           t.threads
       end
       else Hashtbl.replace th.held key (d - 1);
+      note t th path None;
       emit (Op.Release (Tid.of_int th.id, m)) rest
     | Ast.Atomic (l, body) ->
+      note t th path None;
       th.pc <-
         List.mapi (fun j s -> S (path @ [ j ], s)) body
         @ (End_atomic path :: rest);

@@ -27,7 +27,23 @@ type status =
 exception Runtime_error of string
 (** Raised on impossible transitions, e.g. releasing an unheld lock. *)
 
-val create : ?emit_reentrant:bool -> Ast.program -> t
+type obs = { o_thread : int; o_path : int list; o_value : int option }
+(** One executed instruction: the thread, the structural path of the
+    statement (the {!pending_path} coordinate system, i.e. [Cfg.site]),
+    and the concrete value when the instruction produces one — the value
+    assigned by a [Local], read from memory by a [Read], or stored by a
+    [Write]; [None] for control flow, lock operations and atomic
+    boundaries. The dynamic soundness gate replays programs under this
+    hook to check that no instruction executes at a statically-dead site
+    and every observed value lies within its static interval. *)
+
+val create : ?emit_reentrant:bool -> ?observe:(obs -> unit) -> Ast.program -> t
+(** [observe] fires once per executed instruction, at execution time:
+    silent steps as {!peek} consumes them, observable operations when
+    {!commit} performs them (a blocked acquire observes nothing until it
+    succeeds). Defaults to ignoring observations. *)
+
+
 val thread_count : t -> int
 val status : t -> int -> status
 

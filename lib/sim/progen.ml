@@ -341,10 +341,72 @@ let generate_info ?(config = default) rng =
              ];
          ])
   end;
+  (* Tid-dispatch: [1 + nreaders] replicas of one identical body that
+     switches roles on the thread-id register. The writer replica
+     atomically bumps a shared accumulator and then publishes each
+     reader's cell pair with two unary writes in REVERSE order (cellB
+     before cellA); reader [k] atomically snapshots its pair cellA-then-
+     cellB. Without tid specialization every replica statically carries
+     every arm, so the accumulator self-races across replicas and the
+     duplicated scan regions close a torn-snapshot cycle — May_violate.
+     With r0 pinned per replica all foreign arms die: the accumulator
+     becomes thread-local (update proves by Lipton) and each scan's only
+     remaining partner is the single writer, whose reversed write order
+     leaves no cycle back into the scan (cycle-free). Dynamically a torn
+     snapshot would need read cellB ≺ write cellB yet write cellA ≺ read
+     cellA, impossible given the program orders — serializable on every
+     schedule, so the soundness gate stays green. *)
+  let dispatch = Rng.int rng 3 > 0 in
+  if dispatch then begin
+    let base = Builder.thread_count b in
+    let nreaders = 1 + Rng.int rng 2 in
+    let acc = Builder.var b "dacc" in
+    let cella =
+      Array.init nreaders (fun k -> Builder.var b (Printf.sprintf "dca%d" k))
+    in
+    let cellb =
+      Array.init nreaders (fun k -> Builder.var b (Printf.sprintf "dcb%d" k))
+    in
+    let update = Builder.label b "gen.disp.update" in
+    let scan = Builder.label b "gen.disp.scan" in
+    let rt = Builder.fresh_reg b in
+    let ra = Builder.fresh_reg b in
+    let rb = Builder.fresh_reg b in
+    let payload = Array.init nreaders (fun _ -> 1 + Rng.int rng 63) in
+    let writer_role =
+      Builder.atomic update
+        [ Builder.read rt acc; Builder.write acc Builder.(r rt +: i 1) ]
+      :: List.concat
+           (List.init nreaders (fun k ->
+                [
+                  Builder.write cellb.(k) (Builder.i payload.(k));
+                  Builder.write cella.(k) (Builder.i payload.(k));
+                ]))
+    in
+    let reader_role k =
+      [
+        Builder.atomic scan
+          [ Builder.read ra cella.(k); Builder.read rb cellb.(k) ];
+      ]
+    in
+    let rec arms k =
+      if k > nreaders then []
+      else
+        [
+          Builder.if_
+            Builder.(r Ast.tid_reg ==: i (base + k))
+            (if k = 0 then writer_role else reader_role (k - 1))
+            (arms (k + 1));
+        ]
+    in
+    let body = arms 0 in
+    Builder.threads b (1 + nreaders) (fun _ -> body)
+  end;
   let families =
     (if publish <> None then [ "publication" ] else [])
     @ (if snapshot then [ "snapshot" ] else [])
-    @ if latent then [ "latent" ] else []
+    @ (if latent then [ "latent" ] else [])
+    @ if dispatch then [ "dispatch" ] else []
   in
   let families = if families = [] then [ "core" ] else families in
   (Builder.program b, { families })

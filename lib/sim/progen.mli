@@ -30,14 +30,17 @@ val default : config
 type info = {
   families : string list;
       (** which structured families the program carries — any of
-          ["publication"], ["snapshot"] and ["latent"], or ["core"] when
-          only the random mix was emitted. Gate failures report this so a
-          failing generated program can be triaged by shape. The
-          ["latent"] family carries violations (deferred publish,
-          write skew) that are serializable under plain round-robin and
-          under any single bounded scheduler pause, but violable under a
-          targeted interleaving — seed material for the prediction
-          study. *)
+          ["publication"], ["snapshot"], ["latent"] and ["dispatch"], or
+          ["core"] when only the random mix was emitted. Gate failures
+          report this so a failing generated program can be triaged by
+          shape. The ["latent"] family carries violations (deferred
+          publish, write skew) that are serializable under plain
+          round-robin and under any single bounded scheduler pause, but
+          violable under a targeted interleaving — seed material for the
+          prediction study. The ["dispatch"] family replicates one body
+          that switches writer/reader roles on the thread-id register:
+          provable only by the tid-specialized value analysis, which
+          kills every replica's foreign arms. *)
 }
 
 val generate : ?config:config -> Velodrome_util.Rng.t -> Ast.program

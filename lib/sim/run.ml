@@ -16,6 +16,7 @@ type config = {
   max_steps : int;
   record_trace : bool;
   emit_reentrant : bool;
+  observe : (Interp.obs -> unit) option;
 }
 
 let default_config =
@@ -29,6 +30,7 @@ let default_config =
     max_steps = 1_000_000;
     record_trace = false;
     emit_reentrant = false;
+    observe = None;
   }
 
 type result = {
@@ -41,7 +43,10 @@ type result = {
 }
 
 let run ?(config = default_config) program backends =
-  let interp = Interp.create ~emit_reentrant:config.emit_reentrant program in
+  let interp =
+    Interp.create ~emit_reentrant:config.emit_reentrant
+      ?observe:config.observe program
+  in
   let n = Interp.thread_count interp in
   let rng =
     match config.policy with

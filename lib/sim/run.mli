@@ -40,6 +40,9 @@ type config = {
   max_steps : int;  (** bound on scheduling iterations *)
   record_trace : bool;
   emit_reentrant : bool;
+  observe : (Interp.obs -> unit) option;
+      (** per-instruction execution hook ({!Interp.obs}), used by the
+          value-analysis soundness gate; [None] costs nothing *)
 }
 
 val default_config : config

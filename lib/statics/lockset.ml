@@ -39,7 +39,7 @@ type t = { before : fact option array }
    predecessors, iterated until the fixpoint, which for a meet
    semilattice of bounded depth terminates and yields the greatest
    solution below every path fact. *)
-let analyze (cfg : Cfg.t) =
+let analyze ?(dead = fun (_ : Cfg.site) -> false) (cfg : Cfg.t) =
   let n = Cfg.node_count cfg in
   let before = Array.make n None in
   let after = Array.make n None in
@@ -51,6 +51,8 @@ let analyze (cfg : Cfg.t) =
     (Cfg.entries cfg);
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
+    if dead (Cfg.node cfg id).Cfg.site then ()
+    else begin
     (* Entry nodes have no predecessors; their input is the initial empty
        fact seeded above. *)
     let input =
@@ -77,6 +79,7 @@ let analyze (cfg : Cfg.t) =
     in
     if changed || out_changed then
       List.iter (fun s -> Queue.add s queue) (Cfg.succs cfg id)
+    end
   done;
   { before }
 

@@ -11,7 +11,14 @@
 
 type t
 
-val analyze : Cfg.t -> t
+val analyze : ?dead:(Cfg.site -> bool) -> Cfg.t -> t
+(** [dead] marks statically-dead sites from the {!Values} pass. Dead
+    nodes are never processed, so an infeasible branch no longer weakens
+    the must-meet at the join after it — this is how must-equal guard
+    facts materialize: when the value analysis proves the arm skipping
+    an acquire can never run, the lock counts as definitely held
+    afterwards. Sound because a dead node contributes no dynamic path.
+    Defaults to nothing dead. *)
 
 val locks_held : t -> int -> int list
 (** Lock ids definitely held just before the node executes, ascending. *)

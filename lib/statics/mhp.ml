@@ -13,16 +13,17 @@ type t = {
    [Enter] and pops at [Exit]; the CFG is lowered from a structured AST,
    so every join (if-merge, loop head) receives the same chain from all
    predecessors and the first-visit value is the fixpoint. *)
-let analyze (cfg : Cfg.t) =
+let analyze ?(dead = fun (_ : Cfg.site) -> false) (cfg : Cfg.t) =
   let n = Cfg.node_count cfg in
   let entries = Cfg.entries cfg in
   let thread_count = Array.length entries in
   let reach = Array.make n false in
   let atomics = Array.make n [] in
   let queue = Queue.create () in
+  let alive id = not (dead (Cfg.node cfg id).Cfg.site) in
   Array.iter
     (fun e ->
-      if not reach.(e) then begin
+      if alive e && not reach.(e) then begin
         reach.(e) <- true;
         Queue.add e queue
       end)
@@ -37,7 +38,7 @@ let analyze (cfg : Cfg.t) =
     in
     List.iter
       (fun s ->
-        if not reach.(s) then begin
+        if alive s && not reach.(s) then begin
           reach.(s) <- true;
           atomics.(s) <- out;
           Queue.add s queue

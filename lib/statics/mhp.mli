@@ -20,7 +20,11 @@ open Velodrome_trace.Ids
 
 type t
 
-val analyze : Cfg.t -> t
+val analyze : ?dead:(Cfg.site -> bool) -> Cfg.t -> t
+(** [dead] marks statically-dead sites from the {!Values} pass; the
+    reachability traversal never enters them, so every dead site is
+    unreachable here and drops out of races, conflict edges and the
+    transactional graph downstream. Defaults to nothing dead. *)
 
 val thread_count : t -> int
 

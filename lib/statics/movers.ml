@@ -46,10 +46,12 @@ let var_facts t x =
    sites. Under the pairwise rule these only pick the most specific
    both-mover witness; under the legacy global rule they ARE the
    classification. *)
-let collect_vars cfg locksets =
+let collect_vars ~dead cfg locksets =
   let vars = ref IntMap.empty in
   Cfg.iter_nodes
     (fun n ->
+      if dead n.Cfg.site then ()
+      else
       let access x ~is_write =
         let k = Var.to_int x in
         let f = Option.value ~default:empty_facts (IntMap.find_opt k !vars) in
@@ -109,11 +111,14 @@ let classify_access rule names races vars (n : Cfg.node) x =
         | Some g -> Both (Guarded g)
         | None -> Non Unguarded)
 
-let analyze ?(rule = Pairwise) names cfg locksets races =
-  let vars = collect_vars cfg locksets in
+let analyze ?(rule = Pairwise) ?(dead = fun (_ : Cfg.site) -> false) names
+    cfg locksets races =
+  let vars = collect_vars ~dead cfg locksets in
   let by_site = Hashtbl.create 256 in
   Cfg.iter_nodes
     (fun n ->
+      if dead n.Cfg.site then ()
+      else
       let site = (n.Cfg.site.Cfg.thread, n.Cfg.site.Cfg.path) in
       let record k = Hashtbl.replace by_site site k in
       match n.Cfg.eff with

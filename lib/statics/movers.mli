@@ -56,8 +56,20 @@ type var_facts = {
 
 type t
 
-val analyze : ?rule:rule -> Names.t -> Cfg.t -> Lockset.t -> Races.t -> t
-(** [rule] defaults to {!Pairwise}. *)
+val analyze :
+  ?rule:rule ->
+  ?dead:(Cfg.site -> bool) ->
+  Names.t ->
+  Cfg.t ->
+  Lockset.t ->
+  Races.t ->
+  t
+(** [rule] defaults to {!Pairwise}. [dead] marks statically-dead sites
+    from the {!Values} pass: dead accesses neither pollute the per-var
+    thread/write facts nor receive a class, so a variable whose only
+    cross-thread accesses are dead reclassifies as thread-local and a
+    site whose racy partner died becomes a both-mover. Defaults to
+    nothing dead. *)
 
 val at_site : t -> Cfg.site -> klass option
 (** [None] for sites with no observable effect (silent statements). *)

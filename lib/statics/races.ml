@@ -35,14 +35,17 @@ let rec disjoint xs ys =
     else if x < y then disjoint xs' ys
     else disjoint xs ys'
 
-let analyze names (cfg : Cfg.t) locksets mhp =
+let analyze ?(dead = fun (_ : Cfg.site) -> false) names (cfg : Cfg.t)
+    locksets mhp =
   let by_var_sites : (int, access list ref) Hashtbl.t = Hashtbl.create 64 in
   let access_sites = ref 0 in
   Cfg.iter_nodes
     (fun n ->
       let record x ~write =
         if
-          (not (Names.is_volatile names x)) && Mhp.reachable mhp n.Cfg.id
+          (not (Names.is_volatile names x))
+          && Mhp.reachable mhp n.Cfg.id
+          && not (dead n.Cfg.site)
         then begin
           incr access_sites;
           let acc =

@@ -36,7 +36,12 @@ val pair_compare : pair -> pair -> int
 
 type t
 
-val analyze : Names.t -> Cfg.t -> Lockset.t -> Mhp.t -> t
+val analyze :
+  ?dead:(Cfg.site -> bool) -> Names.t -> Cfg.t -> Lockset.t -> Mhp.t -> t
+(** [dead] marks statically-dead sites from the {!Values} pass; accesses
+    at dead sites are skipped (a values-aware {!Mhp} already excludes
+    them from reachability — the explicit check keeps the pass sound
+    with any [Mhp.t]). Defaults to nothing dead. *)
 
 val pairs : t -> pair list
 (** All pairs, sorted by (variable, first site, second site). *)

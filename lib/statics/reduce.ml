@@ -27,6 +27,7 @@ let phases_equal a b = a.pre = b.pre && a.post = b.post
 type ctx = {
   names : Names.t;
   movers : Movers.t;
+  dead : Cfg.site -> bool;
   mutable errors : reason list;
   seen : (int * int list * string, unit) Hashtbl.t;
 }
@@ -82,7 +83,10 @@ and walk_stmt ctx thread path phases stmt =
   let site = { Cfg.thread; path } in
   match stmt with
   | Ast.Read _ | Ast.Write _ | Ast.Acquire _ | Ast.Release _ ->
-    step ctx site stmt (klass_at ctx site) phases
+    (* A statically-dead operation executes on no path through the
+       block, so it cannot break the R* N? L* spelling. *)
+    if ctx.dead site then phases
+    else step ctx site stmt (klass_at ctx site) phases
   | Ast.Local _ | Ast.Work _ | Ast.Yield -> phases
   | Ast.Atomic (_, body) ->
     (* Nested begin/end events are both-movers; the inner block's own
@@ -109,9 +113,12 @@ let check_block ctx thread path body =
   ignore (walk_stmts ctx thread path { pre = true; post = false } body);
   List.sort reason_compare ctx.errors
 
-(* Enumerate every atomic block occurrence, innermost included. *)
-let occurrences names movers (p : Ast.program) =
-  let ctx = { names; movers; errors = []; seen = Hashtbl.create 16 } in
+(* Enumerate every atomic block occurrence, innermost included. Dead
+   occurrences (the whole [atomic] sits on a statically-dead site) are
+   dropped: they produce no dynamic transaction to check. *)
+let occurrences ?(dead = fun (_ : Cfg.site) -> false) names movers
+    (p : Ast.program) =
+  let ctx = { names; movers; dead; errors = []; seen = Hashtbl.create 16 } in
   let acc = ref [] in
   let rec scan thread path stmts =
     List.iteri
@@ -119,10 +126,12 @@ let occurrences names movers (p : Ast.program) =
         let path' = path @ [ j ] in
         match stmt with
         | Ast.Atomic (l, body) ->
-          let reasons = check_block ctx thread path' body in
-          acc :=
-            { label = l; site = { Cfg.thread; path = path' }; reasons }
-            :: !acc;
+          if not (dead { Cfg.thread; path = path' }) then begin
+            let reasons = check_block ctx thread path' body in
+            acc :=
+              { label = l; site = { Cfg.thread; path = path' }; reasons }
+              :: !acc
+          end;
           scan thread path' body
         | Ast.If (_, a, b) ->
           scan thread (path' @ [ 0 ]) a;

@@ -28,6 +28,14 @@ type occurrence = {
 }
 
 val occurrences :
-  Names.t -> Movers.t -> Velodrome_sim.Ast.program -> occurrence list
+  ?dead:(Cfg.site -> bool) ->
+  Names.t ->
+  Movers.t ->
+  Velodrome_sim.Ast.program ->
+  occurrence list
 (** Every atomic block occurrence in program order, nested ones included,
-    each with its reduction-failure reasons (sorted, deduplicated). *)
+    each with its reduction-failure reasons (sorted, deduplicated).
+    [dead] marks statically-dead sites from the {!Values} pass:
+    occurrences at dead sites are dropped entirely (they spawn no
+    dynamic transaction) and dead operations inside live blocks do not
+    participate in the phase automaton. Defaults to nothing dead. *)

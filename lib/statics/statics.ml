@@ -26,19 +26,26 @@ type t = {
   races : Races.t;
   movers : Movers.t;
   graph : Txgraph.t;
+  vals : Values.t option;
   blocks : block list;
   proved_ids : IntSet.t;  (** either proof rule *)
   lipton_ids : IntSet.t;
 }
 
-let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
+let analyze ?(rule = Movers.Pairwise) ?(values = true) (p : Ast.program) =
   let names = p.Ast.names in
   let cfg = Cfg.of_program p in
-  let locksets = Lockset.analyze cfg in
-  let mhp = Mhp.analyze cfg in
-  let races = Races.analyze names cfg locksets mhp in
-  let movers = Movers.analyze ~rule names cfg locksets races in
-  let occs = Reduce.occurrences names movers p in
+  let vals = if values then Some (Values.analyze p) else None in
+  let dead =
+    match vals with
+    | Some v -> fun site -> Values.dead_site v site
+    | None -> fun _ -> false
+  in
+  let locksets = Lockset.analyze ~dead cfg in
+  let mhp = Mhp.analyze ~dead cfg in
+  let races = Races.analyze ~dead names cfg locksets mhp in
+  let movers = Movers.analyze ~rule ~dead names cfg locksets races in
+  let occs = Reduce.occurrences ~dead names movers p in
   let graph = Txgraph.build names cfg locksets mhp occs in
   let by_label = Hashtbl.create 16 in
   List.iter
@@ -86,10 +93,17 @@ let analyze ?(rule = Movers.Pairwise) (p : Ast.program) =
   let lipton_ids =
     ids (function Proved_atomic Lipton -> true | _ -> false)
   in
-  { names; cfg; locksets; mhp; races; movers; graph; blocks; proved_ids;
-    lipton_ids }
+  { names; cfg; locksets; mhp; races; movers; graph; vals; blocks;
+    proved_ids; lipton_ids }
 
 let blocks t = t.blocks
+let values t = t.vals
+
+let dead_site_count t =
+  match t.vals with Some v -> Values.dead_site_count v | None -> 0
+
+let dead_branch_count t =
+  match t.vals with Some v -> Values.dead_branch_count v | None -> 0
 let cfg t = t.cfg
 let locksets t = t.locksets
 let mhp t = t.mhp
@@ -130,6 +144,22 @@ let verdict_string = function
 
 let proof_string = function Lipton -> "lipton" | Cycle_free -> "cycle-free"
 
+(* The dead-branch lint: one line per arm the value analysis proved a
+   thread can never take. Informational only — exit-code semantics are
+   driven by verdicts, never by lint lines. *)
+let pp_dead_branches ppf t =
+  match t.vals with
+  | None -> ()
+  | Some v ->
+    List.iter
+      (fun (d : Values.dead_branch) ->
+        Format.fprintf ppf "DEAD BRANCH %s.%s: thread %d %s@."
+          (Cfg.site_to_string d.Values.d_site)
+          (Values.arm_string d.Values.d_arm)
+          d.Values.d_site.Cfg.thread
+          (Values.arm_message d.Values.d_arm))
+      (Values.dead_branches v)
+
 let pp_human ?(pos = fun _ -> None) ppf t =
   List.iter
     (fun b ->
@@ -157,6 +187,7 @@ let pp_human ?(pos = fun _ -> None) ppf t =
               r.Reduce.detail)
           reasons)
     t.blocks;
+  pp_dead_branches ppf t;
   Format.fprintf ppf
     "%d/%d blocks proved atomic (%d lipton, %d cycle-free), %d may-violate@."
     (proved_count t) (block_count t) (proved_lipton_count t)
@@ -174,6 +205,8 @@ let summary_json t =
       ("unknown", Int (unknown_count t));
       ("race_pairs", Int (race_pair_count t));
       ("racy_vars", Int (Races.racy_var_count t.races));
+      ("dead_sites", Int (dead_site_count t));
+      ("dead_branches", Int (dead_branch_count t));
     ]
 
 let to_json ?(pos = fun _ -> None) ?file t =
@@ -285,6 +318,44 @@ let slug s =
       | _ -> '_')
     s
 
+(* Whole-program CFG annotated with value facts: every node carries its
+   site, effect and (when one exists) the fact interval; dead nodes are
+   grayed out. *)
+let values_dot t v =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph cfg_values {\n";
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  Cfg.iter_nodes
+    (fun n ->
+      let site = n.Cfg.site in
+      let fact =
+        match Values.fact_at v site with
+        | Some f ->
+          Printf.sprintf "\\n%s %s"
+            (Values.target_string t.names f.Values.target)
+            (Values.itv_to_string f.Values.itv)
+        | None -> ""
+      in
+      let style =
+        if Values.dead_site v site then
+          ", style=dashed, color=gray, fontcolor=gray"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\\n%s%s\"%s];\n" n.Cfg.id
+           (Cfg.site_to_string site)
+           (Format.asprintf "%a" (Cfg.pp_eff t.names) n.Cfg.eff)
+           fact style))
+    t.cfg;
+  for id = 0 to Cfg.node_count t.cfg - 1 do
+    List.iter
+      (fun s ->
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" id s))
+      (Cfg.succs t.cfg id)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 let graph_dots t =
   ("txgraph", Txgraph.to_dot t.graph)
   :: List.filter_map
@@ -294,6 +365,69 @@ let graph_dots t =
            Some ("cycle_" ^ slug b.name, Txgraph.witness_dot t.graph w)
          | Proved_atomic _ | Unknown _ -> None)
        t.blocks
+  @ (match t.vals with
+    | Some v -> [ ("cfg_values", values_dot t v) ]
+    | None -> [])
+
+(* --- value-analysis report ----------------------------------------------- *)
+
+let pp_values_human ppf t =
+  match t.vals with
+  | None -> Format.fprintf ppf "value analysis disabled@."
+  | Some v ->
+    List.iter
+      (fun (f : Values.fact) ->
+        Format.fprintf ppf "  %s: %s %s@."
+          (Cfg.site_to_string f.Values.f_site)
+          (Values.target_string t.names f.Values.target)
+          (Values.itv_to_string f.Values.itv))
+      (Values.facts v);
+    List.iter
+      (fun (d : Values.dead_branch) ->
+        Format.fprintf ppf "  dead %s arm of %s@."
+          (Values.arm_string d.Values.d_arm)
+          (Cfg.site_to_string d.Values.d_site))
+      (Values.dead_branches v);
+    Format.fprintf ppf
+      "value analysis: %d facts, %d dead sites, %d dead branches@."
+      (Values.fact_count v)
+      (Values.dead_site_count v)
+      (Values.dead_branch_count v)
+
+let values_json t =
+  let open Velodrome_util.Json in
+  match t.vals with
+  | None -> Null
+  | Some v ->
+    let fact_json (f : Values.fact) =
+      Obj
+        [
+          ("site", String (Cfg.site_to_string f.Values.f_site));
+          ("target", String (Values.target_string t.names f.Values.target));
+          ("interval", String (Values.itv_to_string f.Values.itv));
+        ]
+    in
+    let branch_json (d : Values.dead_branch) =
+      Obj
+        [
+          ("site", String (Cfg.site_to_string d.Values.d_site));
+          ("arm", String (Values.arm_string d.Values.d_arm));
+          ("thread", Int d.Values.d_site.Cfg.thread);
+        ]
+    in
+    Obj
+      [
+        ("facts", List (List.map fact_json (Values.facts v)));
+        ( "dead_branches",
+          List (List.map branch_json (Values.dead_branches v)) );
+        ( "summary",
+          Obj
+            [
+              ("facts", Int (Values.fact_count v));
+              ("dead_sites", Int (Values.dead_site_count v));
+              ("dead_branches", Int (Values.dead_branch_count v));
+            ] );
+      ]
 
 (* --- race report --------------------------------------------------------- *)
 

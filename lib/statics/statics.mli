@@ -46,12 +46,28 @@ type block = {
 
 type t
 
-val analyze : ?rule:Movers.rule -> Velodrome_sim.Ast.program -> t
+val analyze : ?rule:Movers.rule -> ?values:bool -> Velodrome_sim.Ast.program -> t
 (** [rule] defaults to {!Movers.Pairwise}; pass {!Movers.Global_guard} to
     reproduce the legacy whole-variable common-lock classification for
-    precision-delta comparisons. *)
+    precision-delta comparisons. [values] (default [true]) runs the
+    tid-specialized {!Values} abstract interpretation first and threads
+    its dead-site set through every downstream pass — locksets stop
+    merging over infeasible arms, may-happen-in-parallel and race
+    detection skip dead accesses, movers reclassify sites whose racy
+    partner died, and the conflict graph drops edges incident to dead
+    sites. Pass [false] for the unsharpened legacy pipeline. *)
 
 val blocks : t -> block list
+
+val values : t -> Values.t option
+(** The value-analysis results, [None] when [analyze ~values:false]. *)
+
+val dead_site_count : t -> int
+(** 0 when value analysis is off. *)
+
+val dead_branch_count : t -> int
+(** 0 when value analysis is off. *)
+
 val cfg : t -> Cfg.t
 val locksets : t -> Lockset.t
 val mhp : t -> Mhp.t
@@ -102,7 +118,17 @@ val graph_json : t -> Velodrome_util.Json.t
 
 val graph_dots : t -> (string * string) list
 (** [(slug, dot)] pairs to export: the full op graph as ["txgraph"] plus
-    one witness cycle per [May_violate] block, slugged by block name. *)
+    one witness cycle per [May_violate] block, slugged by block name.
+    With value analysis on, also ["cfg_values"] — the whole-program CFG
+    with per-node interval annotations and dead nodes grayed out. *)
+
+val pp_values_human : Format.formatter -> t -> unit
+(** Human value-analysis report: one line per fact
+    ([<site>: <target> <interval>]), dead-branch list, summary counts. *)
+
+val values_json : t -> Velodrome_util.Json.t
+(** The [--values] section: facts, dead branches and summary counts;
+    [Null] when value analysis is off. *)
 
 val pp_races_human :
   ?pos:(Label.t -> (int * int) option) -> Format.formatter -> t -> unit

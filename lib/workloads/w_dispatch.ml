@@ -1,0 +1,76 @@
+(* dispatch — tid-switched writer/reader roles over a shared accumulator,
+   the shape the tid-specialized value analysis exists for. Every thread
+   runs the SAME body: an if-chain on the thread-id register picks the
+   role. Thread 0 atomically bumps the accumulator, computes a payload in
+   a small counted loop, then publishes each reader's cell pair with two
+   unary writes in reverse order (cellB before cellA); thread k+1
+   atomically snapshots its own pair cellA-then-cellB.
+
+   Without value analysis every replica statically carries every arm: the
+   accumulator self-races across replicas (Dispatch.update is
+   Lipton-irreducible and its regions form conflict cycles) and the
+   duplicated scan regions close a torn-snapshot cycle into
+   Dispatch.scan — both blocks report May_violate. With the thread-id
+   register pinned per replica all foreign arms are statically dead:
+   the accumulator becomes thread-local (update proves by Lipton) and
+   each scan's only remaining partner is the single writer, whose
+   reversed write order leaves no transactional happens-before cycle
+   back into the scan (cycle-free).
+
+   Both blocks really are atomic on every schedule: a torn snapshot
+   would need read cellB before write cellB yet write cellA before read
+   cellA, impossible given writer order cellB-then-cellA against reader
+   order cellA-then-cellB — so the dynamic soundness gate stays green. *)
+
+open Velodrome_sim
+open Builder
+
+let name = "dispatch"
+
+let description =
+  "tid-switched writer/reader roles over a shared accumulator; provable \
+   only with tid-specialized value analysis"
+
+let methods = [ ("Dispatch.update", true, false); ("Dispatch.scan", true, false) ]
+
+let build size =
+  let b = create () in
+  let readers = Sizes.scale size (2, 3, 5) in
+  let acc = var b "acc" in
+  let cella = Array.init readers (fun k -> var b (Printf.sprintf "cellA%d" k)) in
+  let cellb = Array.init readers (fun k -> var b (Printf.sprintf "cellB%d" k)) in
+  let update = label b "Dispatch.update" in
+  let scan = label b "Dispatch.scan" in
+  let rt = fresh_reg b in
+  let rp = fresh_reg b in
+  let ra = fresh_reg b in
+  let rb = fresh_reg b in
+  let writer_role =
+    [ atomic update [ read rt acc; write acc (r rt +: i 1) ] ]
+    (* Payload computed by a bounded counted loop: the value analysis
+       must prove the loop both enters and terminates, and pin rp to
+       exactly 3 at exit. *)
+    @ [ local rp (i 0); while_ (r rp <: i 3) [ local rp (r rp +: i 1) ] ]
+    @ List.concat
+        (List.init readers (fun k ->
+             [
+               write cellb.(k) (r rp +: i (100 + k));
+               write cella.(k) (r rp +: i (100 + k));
+             ]))
+  in
+  let reader_role k =
+    [ atomic scan [ read ra cella.(k); read rb cellb.(k) ] ]
+  in
+  let rec arms k =
+    if k > readers then []
+    else
+      [
+        if_
+          (r Ast.tid_reg ==: i k)
+          (if k = 0 then writer_role else reader_role (k - 1))
+          (arms (k + 1));
+      ]
+  in
+  let body = arms 0 in
+  threads b (1 + readers) (fun _ -> body);
+  program b

@@ -1,0 +1,9 @@
+(** Tid-switched writer/reader roles over a shared accumulator: every
+    thread runs the same body dispatching on the thread-id register, so
+    both blocks report [May_violate] without value analysis and prove
+    atomic (Lipton for the update, cycle-freedom for the scan) with it. *)
+
+val name : string
+val description : string
+val methods : (string * bool * bool) list
+val build : Sizes.size -> Velodrome_sim.Ast.program

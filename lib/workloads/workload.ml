@@ -43,6 +43,8 @@ let all =
       W_handoff.methods;
     lift W_snapshot.name W_snapshot.description W_snapshot.build
       W_snapshot.methods;
+    lift W_dispatch.name W_dispatch.description W_dispatch.build
+      W_dispatch.methods;
   ]
 
 let find name = List.find_opt (fun w -> w.name = name) all

@@ -28,7 +28,7 @@ dynamic soundness gate. A fully guarded program proves every block (exit
   Counter.incr             (13:12) proved atomic by lipton (2 occurrences)
   Counter.flush            (21:10) proved atomic by lipton (2 occurrences)
   2/2 blocks proved atomic (2 lipton, 0 cycle-free), 0 may-violate
-  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace)
+  soundness gate: OK (7 schedules, 0 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace, no dead site executed, every observed value in its static interval)
 
 The static transactional conflict graph behind the cycle-free verdicts:
 --graph reports its size and one witness cycle per may-violate block,
@@ -45,6 +45,39 @@ workload shows cycle-freedom proving blocks Lipton cannot:
   Snapshot.checkReady      proved atomic by cycle-free (1 occurrence)
   3/3 blocks proved atomic (1 lipton, 2 cycle-free), 0 may-violate
   static graph written to dots/snapshot.txgraph.dot
+  static graph written to dots/snapshot.cfg_values.dot
+
+The tid-specialized value analysis: every thread of the dispatch
+workload runs the same body, switching writer/reader roles on the
+thread-id register, so without value facts each replica statically
+carries every role. The analysis pins r0 per thread, kills the foreign
+arms (the DEAD BRANCH lint), and flips both blocks from may-violate to
+proved; --values lists the interval facts and dead arms:
+
+  $ velodrome analyze dispatch --size small
+  Dispatch.update          proved atomic by lipton (1 occurrence)
+  Dispatch.scan            proved atomic by cycle-free (2 occurrences)
+  DEAD BRANCH t0:0.else: thread 0 never takes this arm
+  DEAD BRANCH t1:0.then: thread 1 never takes this arm
+  DEAD BRANCH t1:0.1.0.else: thread 1 never takes this arm
+  DEAD BRANCH t2:0.then: thread 2 never takes this arm
+  DEAD BRANCH t2:0.1.0.then: thread 2 never takes this arm
+  DEAD BRANCH t2:0.1.0.1.0.else: thread 2 never takes this arm
+  2/2 blocks proved atomic (1 lipton, 1 cycle-free), 0 may-violate
+
+  $ velodrome analyze dispatch --size small --values | tail -3
+    dead then arm of t2:0.1.0
+    dead else arm of t2:0.1.0.1.0
+  value analysis: 12 facts, 35 dead sites, 6 dead branches
+
+--no-values is the escape hatch: the syntactic story returns, both
+blocks regress to may-violate, and the unproved-block exit semantics
+are unchanged:
+
+  $ velodrome analyze dispatch --size small --no-values | tail -1
+  0/2 blocks proved atomic (0 lipton, 0 cycle-free), 2 may-violate
+  $ velodrome analyze dispatch --size small --no-values > /dev/null
+  [1]
 
 The witness cycle dot names the source site on every edge; scan.vel is
 a latent snapshot bug that no plain schedule exhibits:
@@ -88,7 +121,7 @@ every emitted prediction from its schedule line:
 
   $ velodrome analyze ../examples/scan.vel --predict --gate 2>&1 | tail -2
   prediction gate: OK (1 prediction re-certified by replay)
-  soundness gate: OK (7 schedules, 21 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace)
+  soundness gate: OK (7 schedules, 21 dynamic warnings, no proved block blamed, every blamed block may-violate, every dynamic race statically covered, aero = velodrome = basic on every recorded trace, no dead site executed, every observed value in its static interval)
 
 A failing gate over a generated program prints a replayable report on
 stderr; --replay-demo pins its shape:
@@ -180,7 +213,9 @@ stderr; --replay-demo pins its shape:
                  "may_violate": 1,
                  "unknown": 0,
                  "race_pairs": 3,
-                 "racy_vars": 1
+                 "racy_vars": 1,
+                 "dead_sites": 0,
+                 "dead_branches": 0
     }
   }
   [1]
@@ -440,6 +475,17 @@ the validator:
 
   $ ../bench/validate_bench.exe ../BENCH_predict.json predict
   ../BENCH_predict.json: 1 predict document ok
+
+The tracked static-pruning artifact carries the value-analysis columns
+(dead sites, race-pair and proved-block deltas, values timing), and
+--baseline diffs a fresh copy against a committed one, failing on a
+>15% analysis-time or throughput regression — a file is never slower
+than itself, so the self-diff is the deterministic pin:
+
+  $ ../bench/validate_bench.exe ../BENCH_statics.json statics
+  ../BENCH_statics.json: 7 statics rows ok
+  $ ../bench/validate_bench.exe --baseline ../BENCH_statics.json ../BENCH_statics.json
+  ../BENCH_statics.json: no >15% regression vs ../BENCH_statics.json (7 rows compared)
 
 Multicore serving: a domain pool checks many complete streams
 concurrently, and the ordered merge makes the output submission-ordered

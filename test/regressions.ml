@@ -33,15 +33,15 @@ let config_of = function
 let corpus : (int * string * schedule) list =
   [
     (1, "publication+snapshot", RR);
-    (2, "latent", Rand 7);
+    (2, "latent+dispatch", Rand 7);
     (3, "publication+snapshot+latent", Adv 7);
-    (7, "snapshot+latent", Adv 2);
+    (7, "snapshot+latent+dispatch", Adv 2);
     (11, "publication+snapshot+latent", RR);
-    (13, "core", Rand 3);
-    (42, "snapshot+latent", Adv 5);
-    (101, "snapshot+latent", RR);
+    (13, "dispatch", Rand 3);
+    (42, "snapshot+latent+dispatch", Adv 5);
+    (101, "snapshot+latent+dispatch", RR);
     (257, "latent", Rand 11);
-    (1009, "publication+snapshot", Adv 11);
+    (1009, "publication+snapshot+dispatch", Adv 11);
   ]
 
 let all_packaged names =
@@ -135,9 +135,37 @@ let replay_latent seed =
 
 let test_latent () = List.iter replay_latent latent_seeds
 
+(* Dispatch-workload pin: the acceptance example for the value analysis.
+   Both blocks of the tid-dispatch workload must stay May_violate with
+   the analysis off and Proved_atomic with it on — one per proof rule. A
+   statics change that erodes either side (the analysis stops sharpening,
+   or the workload becomes provable without it) trips this pin. *)
+let test_dispatch_delta () =
+  let module Statics = Velodrome_statics.Statics in
+  let module Workload = Velodrome_workloads.Workload in
+  let program =
+    (Option.get (Workload.find "dispatch")).Workload.build Workload.Small
+  in
+  let off = Statics.analyze ~values:false program in
+  let on_ = Statics.analyze program in
+  List.iter
+    (fun (b : Statics.block) ->
+      match b.Statics.verdict with
+      | Statics.May_violate _ -> ()
+      | _ ->
+        Alcotest.failf "dispatch pin: %s no longer May_violate without values"
+          b.Statics.name)
+    (Statics.blocks off);
+  if Statics.proved_lipton_count on_ <> 1 then
+    Alcotest.fail "dispatch pin: expected exactly one Lipton-proved block";
+  if Statics.proved_cycle_free_count on_ <> 1 then
+    Alcotest.fail "dispatch pin: expected exactly one cycle-free-proved block"
+
 let suite =
   ( "regressions",
     [
       Alcotest.test_case "pinned generated corpus" `Quick test_corpus;
       Alcotest.test_case "pinned latent-family seeds" `Quick test_latent;
+      Alcotest.test_case "pinned dispatch verdict delta" `Quick
+        test_dispatch_delta;
     ] )

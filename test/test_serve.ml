@@ -111,11 +111,13 @@ let check_differential ~jobs paths =
 
 (* --- tests ------------------------------------------------------------------ *)
 
-(* All 17 recorded workload traces, 8 domains vs the sequential driver. *)
+(* All recorded workload traces, 8 domains vs the sequential driver. *)
 let test_workloads_differential () =
   with_dir "serve-wl" (fun dir ->
       let paths = List.map (record_workload dir) Workload.all in
-      check int "all workloads recorded" 17 (List.length paths);
+      check int "all workloads recorded"
+        (List.length Workload.all)
+        (List.length paths);
       ignore (check_differential ~jobs:8 paths))
 
 (* 200 generated streams; 1, 3 and 8 domains must agree with the

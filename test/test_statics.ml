@@ -13,6 +13,7 @@ module Mhp = Velodrome_statics.Mhp
 module Races = Velodrome_statics.Races
 module Movers = Velodrome_statics.Movers
 module Reduce = Velodrome_statics.Reduce
+module Values = Velodrome_statics.Values
 module Statics = Velodrome_statics.Statics
 module Workload = Velodrome_workloads.Workload
 
@@ -582,6 +583,152 @@ let test_progen_snapshot_family () =
   done;
   check Alcotest.bool "snapshot family occurs" true (!found >= 10)
 
+(* --- value analysis ---------------------------------------------------------- *)
+
+let itv = Alcotest.testable (Fmt.of_to_string Values.itv_to_string) ( = )
+
+let test_values_arith () =
+  let c = Values.const in
+  (* Division and modulo by a zero singleton evaluate to 0, exactly as
+     Ast.eval does. *)
+  check Alcotest.int "eval div by zero" 0
+    (Ast.eval (Array.make 4 0) (Ast.Div (Ast.Int 6, Ast.Int 0)));
+  check Alcotest.int "eval mod by zero" 0
+    (Ast.eval (Array.make 4 0) (Ast.Mod (Ast.Int 6, Ast.Int 0)));
+  check itv "div by zero" (c 0) (Values.div (c 6) (c 0));
+  check itv "mod by zero" (c 0) (Values.mod_ (c 6) (c 0));
+  check itv "exact div" (c (-3)) (Values.div (c 7) (c (-2)));
+  check itv "add" (Values.interval 3 7)
+    (Values.add (Values.interval 1 4) (Values.interval 2 3));
+  check itv "mul signs" (Values.interval (-8) 8)
+    (Values.mul (Values.interval (-2) 2) (Values.interval (-4) 4));
+  (* Interval division covering divisor 0 stays sound: result magnitude
+     bounded by the dividend's. *)
+  let d = Values.div (Values.interval 0 10) (Values.interval (-1) 1) in
+  check Alcotest.bool "wide div covers quotients" true
+    (List.for_all (fun q -> Values.mem q d) [ -10; -5; 0; 5; 10 ]);
+  (* Near the magnitude limit arithmetic stays sound: the product of two
+     in-range operands cannot wrap, and its huge result is either kept
+     exactly or washed to infinity — never mis-claimed. Out-of-range
+     inputs give up entirely. *)
+  let huge = Values.mul (c (Values.limit - 1)) (c (Values.limit - 1)) in
+  check Alcotest.bool "huge product contained" true
+    (Values.mem ((Values.limit - 1) * (Values.limit - 1)) huge);
+  check itv "out-of-range input gives top" Values.top
+    (Values.add huge (c 1));
+  check Alcotest.bool "mod sign follows dividend" true
+    (Values.leq
+       (Values.mod_ (Values.interval 0 100) (c 7))
+       (Values.interval 0 6))
+
+let test_values_widening_terminates () =
+  (* A self-incrementing loop that never exits: the head fixpoint must
+     widen to termination, and the exit arm is provably dead. *)
+  let p = parse "var x; thread { k = 0; while (k >= 0) { k = k + 1; } x = 1; }" in
+  let v = Values.analyze p in
+  check Alcotest.bool "loop-exit arm dead" true
+    (List.exists
+       (fun (d : Values.dead_branch) -> d.Values.d_arm = Values.Loop_exit)
+       (Values.dead_branches v));
+  (* The write after the loop is unreachable. *)
+  check Alcotest.bool "code after infinite loop dead" true
+    (Values.dead_site v { Cfg.thread = 0; path = [ 2 ] });
+  (* A bounded counted loop stays exact: after [while (k < 3) k++] the
+     counter is exactly 3 (no premature widening). *)
+  let p2 = parse "var x; thread { k = 0; while (k < 3) { k = k + 1; } x = k; }" in
+  let v2 = Values.analyze p2 in
+  (match Values.fact_at v2 { Cfg.thread = 0; path = [ 2 ] } with
+  | Some f -> check itv "bounded loop exact" (Values.const 3) f.Values.itv
+  | None -> Alcotest.fail "no fact at post-loop write");
+  check Alcotest.int "bounded loop: nothing dead" 0 (Values.dead_site_count v2)
+
+let test_values_tid_dispatch () =
+  (* Two threads share one body dispatching on the tid register: each
+     replica keeps exactly one arm. *)
+  let p =
+    parse
+      "var a; var b; thread { if (tid == 0) { a = 1; } else { b = 2; } } \
+       thread { if (tid == 0) { a = 1; } else { b = 2; } }"
+  in
+  let v = Values.analyze p in
+  check Alcotest.bool "thread 0 else-arm dead" true
+    (Values.dead_site v { Cfg.thread = 0; path = [ 0; 1; 0 ] });
+  check Alcotest.bool "thread 1 then-arm dead" true
+    (Values.dead_site v { Cfg.thread = 1; path = [ 0; 0; 0 ] });
+  check Alcotest.bool "thread 0 then-arm live" false
+    (Values.dead_site v { Cfg.thread = 0; path = [ 0; 0; 0 ] });
+  check Alcotest.int "two dead branches" 2 (Values.dead_branch_count v);
+  (* Variable invariants only join live writes plus the initial value. *)
+  check Alcotest.bool "a invariant covers 0 and 1" true
+    (Values.mem 0 (Values.var_interval v (Velodrome_trace.Ids.Var.of_int 0)));
+  (* Branch refinement: reading a variable then branching on it refines
+     the register in each arm (x's invariant is [1..7], so the then-arm
+     pins k to [1..2]). *)
+  let p2 =
+    parse
+      "var x = 1; var y; thread { k = x; if (k < 3) { y = k; } else { y = 7; \
+       } } thread { x = 7; }"
+  in
+  let v2 = Values.analyze p2 in
+  (* [k = x] parses as a prelude read plus a register copy, so the [if]
+     sits at top-level index 2. *)
+  (match Values.fact_at v2 { Cfg.thread = 0; path = [ 2; 0; 0 ] } with
+  | Some f ->
+    check itv "then-arm write refined" (Values.interval 1 2) f.Values.itv
+  | None -> Alcotest.fail "no fact at refined write")
+
+let test_dispatch_flip () =
+  (* The acceptance example for the whole pass: the dispatch workload is
+     May_violate on both blocks without value analysis and fully proved
+     with it, with strictly fewer static race pairs. *)
+  let program =
+    (Option.get (Workload.find "dispatch")).Workload.build Workload.Small
+  in
+  let off = Statics.analyze ~values:false program in
+  let on_ = Statics.analyze program in
+  check Alcotest.int "values-off: both blocks may-violate" 2
+    (Statics.may_violate_count off);
+  check Alcotest.int "values-off: nothing proved" 0 (Statics.proved_count off);
+  check Alcotest.int "values-on: both blocks proved" 2
+    (Statics.proved_count on_);
+  check Alcotest.int "values-on: update proved by lipton" 1
+    (Statics.proved_lipton_count on_);
+  check Alcotest.int "values-on: scan proved by cycle-freedom" 1
+    (Statics.proved_cycle_free_count on_);
+  check Alcotest.bool "race pairs strictly reduced" true
+    (Statics.race_pair_count on_ < Statics.race_pair_count off);
+  check Alcotest.bool "dead sites found" true (Statics.dead_site_count on_ > 0)
+
+let test_progen_dispatch_family () =
+  (* The generated tid-dispatch family must occur and flip the same way
+     the workload does. *)
+  let found = ref 0 in
+  for seed = 1 to 30 do
+    let p, info = Progen.generate_info (Velodrome_util.Rng.create seed) in
+    if List.mem "dispatch" info.Progen.families then begin
+      incr found;
+      let on_ = Statics.analyze p in
+      let off = Statics.analyze ~values:false p in
+      List.iter
+        (fun (b : Statics.block) ->
+          if
+            b.Statics.name = "gen.disp.update"
+            || b.Statics.name = "gen.disp.scan"
+          then begin
+            (match b.Statics.verdict with
+            | Statics.Proved_atomic _ -> ()
+            | _ ->
+              Alcotest.failf "seed %d: %s not proved with values on" seed
+                b.Statics.name);
+            if Statics.proved off b.Statics.label then
+              Alcotest.failf "seed %d: %s proved even without values" seed
+                b.Statics.name
+          end)
+        (Statics.blocks on_)
+    end
+  done;
+  check Alcotest.bool "dispatch family occurs" true (!found >= 10)
+
 (* --- whole-pipeline sanity over the workload suite -------------------------- *)
 
 let test_workloads_analyze () =
@@ -700,12 +847,47 @@ let statically_may_violate st l =
    cycle-free — or even budget-exhausted, at these program sizes — is a
    statics bug); and every dynamic race warning is covered by a static
    race pair on the same variable (a pair-free variable is race-free on
-   every execution). *)
+   every execution).
+
+   The value-analysis obligations ride along on an execution hook: no
+   instruction may ever run at a statically-dead site, and every value a
+   [Local]/[Read]/[Write] produces must lie within the site's static
+   interval fact. *)
+let value_observer vals violation =
+  Option.map
+    (fun v (o : Interp.obs) ->
+      if !violation = None then begin
+        let site = { Cfg.thread = o.Interp.o_thread; path = o.Interp.o_path } in
+        if Values.dead_site v site then
+          violation :=
+            Some
+              (Printf.sprintf "instruction executed at dead site %s"
+                 (Cfg.site_to_string site))
+        else
+          match (o.Interp.o_value, Values.fact_at v site) with
+          | Some x, Some f when not (Values.mem x f.Values.itv) ->
+            violation :=
+              Some
+                (Printf.sprintf "value %d at %s outside static interval %s" x
+                   (Cfg.site_to_string site)
+                   (Values.itv_to_string f.Values.itv))
+          | _ -> ()
+      end)
+    vals
+
 let assert_gate what program st =
   let races = Statics.races st in
+  let vals = Statics.values st in
   List.iteri
     (fun k config ->
+      let violation = ref None in
+      let config =
+        { config with Run.observe = value_observer vals violation }
+      in
       let refuted, race_vars = dynamic_results program config in
+      (match !violation with
+      | Some msg -> Alcotest.failf "%s: %s (schedule %d)" what msg k
+      | None -> ());
       List.iter
         (fun l ->
           if Statics.proved st l then
@@ -859,6 +1041,13 @@ let suite =
         test_txgraph_snapshot_patterns;
       Alcotest.test_case "progen snapshot family" `Quick
         test_progen_snapshot_family;
+      Alcotest.test_case "values arithmetic" `Quick test_values_arith;
+      Alcotest.test_case "values widening terminates" `Quick
+        test_values_widening_terminates;
+      Alcotest.test_case "values tid dispatch" `Quick test_values_tid_dispatch;
+      Alcotest.test_case "dispatch verdict flip" `Quick test_dispatch_flip;
+      Alcotest.test_case "progen dispatch family" `Quick
+        test_progen_dispatch_family;
       Alcotest.test_case "reduce while acquire/release" `Quick
         test_reduce_while_acquire_release;
       Alcotest.test_case "workloads analyze" `Quick test_workloads_analyze;
